@@ -1,0 +1,160 @@
+//! Quick calibration harness: prints headline numbers for each experiment
+//! family so model constants can be tuned against the paper's shapes.
+//! Not part of the reproduced figures — see `benches/` for those.
+
+use iorch_bench::*;
+use iorch_simcore::SimDuration;
+use iorchestra::SystemKind;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let t0 = Instant::now();
+
+    if which == "all" || which == "motivation" {
+        let cfg = RunCfg::new(42).with_warmup(SimDuration::from_secs(1));
+        let base = motivation_run(false, cfg);
+        let iorch = motivation_run(true, cfg);
+        println!(
+            "[motivation] baseline mean={} entries={} | iorch mean={} grants={} | improvement {:.1}%",
+            base.mean,
+            base.congestion_entries,
+            iorch.mean,
+            iorch.bypass_grants,
+            (1.0 - iorch.mean.as_secs_f64() / base.mean.as_secs_f64()) * 100.0
+        );
+    }
+
+    if which == "all" || which == "fig4" {
+        let mut kinds: Vec<SystemKind> = SystemKind::headline().to_vec();
+        if which == "fig4" {
+            kinds.push(SystemKind::IOrchestraWith(iorchestra::FunctionSet::flush_only()));
+            kinds.push(SystemKind::IOrchestraWith(iorchestra::FunctionSet::congestion_only()));
+            kinds.push(SystemKind::IOrchestraWith(iorchestra::FunctionSet::cosched_only()));
+        }
+        for kind in kinds {
+            let seed: u64 = std::env::var("IORCH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+            let cfg = RunCfg::new(seed);
+            let out = fig4_run(kind, 150, 1500.0, 1500.0, cfg);
+            println!(
+                "[fig4:{:<10}] olio mean={} p999={} n={} | y1 mean={} p999={} n={} | y2 mean={} p999={} n={}",
+                kind.label(),
+                out.olio_total.mean(),
+                out.olio_total.p999(),
+                out.olio_total.count(),
+                out.ycsb1.mean(),
+                out.ycsb1.p999(),
+                out.ycsb1.count(),
+                out.ycsb2.mean(),
+                out.ycsb2.p999(),
+                out.ycsb2.count(),
+            );
+        }
+    }
+
+    if which == "mode" {
+        // Per-socket dedicated cores WITHOUT the cosched policy: isolates
+        // the IoPathMode from the weight/quantum policy.
+        use iorch_hypervisor::{Cluster, IoPathMode, MachineConfig};
+        use iorch_simcore::Simulation;
+        let mut sim = Simulation::new(Cluster::new());
+        let (cl, s) = sim.parts_mut();
+        let idx = cl.add_machine(MachineConfig::paper_testbed(
+            42,
+            IoPathMode::DedicatedCores { per_socket: true },
+        ));
+        cl.install_control(s, idx, Box::new(iorchestra::BaselinePlane::sdc()));
+        drop(sim);
+        // Reuse fig4_run by provisioning through SystemKind is not possible
+        // here; instead compare SDC (1 core) vs cosched-only with weight
+        // pushes disabled via a huge update interval — see planes config.
+        println!("(mode probe: inspect via cosched ablation below)");
+    }
+
+    if which == "all" || which == "flush" {
+        for n in [8usize, 16, 20] {
+            for ratio in [0.1f64, 0.4] {
+                for kind in [
+                    SystemKind::Baseline,
+                    SystemKind::Dif,
+                    SystemKind::IOrchestraWith(iorchestra::FunctionSet::flush_only()),
+                ] {
+                    let cfg = RunCfg::new(42);
+                    let bps = flush_run(kind, n, ratio, cfg);
+                    println!(
+                        "[flush:{:<12}] {n:>2} VMs ratio={:.0}%: {:.1} MB/s",
+                        kind.label(),
+                        ratio * 100.0,
+                        bps / 1e6
+                    );
+                }
+            }
+        }
+    }
+
+    if which == "all" || which == "cosched" {
+        for kind in [SystemKind::Sdc, SystemKind::IOrchestra] {
+            let cfg = RunCfg::new(42);
+            let bps = cosched_run(kind, 6, cfg);
+            println!("[cosched:{:<10}] 60% io threads: {:.1} MB/s", kind.label(), bps / 1e6);
+        }
+    }
+
+    if which == "all" || which == "bursty" {
+        for kind in [SystemKind::Baseline, SystemKind::IOrchestra] {
+            let cfg = RunCfg::new(42);
+            let h = bursty_run(kind, 500.0, SimDuration::from_millis(50), cfg);
+            println!(
+                "[bursty:{:<10}] 500rps 50ms: mean={} p999={} n={}",
+                kind.label(),
+                h.mean(),
+                h.p999(),
+                h.count()
+            );
+        }
+    }
+
+    if which == "all" || which == "arrivals" {
+        for kind in [SystemKind::Baseline, SystemKind::Sdc, SystemKind::IOrchestra] {
+            let cfg = RunCfg::new(42).with_measure(SimDuration::from_secs(20));
+            let out = arrivals_run(kind, 12.0, cfg);
+            println!(
+                "[arrivals:{:<10}] λ=12: completed={} arrived={} cpu={:.1}% w={:.1}MB/s io={:.1}MB/s",
+                kind.label(),
+                out.completed,
+                out.arrived,
+                out.cpu_utilization * 100.0,
+                out.write_bps / 1e6,
+                out.io_bps / 1e6
+            );
+        }
+    }
+
+    if which == "all" || which == "scaleout" {
+        for kind in [SystemKind::Baseline, SystemKind::IOrchestra] {
+            let cfg = RunCfg::new(42).with_measure(SimDuration::from_secs(4));
+            let m1 = scaleout_run(kind, 1, ScaleApp::Ycsb1, cfg);
+            let m4 = scaleout_run(kind, 4, ScaleApp::Ycsb1, cfg);
+            println!(
+                "[scaleout:{:<10}] ycsb1 n=1: {} n=4: {}",
+                kind.label(),
+                m1,
+                m4
+            );
+        }
+    }
+
+    if which == "all" || which == "congestion" {
+        for kind in [
+            SystemKind::Baseline,
+            SystemKind::IOrchestraWith(iorchestra::FunctionSet::congestion_only()),
+        ] {
+            let cfg = RunCfg::new(42);
+            let m = congestion_run(kind, FbKind::Fs, 8, cfg);
+            println!("[congestion:{:<12}] FS 8 VMs mean={}", kind.label(), m);
+        }
+    }
+
+    eprintln!("(wall time: {:.1}s)", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,56 @@
+//! Temporary debugging harness for the motivation-scenario stall.
+
+use std::rc::Rc;
+
+use iorch_hypervisor::{Cluster, VmSpec};
+use iorch_simcore::{SimTime, Simulation};
+use iorch_workloads::{recorder, spawn_multistream, MultiStreamParams, VmRef};
+use iorchestra::SystemKind;
+
+fn main() {
+    let mut sim = Simulation::new(Cluster::new());
+    let (cl, s) = sim.parts_mut();
+    let idx = SystemKind::Baseline.provision(cl, s, 42);
+    let mut doms = Vec::new();
+    let rec = recorder(SimTime::ZERO);
+    for v in 0..2u64 {
+        let dom = cl.create_domain(s, idx, VmSpec::new(4, 4).with_disk_gb(20), |g| {
+            g.queue.nr_requests = 64;
+            g.queue.bypass_hard_limit = 512;
+            g.readahead_chunks = 16;
+        });
+        doms.push(dom);
+        let vm = VmRef { machine: idx, dom };
+        spawn_multistream(
+            cl,
+            s,
+            vm,
+            MultiStreamParams {
+                streams: 8,
+                file_size: 1 << 30,
+                read_size: 4 << 20,
+                first_vcpu: 0,
+                seed: 42 ^ v,
+            },
+            Rc::clone(&rec),
+        );
+    }
+    let dom = doms[0];
+    for step_ms in [1u64, 2, 5, 10, 20, 50, 100, 500] {
+        sim.run_until(SimTime::from_millis(step_ms));
+        let m = sim.world().machine(idx);
+        let d = m.domain(dom).unwrap();
+        let k = &d.kernel;
+        eprintln!(
+            "t={step_ms}ms ops={} reads={} blocked_ops={} congested={} entries={} host_q={} host_if={} io_done={}",
+            rec.borrow().ops,
+            k.stats().reads,
+            k.stats().congestion_blocked_ops,
+            k.queue_congested(),
+            k.congestion_entries(),
+            m.storage.queue_depth(),
+            m.storage.in_flight(),
+            m.io_latency(dom).map(|h| h.count()).unwrap_or(0),
+        );
+    }
+}

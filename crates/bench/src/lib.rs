@@ -1,0 +1,12 @@
+//! # iorch-bench — experiment harnesses for every table and figure
+//!
+//! One runner function per experiment family; each `[[bench]]` target
+//! (see `benches/`) sweeps the paper's parameter axis and prints the same
+//! rows/series the paper reports. Runs are deterministic given a seed;
+//! durations are scaled down from the paper's 10-minute/1-hour runs to
+//! seconds of simulated time (the steady-state shapes emerge well before
+//! that — see EXPERIMENTS.md).
+
+pub mod runner;
+
+pub use runner::*;

@@ -1,0 +1,168 @@
+//! Anomaly detection on system-store traffic.
+//!
+//! "IOrchestra can be configured to identify malicious VMs by enabling
+//! anomaly detection in the management module" (paper §3). The concrete
+//! threat in a shared store is a guest hammering its keys to spam the
+//! management module with watch events; the detector flags domains whose
+//! store write *rate* exceeds a budget over a sliding window.
+
+use std::collections::BTreeMap;
+
+use iorch_hypervisor::DomainId;
+use iorch_simcore::{SimDuration, SimTime};
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AnomalyParams {
+    /// Window over which writes are counted.
+    pub window: SimDuration,
+    /// Writes per window that trip the detector.
+    pub max_writes_per_window: u64,
+}
+
+impl Default for AnomalyParams {
+    fn default() -> Self {
+        AnomalyParams {
+            window: SimDuration::from_secs(1),
+            // Legitimate traffic is a handful of edge-triggered updates;
+            // hundreds per second is abuse.
+            max_writes_per_window: 200,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct DomState {
+    window_start: SimTime,
+    in_window: u64,
+    flagged: bool,
+}
+
+/// Sliding-window store-write rate limiter / anomaly flagger.
+#[derive(Clone, Debug)]
+pub struct AnomalyDetector {
+    params: AnomalyParams,
+    doms: BTreeMap<DomainId, DomState>,
+}
+
+impl AnomalyDetector {
+    /// New detector.
+    pub fn new(params: AnomalyParams) -> Self {
+        AnomalyDetector {
+            params,
+            doms: BTreeMap::new(),
+        }
+    }
+
+    /// Record one store write by `dom` at `now`. Returns `true` if the
+    /// domain is (now) flagged as anomalous.
+    pub fn on_write(&mut self, dom: DomainId, now: SimTime) -> bool {
+        self.on_writes(dom, 1, now)
+    }
+
+    /// Record `n` store writes at once (e.g. from a write-count delta
+    /// observed on a monitoring tick). Returns the flag state.
+    pub fn on_writes(&mut self, dom: DomainId, n: u64, now: SimTime) -> bool {
+        let st = self.doms.entry(dom).or_default();
+        if now.saturating_since(st.window_start) > self.params.window {
+            st.window_start = now;
+            st.in_window = 0;
+        }
+        st.in_window += n;
+        if st.in_window > self.params.max_writes_per_window {
+            st.flagged = true;
+        }
+        st.flagged
+    }
+
+    /// Is a domain currently flagged?
+    pub fn is_flagged(&self, dom: DomainId) -> bool {
+        self.doms.get(&dom).is_some_and(|s| s.flagged)
+    }
+
+    /// All flagged domains.
+    pub fn flagged(&self) -> Vec<DomainId> {
+        self.doms
+            .iter()
+            .filter(|(_, s)| s.flagged)
+            .map(|(&d, _)| d)
+            .collect()
+    }
+
+    /// Clear a domain's flag (operator intervention).
+    pub fn clear(&mut self, dom: DomainId) {
+        if let Some(s) = self.doms.get_mut(&dom) {
+            s.flagged = false;
+            s.in_window = 0;
+        }
+    }
+
+    /// Forget a domain entirely (teardown).
+    pub fn remove(&mut self, dom: DomainId) {
+        self.doms.remove(&dom);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn small() -> AnomalyDetector {
+        AnomalyDetector::new(AnomalyParams {
+            window: SimDuration::from_millis(100),
+            max_writes_per_window: 5,
+        })
+    }
+
+    #[test]
+    fn normal_rate_not_flagged() {
+        let mut det = small();
+        for i in 0..20 {
+            // One write per window.
+            assert!(!det.on_write(DomainId(1), t(i * 150)));
+        }
+        assert!(!det.is_flagged(DomainId(1)));
+    }
+
+    #[test]
+    fn burst_gets_flagged() {
+        let mut det = small();
+        let mut flagged = false;
+        for _ in 0..10 {
+            flagged = det.on_write(DomainId(2), t(10));
+        }
+        assert!(flagged);
+        assert_eq!(det.flagged(), vec![DomainId(2)]);
+    }
+
+    #[test]
+    fn flag_is_sticky_until_cleared() {
+        let mut det = small();
+        for _ in 0..10 {
+            det.on_write(DomainId(1), t(0));
+        }
+        assert!(det.is_flagged(DomainId(1)));
+        // Still flagged much later even at a low rate.
+        det.on_write(DomainId(1), t(10_000));
+        assert!(det.is_flagged(DomainId(1)));
+        det.clear(DomainId(1));
+        assert!(!det.is_flagged(DomainId(1)));
+    }
+
+    #[test]
+    fn per_domain_isolation() {
+        let mut det = small();
+        for _ in 0..10 {
+            det.on_write(DomainId(1), t(0));
+        }
+        det.on_write(DomainId(2), t(0));
+        assert!(det.is_flagged(DomainId(1)));
+        assert!(!det.is_flagged(DomainId(2)));
+        det.remove(DomainId(1));
+        assert!(!det.is_flagged(DomainId(1)));
+    }
+}

@@ -1,0 +1,157 @@
+//! The co-scheduling arithmetic of paper §3.3, as pure functions.
+//!
+//! Kept free of machine state so the weight distribution and share
+//! computations can be unit- and property-tested directly.
+
+/// Distribute a cross-socket VM's I/O process weight across its sockets in
+/// **inverse proportion** to each socket's I/O-core latency `L_i`:
+///
+/// ```text
+/// w_i = (ΣL / L_i) / Σ_j (ΣL / L_j)
+/// ```
+///
+/// Zero/near-zero latencies are clamped so an idle core simply looks very
+/// fast. The result sums to 1.
+pub fn inverse_latency_weights(latencies_us: &[f64]) -> Vec<f64> {
+    assert!(!latencies_us.is_empty());
+    let clamped: Vec<f64> = latencies_us.iter().map(|&l| l.max(0.5)).collect();
+    let sum_l: f64 = clamped.iter().sum();
+    let raw: Vec<f64> = clamped.iter().map(|&l| sum_l / l).collect();
+    let total: f64 = raw.iter().sum();
+    raw.iter().map(|&r| r / total).collect()
+}
+
+/// Process weight of a VM on one socket: the sum of the process weights of
+/// its VCPUs placed there (`W_SKT(VCPU^{VMi}_k)` in the paper).
+pub fn socket_process_weight(vcpu_weights: &[f64], vcpu_sockets: &[usize], socket: usize) -> f64 {
+    assert_eq!(vcpu_weights.len(), vcpu_sockets.len());
+    vcpu_weights
+        .iter()
+        .zip(vcpu_sockets)
+        .filter(|(_, &s)| s == socket)
+        .map(|(w, _)| w)
+        .sum()
+}
+
+/// I/O share of VM `i` on a socket:
+///
+/// ```text
+/// S^{VMi}_{SKT} = W_SKT / Σ_l P_l · S^{VM}_i
+/// ```
+pub fn socket_io_share(socket_weight: f64, total_weight: f64, vm_share: f64) -> f64 {
+    if total_weight <= 0.0 {
+        return 0.0;
+    }
+    (socket_weight / total_weight) * vm_share
+}
+
+/// DRR quantum: `Q_i = BW_max · S^{VMi}_{SKT}` interpreted per polling
+/// round of length `round`: the byte budget the VM may consume per visit.
+/// (Algorithm 3's `BW_max` is a rate; a per-visit credit must be scaled by
+/// the round time or one backlogged VM would monopolize the core for a
+/// full second of bandwidth.)
+pub fn drr_quantum(bw_max: u64, socket_share: f64, round: iorch_simcore::SimDuration) -> u64 {
+    let budget = bw_max as f64 * socket_share.clamp(0.0, 1.0) * round.as_secs_f64();
+    (budget as u64).max(4096)
+}
+
+/// Has the weight ratio between any pair of sockets changed by more than
+/// `threshold` (0.5 = the paper's 50%) relative to the previous weights?
+pub fn ratio_changed(prev: &[f64], next: &[f64], threshold: f64) -> bool {
+    if prev.len() != next.len() || prev.is_empty() {
+        return true;
+    }
+    for (a, b) in prev.iter().zip(next) {
+        let base = a.max(1e-9);
+        if ((b - a) / base).abs() > threshold {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_latency_equal_weights() {
+        let w = inverse_latency_weights(&[100.0, 100.0]);
+        assert!((w[0] - 0.5).abs() < 1e-9);
+        assert!((w[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_socket_gets_less() {
+        // Socket 1 is 3x slower; paper formula gives it 1/4 of the weight.
+        let w = inverse_latency_weights(&[100.0, 300.0]);
+        assert!(w[0] > w[1]);
+        assert!((w[0] - 0.75).abs() < 1e-9, "w0={}", w[0]);
+        assert!((w[1] - 0.25).abs() < 1e-9, "w1={}", w[1]);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for lats in [
+            vec![1.0, 2.0, 3.0],
+            vec![50.0],
+            vec![0.0, 10.0], // zero clamps, no NaN
+        ] {
+            let w = inverse_latency_weights(&lats);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "lats={lats:?}");
+            assert!(w.iter().all(|&x| x.is_finite() && x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn process_weight_partition() {
+        // 4 VCPUs: two on socket 0, two on socket 1, weights 1,2,3,4.
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let s = [0, 0, 1, 1];
+        let w0 = socket_process_weight(&w, &s, 0);
+        let w1 = socket_process_weight(&w, &s, 1);
+        assert_eq!(w0, 3.0);
+        assert_eq!(w1, 7.0);
+        // Shares: with a VM share of 0.5, the socket shares split 0.15/0.35.
+        let total = 10.0;
+        assert!((socket_io_share(w0, total, 0.5) - 0.15).abs() < 1e-9);
+        assert!((socket_io_share(w1, total, 0.5) - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_vm_share() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let s = [0, 1, 0, 1];
+        let total: f64 = w.iter().sum();
+        let vm_share = 0.4;
+        let sum: f64 = (0..2)
+            .map(|sk| socket_io_share(socket_process_weight(&w, &s, sk), total, vm_share))
+            .sum();
+        assert!((sum - vm_share).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantum_scales_with_bw_share_and_round() {
+        use iorch_simcore::SimDuration;
+        let sec = SimDuration::from_secs(1);
+        let ms = SimDuration::from_millis(1);
+        assert_eq!(drr_quantum(1_000_000, 0.5, sec), 500_000);
+        assert_eq!(drr_quantum(1_000_000, 0.0, sec), 4096); // floor
+        assert_eq!(drr_quantum(1_000_000, 2.0, sec), 1_000_000); // clamp
+        assert_eq!(drr_quantum(1_000_000_000, 0.5, ms), 500_000);
+    }
+
+    #[test]
+    fn ratio_change_detection() {
+        assert!(!ratio_changed(&[0.5, 0.5], &[0.6, 0.4], 0.5));
+        assert!(ratio_changed(&[0.5, 0.5], &[0.8, 0.2], 0.5));
+        assert!(ratio_changed(&[0.5], &[0.5, 0.5], 0.5), "shape change");
+        assert!(ratio_changed(&[], &[], 0.5), "empty is always stale");
+    }
+
+    #[test]
+    fn zero_total_weight_share_is_zero() {
+        assert_eq!(socket_io_share(0.0, 0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Typed paths for the IOrchestra keys in the system store.
+//!
+//! The prototype's XenStore layout (paper Fig. 3): each domain owns
+//! `/local/domain/<id>/virt-dev/…` where the collaborative state lives.
+
+use iorch_hypervisor::{DomainId, XenStore};
+
+/// `has_dirty_pages` — set by the guest when `bdi_writeback.nr > 0`
+/// (Algorithm 1).
+pub fn has_dirty_pages(dom: DomainId) -> String {
+    format!("{}/virt-dev/has_dirty_pages", XenStore::domain_path(dom))
+}
+
+/// `nr` — the guest's dirty-page count, published so the management module
+/// can pick `argmax_i nr_i`.
+pub fn nr_dirty(dom: DomainId) -> String {
+    format!("{}/virt-dev/nr", XenStore::domain_path(dom))
+}
+
+/// `flush_now` — written by the management module to trigger a remote
+/// `sync()` in the guest (Algorithm 1).
+pub fn flush_now(dom: DomainId) -> String {
+    format!("{}/virt-dev/flush_now", XenStore::domain_path(dom))
+}
+
+/// `congested` — set when the guest wants to enable congestion avoidance
+/// on its virtual device (Algorithm 2).
+pub fn congested(dom: DomainId) -> String {
+    format!("{}/virt-dev/congested", XenStore::domain_path(dom))
+}
+
+/// `release_request` — written by the management module when the host
+/// device is *not* actually congested (Algorithm 2).
+pub fn release_request(dom: DomainId) -> String {
+    format!("{}/virt-dev/release_request", XenStore::domain_path(dom))
+}
+
+/// Per-socket I/O weight published by the management module (§3.3).
+pub fn socket_weight(dom: DomainId, socket: usize) -> String {
+    format!("{}/virt-dev/weight/{}", XenStore::domain_path(dom), socket)
+}
+
+/// Extract the domain id from a store path under `/local/domain/<id>/…`.
+pub fn domain_of_path(path: &str) -> Option<DomainId> {
+    let rest = path.strip_prefix("/local/domain/")?;
+    let id_str = rest.split('/').next()?;
+    id_str.parse().ok().map(DomainId)
+}
+
+/// Does the path name this key (final segment match)?
+pub fn is_key(path: &str, key: &str) -> bool {
+    path.rsplit('/').next() == Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_domain_scoped() {
+        let d = DomainId(7);
+        assert_eq!(
+            has_dirty_pages(d),
+            "/local/domain/7/virt-dev/has_dirty_pages"
+        );
+        assert_eq!(flush_now(d), "/local/domain/7/virt-dev/flush_now");
+        assert_eq!(socket_weight(d, 1), "/local/domain/7/virt-dev/weight/1");
+    }
+
+    #[test]
+    fn domain_extraction() {
+        assert_eq!(
+            domain_of_path("/local/domain/12/virt-dev/flush_now"),
+            Some(DomainId(12))
+        );
+        assert_eq!(domain_of_path("/local/domain/12"), Some(DomainId(12)));
+        assert_eq!(domain_of_path("/other/12"), None);
+        assert_eq!(domain_of_path("/local/domain/xyz/a"), None);
+    }
+
+    #[test]
+    fn key_matching() {
+        assert!(is_key("/local/domain/1/virt-dev/flush_now", "flush_now"));
+        assert!(!is_key("/local/domain/1/virt-dev/flush_now", "congested"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # iorchestra — the paper's collaborative-virtualization framework
+//!
+//! Reproduction of *IOrchestra: Supporting High-Performance Data-Intensive
+//! Applications in the Cloud via Collaborative Virtualization* (SC '15).
+//!
+//! IOrchestra bridges the **semantic gap** between guest VMs and the
+//! hypervisor for I/O: guests publish key state (dirty pages, congestion
+//! intents) into a shared system store; a hypervisor-side monitoring
+//! module watches device and I/O-core status; a management module computes
+//! new configurations and publishes them back, and guest-side driver
+//! callbacks apply them. Three functions ride on that channel:
+//!
+//! 1. **Cross-domain flush control** (Algorithm 1): flush the guest with
+//!    the most dirty pages when the device is under 1/10 utilized —
+//!    [`planes::IOrchestraPlane`] + [`keys`];
+//! 2. **Collaborative congestion control** (Algorithm 2): a guest about to
+//!    enable congestion avoidance first asks the host; false triggers get
+//!    a `release_request` instead of a sleep, and truly congested guests
+//!    are woken FIFO with random 0–99 ms interleave on relief;
+//! 3. **Inter-domain I/O co-scheduling** (Algorithm 3 + §3.3 formulas in
+//!    [`formulas`]): per-socket dedicated cores with deficit-round-robin
+//!    quanta `Q_i = BW_max · S^{VMi}_{SKT}` and inverse-latency weight
+//!    distribution for cross-socket VMs.
+//!
+//! The comparison systems are control planes too: [`planes::BaselinePlane`]
+//! (stock, also used for SDC) and [`planes::DifPlane`] (disk-idleness
+//! flushing [17]). [`SystemKind`] provisions any of them onto a machine.
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod formulas;
+pub mod keys;
+pub mod monitor;
+pub mod netbuf;
+pub mod planes;
+mod system;
+
+pub use anomaly::{AnomalyDetector, AnomalyParams};
+pub use monitor::{MonitorReport, MonitoringModule};
+pub use planes::{
+    BaselinePlane, DifPlane, FunctionSet, IOrchestraConfig, IOrchestraPlane, PlaneStats,
+};
+pub use system::SystemKind;

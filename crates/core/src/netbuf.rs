@@ -1,0 +1,219 @@
+//! Collaborative network-buffer sizing — the paper's named future-work
+//! extension (§7: "IOrchestra will be extended to additional system
+//! components …, e.g., network buffer sizes, window sizes, packet
+//! queues").
+//!
+//! Same architecture as Algorithms 1–3, applied to the virtual NIC's
+//! transmit buffer:
+//!
+//! * the guest publishes its TX backlog and rejection count through the
+//!   system store (`tx_backlog`, `tx_rejected`);
+//! * the monitoring module watches link utilization and per-queue
+//!   queueing delay;
+//! * the management module resizes each guest's TX buffer: **grow** when
+//!   the link has headroom and the guest keeps hitting the buffer limit
+//!   (a falsely small buffer — the network twin of a falsely triggered
+//!   congestion avoidance), **shrink** when queueing delay exceeds a
+//!   target while the link is saturated (bufferbloat).
+//!
+//! The decision logic is pure ([`NetBufPolicy::decide`]) so it is
+//! directly testable; the demo wiring lives in
+//! `examples/netbuf_extension.rs`.
+
+use iorch_hypervisor::{DomainId, XenStore};
+use iorch_simcore::SimDuration;
+
+/// Store key for a guest's published TX backlog in bytes.
+pub fn tx_backlog_key(dom: DomainId) -> String {
+    format!("{}/virt-net/tx_backlog", XenStore::domain_path(dom))
+}
+
+/// Store key for a guest's published full-buffer rejection count.
+pub fn tx_rejected_key(dom: DomainId) -> String {
+    format!("{}/virt-net/tx_rejected", XenStore::domain_path(dom))
+}
+
+/// Store key the management module writes the granted buffer size to.
+pub fn tx_bufsize_key(dom: DomainId) -> String {
+    format!("{}/virt-net/tx_buf_size", XenStore::domain_path(dom))
+}
+
+/// Tunables for the buffer-sizing policy.
+#[derive(Clone, Copy, Debug)]
+pub struct NetBufParams {
+    /// Smallest granted buffer (one MTU-ish packet).
+    pub min_bytes: u64,
+    /// Largest granted buffer.
+    pub max_bytes: u64,
+    /// Link utilization below which growth is allowed.
+    pub grow_below_util: f64,
+    /// Queueing-delay target; above it (with a busy link) the buffer
+    /// shrinks (CoDel-flavoured).
+    pub delay_target: SimDuration,
+    /// Multiplicative grow step.
+    pub grow_factor: f64,
+    /// Multiplicative shrink step.
+    pub shrink_factor: f64,
+}
+
+impl Default for NetBufParams {
+    fn default() -> Self {
+        NetBufParams {
+            min_bytes: 16 * 1024,
+            max_bytes: 8 * 1024 * 1024,
+            grow_below_util: 0.8,
+            delay_target: SimDuration::from_millis(5),
+            grow_factor: 2.0,
+            shrink_factor: 0.5,
+        }
+    }
+}
+
+/// One guest's observed TX state, as published through the store.
+#[derive(Clone, Copy, Debug)]
+pub struct TxObservation {
+    /// Current buffer capacity.
+    pub capacity: u64,
+    /// Queued bytes.
+    pub backlog: u64,
+    /// Rejections since the last decision (the "buffer too small" signal).
+    pub rejected_delta: u64,
+    /// Average queueing delay through the buffer.
+    pub avg_delay: SimDuration,
+}
+
+/// What the management module decided for one guest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxDecision {
+    /// Leave the buffer alone.
+    Keep,
+    /// Resize to the given capacity.
+    Resize(u64),
+}
+
+/// The pure decision logic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetBufPolicy {
+    grows: u64,
+    shrinks: u64,
+}
+
+impl NetBufPolicy {
+    /// New policy state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decisions made so far (grows, shrinks).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.grows, self.shrinks)
+    }
+
+    /// Decide a guest's new buffer size from its observation and the
+    /// host-side link utilization (which the guest cannot see — that is
+    /// the semantic gap being bridged).
+    pub fn decide(
+        &mut self,
+        p: &NetBufParams,
+        obs: TxObservation,
+        link_utilization: f64,
+    ) -> TxDecision {
+        // Bufferbloat: the link is busy and packets sit too long — a
+        // bigger buffer cannot help, it only adds delay.
+        if link_utilization >= p.grow_below_util && obs.avg_delay > p.delay_target {
+            let new = ((obs.capacity as f64 * p.shrink_factor) as u64).max(p.min_bytes);
+            if new < obs.capacity {
+                self.shrinks += 1;
+                return TxDecision::Resize(new);
+            }
+            return TxDecision::Keep;
+        }
+        // Falsely small buffer: the guest keeps bouncing off the limit
+        // while the host knows the link has headroom.
+        if obs.rejected_delta > 0 && link_utilization < p.grow_below_util {
+            let new = ((obs.capacity as f64 * p.grow_factor) as u64).min(p.max_bytes);
+            if new > obs.capacity {
+                self.grows += 1;
+                return TxDecision::Resize(new);
+            }
+        }
+        TxDecision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(capacity: u64, rejected: u64, delay_ms: u64) -> TxObservation {
+        TxObservation {
+            capacity,
+            backlog: capacity / 2,
+            rejected_delta: rejected,
+            avg_delay: SimDuration::from_millis(delay_ms),
+        }
+    }
+
+    #[test]
+    fn grows_when_rejecting_with_idle_link() {
+        let p = NetBufParams::default();
+        let mut policy = NetBufPolicy::new();
+        match policy.decide(&p, obs(64 << 10, 10, 0), 0.2) {
+            TxDecision::Resize(new) => assert_eq!(new, 128 << 10),
+            other => panic!("expected grow, got {other:?}"),
+        }
+        assert_eq!(policy.stats(), (1, 0));
+    }
+
+    #[test]
+    fn never_grows_past_max() {
+        let p = NetBufParams::default();
+        let mut policy = NetBufPolicy::new();
+        assert_eq!(
+            policy.decide(&p, obs(p.max_bytes, 100, 0), 0.1),
+            TxDecision::Keep
+        );
+    }
+
+    #[test]
+    fn shrinks_on_bufferbloat() {
+        let p = NetBufParams::default();
+        let mut policy = NetBufPolicy::new();
+        match policy.decide(&p, obs(1 << 20, 0, 50), 0.95) {
+            TxDecision::Resize(new) => assert_eq!(new, 512 << 10),
+            other => panic!("expected shrink, got {other:?}"),
+        }
+        assert_eq!(policy.stats(), (0, 1));
+    }
+
+    #[test]
+    fn never_shrinks_below_min() {
+        let p = NetBufParams::default();
+        let mut policy = NetBufPolicy::new();
+        assert_eq!(
+            policy.decide(&p, obs(p.min_bytes, 0, 50), 0.95),
+            TxDecision::Keep
+        );
+    }
+
+    #[test]
+    fn keeps_when_healthy() {
+        let p = NetBufParams::default();
+        let mut policy = NetBufPolicy::new();
+        // No rejections, low delay: nothing to do at any utilization.
+        assert_eq!(policy.decide(&p, obs(256 << 10, 0, 1), 0.3), TxDecision::Keep);
+        assert_eq!(policy.decide(&p, obs(256 << 10, 0, 1), 0.95), TxDecision::Keep);
+        // Rejections but the link is already saturated: growing the buffer
+        // would only add bloat.
+        assert_eq!(policy.decide(&p, obs(256 << 10, 9, 1), 0.95), TxDecision::Keep);
+        assert_eq!(policy.stats(), (0, 0));
+    }
+
+    #[test]
+    fn store_keys_are_domain_scoped() {
+        let d = DomainId(3);
+        assert_eq!(tx_backlog_key(d), "/local/domain/3/virt-net/tx_backlog");
+        assert_eq!(tx_bufsize_key(d), "/local/domain/3/virt-net/tx_buf_size");
+        assert_eq!(tx_rejected_key(d), "/local/domain/3/virt-net/tx_rejected");
+    }
+}

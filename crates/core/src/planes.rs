@@ -1,0 +1,601 @@
+//! The four control planes the paper compares.
+//!
+//! * [`BaselinePlane`] — stock Linux/Xen behaviour: congestion queries are
+//!   answered by sleeping, nothing else is coordinated. Paired with
+//!   [`IoPathMode::Paravirt`](iorch_hypervisor::IoPathMode) it is the
+//!   paper's **Baseline**; paired with a single dedicated core it is
+//!   **SDC** [22, 29].
+//! * [`DifPlane`] — **DIF** [17]: the host passes disk-idleness information
+//!   so dirty pages are flushed when the disk is idle, but with no store
+//!   choreography, no per-VM selection, and no congestion/co-scheduling
+//!   help (every dirty VM flushes at once when the disk goes idle).
+//! * [`IOrchestraPlane`] — the paper's system: Algorithms 1–3 implemented
+//!   over the system store with watches, plus anomaly detection.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use iorch_guestos::KernelSignal;
+use iorch_hypervisor::{
+    ControlPlane, Cluster, DomainId, Machine, Sched, WatchEvent, XenStore, DOM0,
+};
+use iorch_simcore::{SimDuration, SimRng, SimTime};
+
+use crate::anomaly::{AnomalyDetector, AnomalyParams};
+use crate::formulas::{
+    drr_quantum, inverse_latency_weights, ratio_changed, socket_io_share, socket_process_weight,
+};
+use crate::keys;
+use crate::monitor::MonitoringModule;
+
+/// Which of IOrchestra's three functions are enabled — §5 evaluates them
+/// individually (Figs. 8–11) and together (Figs. 4–7, 12).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FunctionSet {
+    /// Cross-domain dirty-page flush control (Algorithm 1).
+    pub flush: bool,
+    /// Collaborative congestion control (Algorithm 2).
+    pub congestion: bool,
+    /// Inter-domain I/O co-scheduling on dedicated cores (Algorithm 3).
+    pub cosched: bool,
+}
+
+impl FunctionSet {
+    /// All three functions (the full system).
+    pub fn all() -> Self {
+        FunctionSet {
+            flush: true,
+            congestion: true,
+            cosched: true,
+        }
+    }
+
+    /// Only the flush function (Fig. 8 / Table 2 ablation).
+    pub fn flush_only() -> Self {
+        FunctionSet {
+            flush: true,
+            congestion: false,
+            cosched: false,
+        }
+    }
+
+    /// Only congestion control (Fig. 9 ablation).
+    pub fn congestion_only() -> Self {
+        FunctionSet {
+            flush: false,
+            congestion: true,
+            cosched: false,
+        }
+    }
+
+    /// Only co-scheduling (Figs. 10–11 ablation).
+    pub fn cosched_only() -> Self {
+        FunctionSet {
+            flush: false,
+            congestion: false,
+            cosched: true,
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Baseline / SDC
+// --------------------------------------------------------------------
+
+/// Stock behaviour: the guest's congestion avoidance runs blind.
+pub struct BaselinePlane {
+    label: &'static str,
+}
+
+impl BaselinePlane {
+    /// The paper's Baseline (pair with paravirt I/O).
+    pub fn baseline() -> Self {
+        BaselinePlane { label: "baseline" }
+    }
+
+    /// SDC label (pair with a single dedicated core).
+    pub fn sdc() -> Self {
+        BaselinePlane { label: "sdc" }
+    }
+}
+
+impl ControlPlane for BaselinePlane {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+        if sig == KernelSignal::CongestionQuery {
+            m.cp_enter_congestion(dom);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// DIF
+// --------------------------------------------------------------------
+
+/// Disk-idleness-based flushing (Elango et al. [17]).
+pub struct DifPlane {
+    monitor: MonitoringModule,
+    tick: SimDuration,
+}
+
+impl DifPlane {
+    /// New DIF plane.
+    pub fn new() -> Self {
+        DifPlane {
+            monitor: MonitoringModule::new(),
+            tick: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl Default for DifPlane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlPlane for DifPlane {
+    fn name(&self) -> &'static str {
+        "dif"
+    }
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(self.tick)
+    }
+
+    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+        if sig == KernelSignal::CongestionQuery {
+            m.cp_enter_congestion(dom);
+        }
+    }
+
+    fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
+        let rep = self.monitor.sample(m, s.now());
+        if rep.device_underutilized {
+            // Idleness is broadcast: every VM with dirty pages flushes now.
+            // (The simultaneous flush is DIF's weakness vs. Algorithm 1.)
+            for dom in m.domain_ids() {
+                let dirty = m
+                    .domain(dom)
+                    .map(|d| d.kernel.dirty_pages())
+                    .unwrap_or(0);
+                if dirty > 0 {
+                    m.cp_remote_sync(s, dom);
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// IOrchestra
+// --------------------------------------------------------------------
+
+/// IOrchestra tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct IOrchestraConfig {
+    /// Enabled functions.
+    pub functions: FunctionSet,
+    /// Monitoring/management tick.
+    pub tick: SimDuration,
+    /// Max random interleave when waking congested VMs (paper: 0–99 ms).
+    pub wake_interleave_max_ms: u64,
+    /// Co-scheduler: minimum interval between weight pushes (paper: 1 s).
+    pub weight_update_interval: SimDuration,
+    /// Co-scheduler: immediate push when ratios change more than this
+    /// (paper: 50%).
+    pub weight_change_threshold: f64,
+    /// DRR polling-round length used to scale quanta.
+    pub drr_round: SimDuration,
+    /// Anomaly-detector settings.
+    pub anomaly: AnomalyParams,
+    /// RNG seed for the wake interleave.
+    pub seed: u64,
+}
+
+impl IOrchestraConfig {
+    /// Paper defaults with all functions on.
+    pub fn new(seed: u64) -> Self {
+        IOrchestraConfig {
+            functions: FunctionSet::all(),
+            tick: SimDuration::from_millis(100),
+            wake_interleave_max_ms: 99,
+            weight_update_interval: SimDuration::from_secs(1),
+            weight_change_threshold: 0.5,
+            drr_round: SimDuration::from_millis(1),
+            anomaly: AnomalyParams::default(),
+            seed,
+        }
+    }
+
+    /// Restrict the enabled functions.
+    pub fn with_functions(mut self, f: FunctionSet) -> Self {
+        self.functions = f;
+        self
+    }
+}
+
+/// The paper's system: store-choreographed flush control, collaborative
+/// congestion control, and NUMA-aware I/O co-scheduling.
+pub struct IOrchestraPlane {
+    cfg: IOrchestraConfig,
+    rng: SimRng,
+    monitor: MonitoringModule,
+    anomaly: AnomalyDetector,
+    write_count_base: BTreeMap<DomainId, u64>,
+    flush_in_progress: BTreeSet<DomainId>,
+    /// VMs whose congestion was confirmed (host really congested), woken
+    /// FIFO when the host is relieved.
+    congested_fifo: Vec<DomainId>,
+    last_route_weights: BTreeMap<DomainId, Vec<f64>>,
+    last_weight_push: SimTime,
+    manager_watch_registered: bool,
+    stats: PlaneStats,
+}
+
+/// Counters exposed for tests and reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlaneStats {
+    /// `flush_now` commands issued (Algorithm 1 activations).
+    pub flushes_triggered: u64,
+    /// Congestion queries answered with a release (false triggers avoided).
+    pub releases_granted: u64,
+    /// Congestion queries confirmed (host really congested).
+    pub congestions_confirmed: u64,
+    /// Staggered wakeups issued after host relief.
+    pub staggered_wakeups: u64,
+    /// Weight pushes to I/O cores.
+    pub weight_pushes: u64,
+}
+
+impl IOrchestraPlane {
+    /// Build a plane.
+    pub fn new(cfg: IOrchestraConfig) -> Self {
+        IOrchestraPlane {
+            rng: SimRng::new(cfg.seed ^ 0x10c),
+            monitor: MonitoringModule::new(),
+            anomaly: AnomalyDetector::new(cfg.anomaly),
+            write_count_base: BTreeMap::new(),
+            flush_in_progress: BTreeSet::new(),
+            congested_fifo: Vec::new(),
+            last_route_weights: BTreeMap::new(),
+            last_weight_push: SimTime::ZERO,
+            manager_watch_registered: false,
+            stats: PlaneStats::default(),
+            cfg,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PlaneStats {
+        self.stats
+    }
+
+    /// Domains flagged by the anomaly detector.
+    pub fn flagged_domains(&self) -> Vec<DomainId> {
+        self.anomaly.flagged()
+    }
+
+    fn guest_write(m: &mut Machine, dom: DomainId, path: &str, v: &str) {
+        // The guest driver writes through its own credentials — permission
+        // violations would surface here.
+        let _ = m.store.write(dom, path, v);
+    }
+
+    fn run_flush_policy(&mut self, m: &mut Machine, s: &mut Sched) {
+        // Algorithm 1: when the device is underutilized, tell the guest
+        // with the most dirty pages to flush. Besides the windowed
+        // bandwidth check the device must be instantaneously quiet, or the
+        // flush would land on top of a read burst the window average
+        // missed.
+        if m.storage.in_flight() > 8 || m.storage.queue_depth() > 0 {
+            return;
+        }
+        let mut best: Option<(u64, DomainId)> = None;
+        for dom in m.domain_ids() {
+            if self.flush_in_progress.contains(&dom) {
+                continue;
+            }
+            let has_dirty = m
+                .store
+                .read(DOM0, &keys::has_dirty_pages(dom))
+                .map(|v| v == "1")
+                .unwrap_or(false);
+            if !has_dirty {
+                continue;
+            }
+            let nr = m
+                .store
+                .read(DOM0, &keys::nr_dirty(dom))
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            if best.map_or(true, |(bn, _)| nr > bn) {
+                best = Some((nr, dom));
+            }
+        }
+        if let Some((_, dom)) = best {
+            self.flush_in_progress.insert(dom);
+            self.stats.flushes_triggered += 1;
+            let _ = m.store.write(DOM0, &keys::flush_now(dom), "1");
+        }
+        let _ = s;
+    }
+
+    fn run_congestion_relief(&mut self, m: &mut Machine, s: &mut Sched) {
+        // Algorithm 2's final block: the host device is relieved; wake
+        // sleeping VMs FIFO with a random 0–99 ms interleave.
+        if self.congested_fifo.is_empty() {
+            return;
+        }
+        let idx = m.idx;
+        let mut offset = SimDuration::ZERO;
+        for dom in std::mem::take(&mut self.congested_fifo) {
+            offset += SimDuration::from_millis(
+                self.rng.range(0, self.cfg.wake_interleave_max_ms.max(1)),
+            );
+            self.stats.staggered_wakeups += 1;
+            s.schedule_in(offset, move |cl: &mut Cluster, s| {
+                cl.cp_action(s, idx, |m, s| {
+                    m.cp_grant_bypass(s, dom);
+                    let _ = m.store.write(DOM0, &keys::congested(dom), "0");
+                });
+            });
+        }
+    }
+
+    fn run_cosched(&mut self, m: &mut Machine, s: &mut Sched, now: SimTime) {
+        if m.iocores.len() < 2 {
+            return;
+        }
+        // L_i per socket, in microseconds.
+        let mut lat_by_socket: BTreeMap<usize, f64> = BTreeMap::new();
+        for c in &m.iocores {
+            lat_by_socket.insert(c.socket(), c.avg_latency().as_micros_f64());
+        }
+        let dom_ids = m.domain_ids();
+        let vm_share = 1.0 / dom_ids.len().max(1) as f64;
+        let device_bw = m.storage.device_bandwidth();
+        let sockets = m.topology.sockets();
+        let interval_due =
+            now.saturating_since(self.last_weight_push) >= self.cfg.weight_update_interval;
+        let mut pushed = false;
+        for dom in dom_ids {
+            let Some(d) = m.domain(dom) else { continue };
+            // Process weight per socket: each VCPU carries weight 1 (the
+            // guest publishes per-process weights; with one I/O thread per
+            // VCPU they are uniform).
+            let vcpu_sockets: Vec<usize> = (0..d.spec.vcpus)
+                .map(|v| d.vcpu_socket(&m.topology, v))
+                .collect();
+            let vcpu_weights = vec![1.0; vcpu_sockets.len()];
+            let spanned: Vec<usize> = {
+                let mut v = vcpu_sockets.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            // Route weights: inverse-latency across the spanned sockets,
+            // scaled by where the VM's I/O processes actually live.
+            let lats: Vec<f64> = spanned
+                .iter()
+                .map(|sk| lat_by_socket.get(sk).copied().unwrap_or(1.0))
+                .collect();
+            let inv = inverse_latency_weights(&lats);
+            let total_w: f64 = vcpu_weights.iter().sum();
+            let mut route = vec![0.0; sockets];
+            for (j, sk) in spanned.iter().enumerate() {
+                let proc_w = socket_process_weight(&vcpu_weights, &vcpu_sockets, *sk);
+                route[*sk] = inv[j] * (proc_w / total_w).max(0.05);
+            }
+            let norm: f64 = route.iter().sum();
+            if norm > 0.0 {
+                for r in &mut route {
+                    *r /= norm;
+                }
+            }
+            let stale = self
+                .last_route_weights
+                .get(&dom)
+                .map_or(true, |prev| {
+                    ratio_changed(prev, &route, self.cfg.weight_change_threshold)
+                });
+            if !(stale || interval_due) {
+                continue;
+            }
+            pushed = true;
+            self.stats.weight_pushes += 1;
+            self.last_route_weights.insert(dom, route.clone());
+            // Publish to the store (the guests' registered callbacks pick
+            // these up; for the simulated guests the machine applies them
+            // directly).
+            for (sk, w) in route.iter().enumerate() {
+                let _ = m.store.write(
+                    DOM0,
+                    &keys::socket_weight(dom, sk),
+                    format!("{:.4}", w),
+                );
+            }
+            m.cp_set_route_weights(dom, route);
+            // Quanta per socket: Q_i = BW_max · S^{VMi}_{SKT}.
+            for sk in &spanned {
+                let w_skt = socket_process_weight(&vcpu_weights, &vcpu_sockets, *sk);
+                let share = socket_io_share(w_skt, total_w, vm_share);
+                m.cp_set_quantum(*sk, dom, drr_quantum(device_bw, share, self.cfg.drr_round));
+            }
+            // cgroup blkio weight at the device, proportional to VM share.
+            m.cp_set_blkio_weight(dom, ((vm_share * 1000.0) as u32).clamp(10, 1000));
+        }
+        if pushed {
+            self.last_weight_push = now;
+        }
+        let _ = s;
+    }
+}
+
+impl ControlPlane for IOrchestraPlane {
+    fn name(&self) -> &'static str {
+        "iorchestra"
+    }
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(self.cfg.tick)
+    }
+
+    fn on_domain_created(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId) {
+        if !self.manager_watch_registered {
+            m.store.watch(DOM0, "/local");
+            self.manager_watch_registered = true;
+        }
+        // Guest-driver registration: defaults + a watch on its own subtree.
+        let base = XenStore::domain_path(dom);
+        Self::guest_write(m, dom, &keys::flush_now(dom), "0");
+        Self::guest_write(m, dom, &keys::congested(dom), "0");
+        Self::guest_write(m, dom, &keys::release_request(dom), "0");
+        m.store.watch(dom, format!("{base}/virt-dev"));
+    }
+
+    fn on_domain_destroyed(&mut self, _m: &mut Machine, _s: &mut Sched, dom: DomainId) {
+        self.flush_in_progress.remove(&dom);
+        self.congested_fifo.retain(|&d| d != dom);
+        self.last_route_weights.remove(&dom);
+        self.write_count_base.remove(&dom);
+        self.anomaly.remove(dom);
+    }
+
+    fn on_kernel_signal(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+        match sig {
+            KernelSignal::DirtyStatusChanged(has) => {
+                if self.cfg.functions.flush {
+                    let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
+                    Self::guest_write(m, dom, &keys::has_dirty_pages(dom), if has { "1" } else { "0" });
+                    Self::guest_write(m, dom, &keys::nr_dirty(dom), &nr.to_string());
+                }
+            }
+            KernelSignal::CongestionQuery => {
+                if self.cfg.functions.congestion {
+                    // The guest enters congestion immediately (as Linux
+                    // does) and asks the host through the store; the answer
+                    // arrives a store-round-trip later.
+                    m.cp_enter_congestion(dom);
+                    Self::guest_write(m, dom, &keys::congested(dom), "1");
+                } else {
+                    m.cp_enter_congestion(dom);
+                }
+            }
+            KernelSignal::CongestionCleared => {
+                if self.cfg.functions.congestion {
+                    Self::guest_write(m, dom, &keys::congested(dom), "0");
+                    self.congested_fifo.retain(|&d| d != dom);
+                }
+            }
+            KernelSignal::RemoteSyncCompleted => {
+                Self::guest_write(m, dom, &keys::flush_now(dom), "0");
+            }
+        }
+        let _ = s;
+    }
+
+    fn on_store_event(&mut self, m: &mut Machine, s: &mut Sched, ev: WatchEvent) {
+        let Some(dom) = keys::domain_of_path(&ev.path) else {
+            return;
+        };
+        if ev.owner == DOM0 {
+            // Management-module side.
+            if keys::is_key(&ev.path, "congested") && ev.value.as_deref() == Some("1") {
+                if !self.cfg.functions.congestion {
+                    return;
+                }
+                if m.storage.is_congested() {
+                    // Host really is overcrowded: the guest stays asleep
+                    // and is woken FIFO on relief.
+                    self.stats.congestions_confirmed += 1;
+                    if !self.congested_fifo.contains(&dom) {
+                        self.congested_fifo.push(dom);
+                    }
+                } else {
+                    // False trigger: release the request queue.
+                    self.stats.releases_granted += 1;
+                    let _ = m.store.write(DOM0, &keys::release_request(dom), "1");
+                }
+            } else if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("0") {
+                self.flush_in_progress.remove(&dom);
+            }
+        } else if ev.owner == dom {
+            // Guest-driver side (registered callback functions).
+            if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("1") {
+                m.cp_remote_sync(s, dom);
+            } else if keys::is_key(&ev.path, "release_request") && ev.value.as_deref() == Some("1")
+            {
+                m.cp_grant_bypass(s, dom);
+                Self::guest_write(m, dom, &keys::release_request(dom), "0");
+                Self::guest_write(m, dom, &keys::congested(dom), "0");
+            }
+        }
+    }
+
+    fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
+        let now = s.now();
+        let report = self.monitor.sample(m, now);
+        // Anomaly detection on store-write rates.
+        for dom in m.domain_ids() {
+            let count = m.store.write_count(dom);
+            let base = self.write_count_base.insert(dom, count).unwrap_or(0);
+            let delta = count.saturating_sub(base);
+            if delta > 0 {
+                self.anomaly.on_writes(dom, delta, now);
+            }
+        }
+        // Guest drivers republish their dirty-page counts each period so
+        // the argmax in Algorithm 1 works from fresh numbers.
+        if self.cfg.functions.flush {
+            for dom in m.domain_ids() {
+                let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
+                if nr > 0 {
+                    Self::guest_write(m, dom, &keys::nr_dirty(dom), &nr.to_string());
+                }
+            }
+        }
+        if self.cfg.functions.flush && report.device_underutilized {
+            self.run_flush_policy(m, s);
+        }
+        if self.cfg.functions.congestion && !report.device_congested {
+            self.run_congestion_relief(m, s);
+        }
+        if self.cfg.functions.cosched {
+            self.run_cosched(m, s, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_set_presets() {
+        assert!(FunctionSet::all().flush && FunctionSet::all().cosched);
+        assert!(FunctionSet::flush_only().flush && !FunctionSet::flush_only().congestion);
+        assert!(FunctionSet::congestion_only().congestion && !FunctionSet::congestion_only().cosched);
+        assert!(FunctionSet::cosched_only().cosched && !FunctionSet::cosched_only().flush);
+    }
+
+    #[test]
+    fn plane_names() {
+        assert_eq!(BaselinePlane::baseline().name(), "baseline");
+        assert_eq!(BaselinePlane::sdc().name(), "sdc");
+        assert_eq!(DifPlane::new().name(), "dif");
+        assert_eq!(IOrchestraPlane::new(IOrchestraConfig::new(1)).name(), "iorchestra");
+    }
+
+    #[test]
+    fn tick_periods() {
+        assert!(BaselinePlane::baseline().tick_period().is_none());
+        assert!(DifPlane::new().tick_period().is_some());
+        assert!(IOrchestraPlane::new(IOrchestraConfig::new(1))
+            .tick_period()
+            .is_some());
+    }
+}

@@ -1,0 +1,431 @@
+//! Guest page cache with dirty-page accounting.
+//!
+//! Pages are tracked in 64 KiB chunks (16 × 4 KiB pages) keyed by virtual-
+//! disk chunk index. The dirty counters reproduce what Linux exposes via
+//! `bdi_writeback.nr` — the quantity a guest publishes to the system store
+//! as `has_dirty_pages` under IOrchestra (paper §3.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+use iorch_simcore::SimTime;
+
+/// Bytes per page (x86 default).
+pub const PAGE_SIZE: u64 = 4096;
+/// Pages per cache chunk.
+pub const CHUNK_PAGES: u64 = 16;
+/// Bytes per cache chunk.
+pub const CHUNK_SIZE: u64 = PAGE_SIZE * CHUNK_PAGES;
+
+/// Index of a chunk on the virtual disk.
+pub type ChunkIdx = u64;
+
+/// Convert a byte range to the chunks it covers.
+pub fn chunks_of(offset: u64, len: u64) -> impl Iterator<Item = ChunkIdx> {
+    let first = offset / CHUNK_SIZE;
+    let last = if len == 0 {
+        first
+    } else {
+        (offset + len - 1) / CHUNK_SIZE
+    };
+    first..=last
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ChunkState {
+    Clean,
+    Dirty,
+    /// Writeback submitted, not yet completed.
+    Writeback,
+    /// Re-dirtied while writeback is in flight.
+    DirtyWriteback,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    state: ChunkState,
+    lru_stamp: u64,
+    dirtied_at: SimTime,
+}
+
+/// LRU page cache with dirty tracking at chunk granularity.
+#[derive(Clone, Debug)]
+pub struct PageCache {
+    capacity_pages: u64,
+    chunks: HashMap<ChunkIdx, Chunk>,
+    lru: BTreeMap<u64, ChunkIdx>,
+    dirty_order: BTreeMap<(SimTime, ChunkIdx), ()>,
+    next_stamp: u64,
+    dirty_chunks: u64,
+    writeback_chunks: u64,
+}
+
+impl PageCache {
+    /// Cache with room for `capacity_pages` 4 KiB pages.
+    pub fn new(capacity_pages: u64) -> Self {
+        assert!(capacity_pages >= CHUNK_PAGES, "cache smaller than one chunk");
+        PageCache {
+            capacity_pages,
+            chunks: HashMap::new(),
+            lru: BTreeMap::new(),
+            dirty_order: BTreeMap::new(),
+            next_stamp: 0,
+            dirty_chunks: 0,
+            writeback_chunks: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    fn touch_lru(&mut self, idx: ChunkIdx) {
+        let new_stamp = self.stamp();
+        if let Some(c) = self.chunks.get_mut(&idx) {
+            self.lru.remove(&c.lru_stamp);
+            c.lru_stamp = new_stamp;
+            self.lru.insert(new_stamp, idx);
+        }
+    }
+
+    /// Whether a chunk is resident (hit).
+    pub fn contains(&self, idx: ChunkIdx) -> bool {
+        self.chunks.contains_key(&idx)
+    }
+
+    /// Record a read hit, refreshing LRU position.
+    pub fn touch(&mut self, idx: ChunkIdx) {
+        self.touch_lru(idx);
+    }
+
+    /// Total resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.chunks.len() as u64 * CHUNK_PAGES
+    }
+
+    /// Dirty pages, the `bdi_writeback.nr` analogue (includes chunks that
+    /// were re-dirtied during writeback, excludes pure writeback).
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty_chunks * CHUNK_PAGES
+    }
+
+    /// Pages currently under writeback.
+    pub fn writeback_pages(&self) -> u64 {
+        self.writeback_chunks * CHUNK_PAGES
+    }
+
+    /// Dirty pages as a fraction of cache capacity (the guest's
+    /// `dirty_ratio` input).
+    pub fn dirty_fraction(&self) -> f64 {
+        self.dirty_pages() as f64 / self.capacity_pages as f64
+    }
+
+    /// Dirty **plus writeback** pages as a fraction of capacity — what
+    /// Linux's `balance_dirty_pages` throttles writers against.
+    pub fn unstable_fraction(&self) -> f64 {
+        (self.dirty_pages() + self.writeback_pages()) as f64 / self.capacity_pages as f64
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// True when the resident set exceeds capacity (eviction pressure).
+    pub fn over_capacity(&self) -> bool {
+        self.resident_pages() > self.capacity_pages
+    }
+
+    /// Insert a chunk as clean (read miss fill). Evicts clean LRU chunks to
+    /// stay within capacity; dirty/writeback chunks are never evicted.
+    /// Returns the evicted chunk indices.
+    pub fn insert_clean(&mut self, idx: ChunkIdx) -> Vec<ChunkIdx> {
+        if self.chunks.contains_key(&idx) {
+            self.touch_lru(idx);
+            return Vec::new();
+        }
+        let stamp = self.stamp();
+        self.chunks.insert(
+            idx,
+            Chunk {
+                state: ChunkState::Clean,
+                lru_stamp: stamp,
+                dirtied_at: SimTime::ZERO,
+            },
+        );
+        self.lru.insert(stamp, idx);
+        self.evict_to_capacity(idx)
+    }
+
+    fn evict_to_capacity(&mut self, protect: ChunkIdx) -> Vec<ChunkIdx> {
+        let mut evicted = Vec::new();
+        while self.resident_pages() > self.capacity_pages {
+            // Find the least-recently-used *clean* chunk, never the one
+            // being inserted right now (it is in use by the caller).
+            let victim = self
+                .lru
+                .iter()
+                .map(|(_, &i)| i)
+                .find(|&i| i != protect && self.chunks[&i].state == ChunkState::Clean);
+            match victim {
+                Some(i) => {
+                    let c = self.chunks.remove(&i).unwrap();
+                    self.lru.remove(&c.lru_stamp);
+                    evicted.push(i);
+                }
+                // All remaining chunks are dirty or in writeback; the cache
+                // temporarily exceeds capacity (Linux allows this up to the
+                // dirty limits; the kernel reacts by throttling writers).
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Mark a chunk dirty at `now` (write). Inserts it if absent. Returns
+    /// any chunks evicted to make room.
+    pub fn mark_dirty(&mut self, idx: ChunkIdx, now: SimTime) -> Vec<ChunkIdx> {
+        let stamp = self.stamp();
+        let mut evicted = Vec::new();
+        match self.chunks.get_mut(&idx) {
+            Some(c) => {
+                self.lru.remove(&c.lru_stamp);
+                c.lru_stamp = stamp;
+                self.lru.insert(stamp, idx);
+                match c.state {
+                    ChunkState::Clean => {
+                        c.state = ChunkState::Dirty;
+                        c.dirtied_at = now;
+                        self.dirty_order.insert((now, idx), ());
+                        self.dirty_chunks += 1;
+                    }
+                    ChunkState::Dirty | ChunkState::DirtyWriteback => {}
+                    ChunkState::Writeback => {
+                        c.state = ChunkState::DirtyWriteback;
+                        c.dirtied_at = now;
+                        self.dirty_order.insert((now, idx), ());
+                        self.dirty_chunks += 1;
+                        self.writeback_chunks -= 1;
+                    }
+                }
+            }
+            None => {
+                self.chunks.insert(
+                    idx,
+                    Chunk {
+                        state: ChunkState::Dirty,
+                        lru_stamp: stamp,
+                        dirtied_at: now,
+                    },
+                );
+                self.lru.insert(stamp, idx);
+                self.dirty_order.insert((now, idx), ());
+                self.dirty_chunks += 1;
+                evicted = self.evict_to_capacity(idx);
+            }
+        }
+        evicted
+    }
+
+    /// Take up to `max_chunks` dirty chunks, oldest first, transitioning
+    /// them to writeback. If `expired_before` is given, only chunks dirtied
+    /// strictly before it are taken (the `dirty_expire` path).
+    pub fn take_dirty_batch(
+        &mut self,
+        max_chunks: usize,
+        expired_before: Option<SimTime>,
+    ) -> Vec<ChunkIdx> {
+        let mut taken = Vec::new();
+        while taken.len() < max_chunks {
+            let candidate = self.dirty_order.keys().next().copied();
+            let Some((dirtied_at, idx)) = candidate else { break };
+            if let Some(limit) = expired_before {
+                if dirtied_at >= limit {
+                    break;
+                }
+            }
+            self.dirty_order.remove(&(dirtied_at, idx));
+            let c = self.chunks.get_mut(&idx).expect("dirty chunk must exist");
+            debug_assert!(matches!(
+                c.state,
+                ChunkState::Dirty | ChunkState::DirtyWriteback
+            ));
+            c.state = ChunkState::Writeback;
+            self.dirty_chunks -= 1;
+            self.writeback_chunks += 1;
+            taken.push(idx);
+        }
+        taken
+    }
+
+    /// Writeback of a chunk completed. If it was re-dirtied meanwhile it
+    /// stays dirty; otherwise it becomes clean (and evictable).
+    pub fn writeback_done(&mut self, idx: ChunkIdx) {
+        if let Some(c) = self.chunks.get_mut(&idx) {
+            match c.state {
+                ChunkState::Writeback => {
+                    c.state = ChunkState::Clean;
+                    self.writeback_chunks -= 1;
+                }
+                ChunkState::DirtyWriteback => {
+                    // Already re-flagged dirty by mark_dirty; nothing to do.
+                    c.state = ChunkState::Dirty;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Age of the oldest dirty chunk at `now`, if any.
+    pub fn oldest_dirty_age(&self, now: SimTime) -> Option<iorch_simcore::SimDuration> {
+        self.dirty_order
+            .keys()
+            .next()
+            .map(|&(t, _)| now.saturating_since(t))
+    }
+
+    /// Drop every chunk for a teardown (no writeback; caller must have
+    /// synced first if durability matters).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.lru.clear();
+        self.dirty_order.clear();
+        self.dirty_chunks = 0;
+        self.writeback_chunks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn chunks_of_ranges() {
+        let v: Vec<u64> = chunks_of(0, CHUNK_SIZE).collect();
+        assert_eq!(v, vec![0]);
+        let v: Vec<u64> = chunks_of(0, CHUNK_SIZE + 1).collect();
+        assert_eq!(v, vec![0, 1]);
+        let v: Vec<u64> = chunks_of(CHUNK_SIZE - 1, 2).collect();
+        assert_eq!(v, vec![0, 1]);
+        let v: Vec<u64> = chunks_of(3 * CHUNK_SIZE, 0).collect();
+        assert_eq!(v, vec![3]);
+    }
+
+    #[test]
+    fn insert_and_hit() {
+        let mut pc = PageCache::new(1024);
+        assert!(!pc.contains(5));
+        pc.insert_clean(5);
+        assert!(pc.contains(5));
+        assert_eq!(pc.resident_pages(), CHUNK_PAGES);
+        assert_eq!(pc.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Capacity of exactly 2 chunks.
+        let mut pc = PageCache::new(2 * CHUNK_PAGES);
+        pc.insert_clean(1);
+        pc.insert_clean(2);
+        pc.touch(1); // 2 is now LRU
+        let evicted = pc.insert_clean(3);
+        assert_eq!(evicted, vec![2]);
+        assert!(pc.contains(1) && pc.contains(3));
+    }
+
+    #[test]
+    fn dirty_chunks_resist_eviction() {
+        let mut pc = PageCache::new(2 * CHUNK_PAGES);
+        pc.mark_dirty(1, t(0));
+        pc.mark_dirty(2, t(1));
+        let evicted = pc.insert_clean(3);
+        // Nothing evictable: both resident chunks are dirty; cache exceeds
+        // capacity instead.
+        assert!(evicted.is_empty());
+        assert!(pc.over_capacity());
+        assert_eq!(pc.dirty_pages(), 2 * CHUNK_PAGES);
+    }
+
+    #[test]
+    fn dirty_accounting_through_writeback() {
+        let mut pc = PageCache::new(1024);
+        pc.mark_dirty(7, t(0));
+        pc.mark_dirty(8, t(1));
+        assert_eq!(pc.dirty_pages(), 2 * CHUNK_PAGES);
+        let batch = pc.take_dirty_batch(10, None);
+        assert_eq!(batch, vec![7, 8]); // oldest first
+        assert_eq!(pc.dirty_pages(), 0);
+        assert_eq!(pc.writeback_pages(), 2 * CHUNK_PAGES);
+        pc.writeback_done(7);
+        pc.writeback_done(8);
+        assert_eq!(pc.writeback_pages(), 0);
+        assert!(pc.contains(7) && pc.contains(8)); // stay cached, now clean
+    }
+
+    #[test]
+    fn redirty_during_writeback() {
+        let mut pc = PageCache::new(1024);
+        pc.mark_dirty(7, t(0));
+        let batch = pc.take_dirty_batch(10, None);
+        assert_eq!(batch, vec![7]);
+        // Re-dirty while in flight.
+        pc.mark_dirty(7, t(5));
+        assert_eq!(pc.dirty_pages(), CHUNK_PAGES);
+        pc.writeback_done(7);
+        // Still dirty: the new write must be flushed again.
+        assert_eq!(pc.dirty_pages(), CHUNK_PAGES);
+        let batch = pc.take_dirty_batch(10, None);
+        assert_eq!(batch, vec![7]);
+        pc.writeback_done(7);
+        assert_eq!(pc.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn expired_filter() {
+        let mut pc = PageCache::new(1024);
+        pc.mark_dirty(1, t(0));
+        pc.mark_dirty(2, t(100));
+        let batch = pc.take_dirty_batch(10, Some(t(50)));
+        assert_eq!(batch, vec![1]);
+        assert_eq!(pc.dirty_pages(), CHUNK_PAGES);
+    }
+
+    #[test]
+    fn dirty_fraction_and_age() {
+        let mut pc = PageCache::new(10 * CHUNK_PAGES);
+        pc.mark_dirty(1, t(10));
+        pc.mark_dirty(2, t(20));
+        assert!((pc.dirty_fraction() - 0.2).abs() < 1e-9);
+        let age = pc.oldest_dirty_age(t(110)).unwrap();
+        assert_eq!(age, iorch_simcore::SimDuration::from_millis(100));
+        assert!(PageCache::new(1024).oldest_dirty_age(t(0)).is_none());
+    }
+
+    #[test]
+    fn mark_dirty_existing_clean_chunk() {
+        let mut pc = PageCache::new(1024);
+        pc.insert_clean(3);
+        assert_eq!(pc.dirty_pages(), 0);
+        pc.mark_dirty(3, t(1));
+        assert_eq!(pc.dirty_pages(), CHUNK_PAGES);
+        // Marking again does not double-count.
+        pc.mark_dirty(3, t(2));
+        assert_eq!(pc.dirty_pages(), CHUNK_PAGES);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut pc = PageCache::new(1024);
+        pc.mark_dirty(1, t(0));
+        pc.insert_clean(2);
+        pc.clear();
+        assert_eq!(pc.resident_pages(), 0);
+        assert_eq!(pc.dirty_pages(), 0);
+        assert!(!pc.contains(1));
+    }
+}

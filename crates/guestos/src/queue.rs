@@ -1,0 +1,402 @@
+//! Guest block-layer request queue with Linux's congestion-avoidance state
+//! machine and plug/unplug batching.
+//!
+//! Linux holds `nr_requests` (128) request descriptors per queue. When the
+//! allocated count reaches **7/8** of the limit the queue is marked
+//! congested and submitting processes are put to sleep; when it drops below
+//! **13/16** the congestion flag clears and sleepers are woken (paper §3.2).
+//! Under IOrchestra the guest first *asks the host* whether the device is
+//! actually congested; if not, the queue is unplugged/flushed and submission
+//! continues (`release_request`), avoiding the falsely-triggered sleep.
+
+use std::collections::VecDeque;
+
+use iorch_simcore::{SimDuration, SimTime};
+use iorch_storage::IoRequest;
+
+/// Linux default queue depth.
+pub const NR_REQUESTS: usize = 128;
+
+/// Congestion ON at `7/8 * nr_requests` allocated descriptors.
+#[inline]
+pub fn congestion_on_threshold(nr_requests: usize) -> usize {
+    nr_requests * 7 / 8
+}
+
+/// Congestion OFF below `13/16 * nr_requests` allocated descriptors.
+#[inline]
+pub fn congestion_off_threshold(nr_requests: usize) -> usize {
+    nr_requests * 13 / 16
+}
+
+/// Tunables for the guest queue.
+#[derive(Clone, Copy, Debug)]
+pub struct GuestQueueParams {
+    /// Request descriptor limit (`nr_requests`).
+    pub nr_requests: usize,
+    /// Dispatch when this many requests are plugged.
+    pub plug_max: usize,
+    /// ... or when the oldest plugged request is this old.
+    pub plug_delay: SimDuration,
+    /// Guest-level elevator merge size cap.
+    pub max_merged_len: u64,
+    /// Hard ceiling on allocation while the collaborative bypass is active.
+    pub bypass_hard_limit: usize,
+    /// Delay between the congestion flag clearing and blocked submitters
+    /// actually resuming (context switch + VCPU scheduling of the woken
+    /// process — the sleep cost §3.2 attributes to congestion avoidance).
+    pub wake_delay: SimDuration,
+}
+
+impl Default for GuestQueueParams {
+    fn default() -> Self {
+        GuestQueueParams {
+            nr_requests: NR_REQUESTS,
+            plug_max: 16,
+            plug_delay: SimDuration::from_millis(3),
+            max_merged_len: 512 * 1024,
+            bypass_hard_limit: NR_REQUESTS * 4,
+            wake_delay: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Result of a submission attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Submit {
+    /// Request accepted into the queue.
+    Accepted,
+    /// Queue congested: the submitting process must sleep.
+    Blocked,
+}
+
+/// Edge-triggered events the kernel consumes after each queue interaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueEvent {
+    /// Allocation crossed the 7/8 threshold; the congestion-avoidance
+    /// function is being called. Baseline: enter congestion. IOrchestra:
+    /// ask the host first.
+    CongestionWouldEnter,
+    /// Allocation fell below 13/16; sleepers may be woken.
+    Uncongested,
+}
+
+/// The guest request queue.
+#[derive(Clone, Debug)]
+pub struct GuestQueue {
+    params: GuestQueueParams,
+    /// Plugged/queued requests not yet pushed to the frontend ring.
+    queued: VecDeque<IoRequest>,
+    /// Descriptors owned by requests dispatched to the ring but not completed.
+    dispatched: usize,
+    congested: bool,
+    /// Collaborative bypass: ignore the descriptor limit until allocation
+    /// falls below the off threshold again.
+    bypass: bool,
+    plug_deadline: Option<SimTime>,
+    events: Vec<QueueEvent>,
+    // Statistics.
+    congestion_entries: u64,
+    bypass_grants: u64,
+    merged: u64,
+}
+
+impl GuestQueue {
+    /// New empty queue.
+    pub fn new(params: GuestQueueParams) -> Self {
+        assert!(params.nr_requests >= 16);
+        GuestQueue {
+            params,
+            queued: VecDeque::new(),
+            dispatched: 0,
+            congested: false,
+            bypass: false,
+            plug_deadline: None,
+            events: Vec::new(),
+            congestion_entries: 0,
+            bypass_grants: 0,
+            merged: 0,
+        }
+    }
+
+    /// Allocated descriptors: plugged + dispatched-not-completed.
+    pub fn allocated(&self) -> usize {
+        self.queued.len() + self.dispatched
+    }
+
+    /// Whether the congestion flag is set (submitters sleep).
+    pub fn is_congested(&self) -> bool {
+        self.congested
+    }
+
+    /// Whether the collaborative bypass is active.
+    pub fn bypass_active(&self) -> bool {
+        self.bypass
+    }
+
+    /// Times the congestion flag was set.
+    pub fn congestion_entries(&self) -> u64 {
+        self.congestion_entries
+    }
+
+    /// Times a collaborative bypass was granted.
+    pub fn bypass_grants(&self) -> u64 {
+        self.bypass_grants
+    }
+
+    /// Requests absorbed by guest-level merging.
+    pub fn merged_count(&self) -> u64 {
+        self.merged
+    }
+
+    /// Drain edge-triggered events.
+    pub fn poll_events(&mut self) -> Vec<QueueEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Try to submit a request at `now`.
+    pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Submit {
+        if self.congested {
+            return Submit::Blocked;
+        }
+        if self.bypass && self.allocated() >= self.params.bypass_hard_limit {
+            // Even collaboration has a ceiling; fall back to blocking.
+            return Submit::Blocked;
+        }
+        // Elevator back-merge into the plugged tail.
+        if let Some(tail) = self.queued.back_mut() {
+            if tail.can_back_merge(&req) && tail.len + req.len <= self.params.max_merged_len {
+                tail.len += req.len;
+                self.merged += 1;
+                return Submit::Accepted;
+            }
+        }
+        if self.queued.is_empty() {
+            self.plug_deadline = Some(now + self.params.plug_delay);
+        }
+        self.queued.push_back(req);
+        let on = congestion_on_threshold(self.params.nr_requests);
+        if !self.bypass && !self.congested && self.allocated() >= on {
+            self.events.push(QueueEvent::CongestionWouldEnter);
+        }
+        Submit::Accepted
+    }
+
+    /// Baseline answer to [`QueueEvent::CongestionWouldEnter`]: set the
+    /// congestion flag; submitters sleep until the off threshold.
+    pub fn enter_congestion(&mut self) {
+        if !self.congested {
+            self.congested = true;
+            self.congestion_entries += 1;
+        }
+    }
+
+    /// Collaborative answer: the host is *not* congested, so unplug and
+    /// keep the pipe full instead of sleeping (`release_request`). Clears
+    /// an active congestion flag and wakes sleepers — the paper's "notify
+    /// VMi to flush devj's request queue; congested = 0".
+    pub fn grant_bypass(&mut self) {
+        if self.congested {
+            self.congested = false;
+            self.events.push(QueueEvent::Uncongested);
+        }
+        if !self.bypass {
+            self.bypass = true;
+            self.bypass_grants += 1;
+        }
+        // An explicit unplug comes with the release.
+        self.plug_deadline = Some(SimTime::ZERO);
+    }
+
+    /// The host *became* congested while a bypass was active; revert to
+    /// normal congestion behaviour.
+    pub fn revoke_bypass(&mut self) {
+        self.bypass = false;
+    }
+
+    /// Earliest plug deadline, for the kernel's timer scheduling.
+    pub fn plug_deadline(&self) -> Option<SimTime> {
+        if self.queued.is_empty() {
+            None
+        } else {
+            self.plug_deadline
+        }
+    }
+
+    /// Pop requests that should go to the frontend ring now: everything if
+    /// unplugged (deadline passed, batch full, bypass, or explicit sync).
+    pub fn take_dispatchable(&mut self, now: SimTime, force_unplug: bool) -> Vec<IoRequest> {
+        let unplug = force_unplug
+            || self.bypass
+            || self.queued.len() >= self.params.plug_max
+            || self.plug_deadline.is_some_and(|d| now >= d);
+        if !unplug {
+            return Vec::new();
+        }
+        let batch: Vec<IoRequest> = self.queued.drain(..).collect();
+        self.dispatched += batch.len();
+        self.plug_deadline = None;
+        batch
+    }
+
+    /// A dispatched request completed; frees its descriptor and may clear
+    /// congestion / bypass.
+    pub fn on_complete(&mut self, n: usize) {
+        debug_assert!(n <= self.dispatched);
+        self.dispatched = self.dispatched.saturating_sub(n);
+        let off = congestion_off_threshold(self.params.nr_requests);
+        if self.allocated() < off {
+            if self.congested {
+                self.congested = false;
+                self.events.push(QueueEvent::Uncongested);
+            }
+            if self.bypass {
+                self.bypass = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iorch_storage::{IoKind, RequestId, StreamId};
+
+    fn req(id: u64, offset: u64) -> IoRequest {
+        IoRequest {
+            id: RequestId(id),
+            kind: IoKind::Read,
+            stream: StreamId(0),
+            offset,
+            len: 4096,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    fn fill(q: &mut GuestQueue, n: usize, start_id: u64) {
+        for i in 0..n {
+            let r = req(start_id + i as u64, (start_id + i as u64) * 1_000_000);
+            assert_eq!(q.submit(r, SimTime::ZERO), Submit::Accepted);
+            // Keep the plug list drained so descriptors count as dispatched.
+            q.take_dispatchable(SimTime::ZERO, true);
+        }
+    }
+
+    #[test]
+    fn thresholds_match_linux_ratios() {
+        assert_eq!(congestion_on_threshold(128), 112);
+        assert_eq!(congestion_off_threshold(128), 104);
+    }
+
+    #[test]
+    fn crossing_on_threshold_emits_event() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 111, 0);
+        assert!(q.poll_events().is_empty());
+        assert_eq!(q.submit(req(200, 500 << 20), SimTime::ZERO), Submit::Accepted);
+        assert_eq!(q.poll_events(), vec![QueueEvent::CongestionWouldEnter]);
+    }
+
+    #[test]
+    fn baseline_congestion_blocks_then_uncongests() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 112, 0);
+        q.poll_events();
+        q.enter_congestion();
+        assert!(q.is_congested());
+        assert_eq!(q.submit(req(300, 600 << 20), SimTime::ZERO), Submit::Blocked);
+        // Complete down to 104 allocated: still congested (off is *below* 104).
+        q.on_complete(8);
+        assert!(q.is_congested());
+        // One more completion: 103 < 104 -> uncongested.
+        q.on_complete(1);
+        assert!(!q.is_congested());
+        assert_eq!(q.poll_events(), vec![QueueEvent::Uncongested]);
+        assert_eq!(q.submit(req(301, 700 << 20), SimTime::ZERO), Submit::Accepted);
+        assert_eq!(q.congestion_entries(), 1);
+    }
+
+    #[test]
+    fn bypass_keeps_accepting_past_limit() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 112, 0);
+        q.poll_events();
+        q.grant_bypass();
+        assert!(q.bypass_active());
+        // Can now go far past nr_requests without blocking or re-signalling.
+        for i in 0..100 {
+            assert_eq!(
+                q.submit(req(400 + i, (400 + i) * 1_000_000), SimTime::ZERO),
+                Submit::Accepted
+            );
+            q.take_dispatchable(SimTime::ZERO, true);
+        }
+        assert!(q.poll_events().is_empty());
+        assert_eq!(q.bypass_grants(), 1);
+    }
+
+    #[test]
+    fn bypass_hard_limit_still_blocks() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 112, 0);
+        q.grant_bypass();
+        fill(&mut q, 512 - 112, 1000);
+        assert_eq!(q.submit(req(9999, 999 << 20), SimTime::ZERO), Submit::Blocked);
+    }
+
+    #[test]
+    fn bypass_clears_below_off_threshold() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 120, 0);
+        q.grant_bypass();
+        q.on_complete(20); // 100 < 104
+        assert!(!q.bypass_active());
+    }
+
+    #[test]
+    fn plugging_batches_until_deadline() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        q.submit(req(0, 0), SimTime::ZERO);
+        q.submit(req(1, 10 << 20), SimTime::ZERO);
+        // Too early, not enough requests.
+        assert!(q.take_dispatchable(SimTime::from_millis(1), false).is_empty());
+        // Deadline (3 ms) reached.
+        let batch = q.take_dispatchable(SimTime::from_millis(3), false);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.allocated(), 2); // now dispatched
+    }
+
+    #[test]
+    fn plug_bursts_dispatch_at_batch_size() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        for i in 0..16 {
+            q.submit(req(i, i * 1_000_000), SimTime::ZERO);
+        }
+        let batch = q.take_dispatchable(SimTime::ZERO, false);
+        assert_eq!(batch.len(), 16);
+    }
+
+    #[test]
+    fn contiguous_submissions_merge() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        q.submit(req(0, 0), SimTime::ZERO);
+        let mut r = req(1, 4096);
+        q.submit(r, SimTime::ZERO);
+        r = req(2, 8192);
+        q.submit(r, SimTime::ZERO);
+        assert_eq!(q.merged_count(), 2);
+        let batch = q.take_dispatchable(SimTime::ZERO, true);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].len, 3 * 4096);
+    }
+
+    #[test]
+    fn plug_deadline_reported_for_timer() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        assert!(q.plug_deadline().is_none());
+        q.submit(req(0, 0), SimTime::from_millis(10));
+        assert_eq!(q.plug_deadline(), Some(SimTime::from_millis(13)));
+        q.take_dispatchable(SimTime::from_millis(13), false);
+        assert!(q.plug_deadline().is_none());
+    }
+}

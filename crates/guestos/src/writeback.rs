@@ -1,0 +1,310 @@
+//! Writeback (flusher-thread) policy state.
+//!
+//! Mirrors the Linux knobs the paper manipulates: background writeback
+//! starts at `background_ratio` dirty, writers are throttled at
+//! `dirty_ratio` (the paper sweeps 10–40%), a periodic flusher wakes every
+//! `periodic_interval`, and pages older than `dirty_expire` are flushed
+//! regardless. The `sync()` path drains everything — this is what
+//! IOrchestra's `flush_now` triggers remotely via the system store.
+
+use iorch_simcore::{SimDuration, SimTime};
+
+use crate::pagecache::{ChunkIdx, PageCache, CHUNK_SIZE};
+
+/// Writeback tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct WritebackParams {
+    /// Start background writeback above this dirty fraction.
+    pub background_ratio: f64,
+    /// Throttle writers at this dirty fraction (Linux `dirty_ratio`).
+    pub dirty_ratio: f64,
+    /// Periodic flusher wakeup (Linux `dirty_writeback_centisecs` = 5 s).
+    pub periodic_interval: SimDuration,
+    /// Age at which dirty pages must be flushed (Linux 30 s; shortened in
+    /// simulation configs to exercise the path).
+    pub dirty_expire: SimDuration,
+    /// Max chunks handed to the block layer per flusher wakeup.
+    pub batch_chunks: usize,
+    /// Max chunks in flight to the device at once (writeback window).
+    pub max_inflight_chunks: usize,
+    /// Minimum sleep for a throttled writer (`balance_dirty_pages` pauses
+    /// are coarse timed sleeps in Linux 3.5 — in a VM the bandwidth
+    /// estimate behind them is wrong, so pauses routinely overshoot).
+    pub throttle_pause: SimDuration,
+}
+
+impl Default for WritebackParams {
+    fn default() -> Self {
+        WritebackParams {
+            background_ratio: 0.10,
+            dirty_ratio: 0.20,
+            periodic_interval: SimDuration::from_secs(5),
+            dirty_expire: SimDuration::from_secs(30),
+            // The flusher pushes work into the block layer until the
+            // request queue itself pushes back (congestion avoidance) —
+            // the window only guards against unbounded memory, so it is
+            // large (Linux limits per-inode work, not global in-flight).
+            batch_chunks: 1024, // 64 MiB per wakeup
+            max_inflight_chunks: 4096,
+            throttle_pause: SimDuration::from_millis(25),
+        }
+    }
+}
+
+/// Flusher-thread state: periodic schedule plus the in-flight window.
+#[derive(Clone, Debug)]
+pub struct Writeback {
+    params: WritebackParams,
+    next_wakeup: SimTime,
+    inflight_chunks: usize,
+    flushed_chunks: u64,
+}
+
+impl Writeback {
+    /// New flusher starting its periodic clock at `now`.
+    pub fn new(params: WritebackParams, now: SimTime) -> Self {
+        assert!(params.background_ratio < params.dirty_ratio);
+        Writeback {
+            next_wakeup: now + params.periodic_interval,
+            params,
+            inflight_chunks: 0,
+            flushed_chunks: 0,
+        }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &WritebackParams {
+        &self.params
+    }
+
+    /// When the periodic flusher should next run.
+    pub fn next_wakeup(&self) -> SimTime {
+        self.next_wakeup
+    }
+
+    /// Chunks currently in flight to the device.
+    pub fn inflight(&self) -> usize {
+        self.inflight_chunks
+    }
+
+    /// Total chunks ever submitted for writeback.
+    pub fn flushed_chunks(&self) -> u64 {
+        self.flushed_chunks
+    }
+
+    /// Should writers be throttled right now? Counts dirty **and**
+    /// writeback pages, as Linux's `balance_dirty_pages` does — otherwise
+    /// moving pages into writeback would instantly unthrottle writers.
+    pub fn should_throttle(&self, cache: &PageCache) -> bool {
+        cache.unstable_fraction() >= self.params.dirty_ratio
+    }
+
+    /// May a throttled writer resume? Linux drains below the midpoint of
+    /// the background and dirty thresholds before releasing writers
+    /// (hysteresis), so bigger ratios mean deeper drains.
+    pub fn may_wake_throttled(&self, cache: &PageCache) -> bool {
+        let wake_at = (self.params.background_ratio + self.params.dirty_ratio) / 2.0;
+        cache.unstable_fraction() < wake_at
+    }
+
+    /// Is background writeback warranted?
+    pub fn background_needed(&self, cache: &PageCache) -> bool {
+        cache.dirty_fraction() > self.params.background_ratio
+    }
+
+    fn window_room(&self) -> usize {
+        self.params
+            .max_inflight_chunks
+            .saturating_sub(self.inflight_chunks)
+    }
+
+    /// Periodic flusher body: flush expired chunks, then (if above the
+    /// background ratio) more of the oldest dirty chunks, bounded by the
+    /// batch size and the in-flight window. Advances the periodic clock.
+    pub fn on_periodic(&mut self, cache: &mut PageCache, now: SimTime) -> Vec<ChunkIdx> {
+        self.next_wakeup = now + self.params.periodic_interval;
+        let budget = self.params.batch_chunks.min(self.window_room());
+        if budget == 0 {
+            return Vec::new();
+        }
+        let expire_limit = now - self.params.dirty_expire;
+        let mut taken = cache.take_dirty_batch(budget, Some(expire_limit));
+        if self.background_needed(cache) {
+            let extra = budget - taken.len();
+            taken.extend(cache.take_dirty_batch(extra, None));
+        }
+        self.inflight_chunks += taken.len();
+        self.flushed_chunks += taken.len() as u64;
+        taken
+    }
+
+    /// Background kick (called when a write crosses the background ratio,
+    /// without waiting for the periodic timer).
+    pub fn on_background(&mut self, cache: &mut PageCache) -> Vec<ChunkIdx> {
+        if !self.background_needed(cache) {
+            return Vec::new();
+        }
+        let budget = self.params.batch_chunks.min(self.window_room());
+        let taken = cache.take_dirty_batch(budget, None);
+        self.inflight_chunks += taken.len();
+        self.flushed_chunks += taken.len() as u64;
+        taken
+    }
+
+    /// `sync()`: take *all* dirty chunks regardless of window (the window
+    /// only limits steady-state writeback; sync is a barrier operation).
+    pub fn on_sync(&mut self, cache: &mut PageCache) -> Vec<ChunkIdx> {
+        let taken = cache.take_dirty_batch(usize::MAX, None);
+        self.inflight_chunks += taken.len();
+        self.flushed_chunks += taken.len() as u64;
+        taken
+    }
+
+    /// A writeback chunk completed at the device.
+    pub fn on_chunk_done(&mut self, cache: &mut PageCache, idx: ChunkIdx) {
+        cache.writeback_done(idx);
+        self.inflight_chunks = self.inflight_chunks.saturating_sub(1);
+    }
+}
+
+/// Coalesce sorted chunk indices into `(start_chunk, chunk_count)` runs of
+/// at most `max_chunks` — writeback issues one big sequential request per
+/// run instead of one request per 64 KiB chunk.
+pub fn coalesce_chunks(mut chunks: Vec<ChunkIdx>, max_chunks: usize) -> Vec<(ChunkIdx, u64)> {
+    assert!(max_chunks >= 1);
+    chunks.sort_unstable();
+    chunks.dedup();
+    let mut runs = Vec::new();
+    let mut iter = chunks.into_iter();
+    let Some(first) = iter.next() else {
+        return runs;
+    };
+    let mut start = first;
+    let mut count = 1u64;
+    for c in iter {
+        if c == start + count && (count as usize) < max_chunks {
+            count += 1;
+        } else {
+            runs.push((start, count));
+            start = c;
+            count = 1;
+        }
+    }
+    runs.push((start, count));
+    runs
+}
+
+/// Convert a chunk run into `(byte_offset, byte_len)` on the virtual disk.
+pub fn run_to_bytes(run: (ChunkIdx, u64)) -> (u64, u64) {
+    (run.0 * CHUNK_SIZE, run.1 * CHUNK_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagecache::CHUNK_PAGES;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn small_params() -> WritebackParams {
+        WritebackParams {
+            background_ratio: 0.10,
+            dirty_ratio: 0.20,
+            periodic_interval: SimDuration::from_millis(500),
+            dirty_expire: SimDuration::from_millis(3000),
+            batch_chunks: 8,
+            max_inflight_chunks: 16,
+            throttle_pause: SimDuration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn periodic_flushes_only_expired_when_below_background() {
+        let mut wb = Writeback::new(small_params(), t(0));
+        let mut pc = PageCache::new(100 * CHUNK_PAGES);
+        pc.mark_dirty(1, t(0));
+        pc.mark_dirty(2, t(4000));
+        // At t=4s, chunk 1 (age 4s) is expired, chunk 2 (age 0) is not, and
+        // dirty fraction 2% is below background.
+        let taken = wb.on_periodic(&mut pc, t(4000));
+        assert_eq!(taken, vec![1]);
+        assert_eq!(wb.next_wakeup(), t(4500));
+    }
+
+    #[test]
+    fn periodic_flushes_more_above_background() {
+        let mut wb = Writeback::new(small_params(), t(0));
+        let mut pc = PageCache::new(100 * CHUNK_PAGES);
+        for i in 0..15 {
+            pc.mark_dirty(i, t(i)); // 15% dirty > 10% background
+        }
+        let taken = wb.on_periodic(&mut pc, t(100));
+        // Nothing expired, but background kicks in, bounded by batch = 8.
+        assert_eq!(taken.len(), 8);
+        assert_eq!(wb.inflight(), 8);
+    }
+
+    #[test]
+    fn window_limits_inflight() {
+        let mut wb = Writeback::new(small_params(), t(0));
+        let mut pc = PageCache::new(100 * CHUNK_PAGES);
+        for i in 0..40 {
+            pc.mark_dirty(i, t(0));
+        }
+        let a = wb.on_background(&mut pc);
+        let b = wb.on_background(&mut pc);
+        let c = wb.on_background(&mut pc);
+        assert_eq!(a.len() + b.len() + c.len(), 16); // window cap
+        wb.on_chunk_done(&mut pc, a[0]);
+        let d = wb.on_background(&mut pc);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn sync_ignores_window() {
+        let mut wb = Writeback::new(small_params(), t(0));
+        let mut pc = PageCache::new(1000 * CHUNK_PAGES);
+        for i in 0..50 {
+            pc.mark_dirty(i, t(0));
+        }
+        let taken = wb.on_sync(&mut pc);
+        assert_eq!(taken.len(), 50);
+        assert_eq!(pc.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn throttle_threshold() {
+        let wb = Writeback::new(small_params(), t(0));
+        let mut pc = PageCache::new(100 * CHUNK_PAGES);
+        for i in 0..19 {
+            pc.mark_dirty(i, t(0));
+        }
+        assert!(!wb.should_throttle(&pc)); // 19% < 20%
+        pc.mark_dirty(19, t(0));
+        assert!(wb.should_throttle(&pc)); // 20%
+    }
+
+    #[test]
+    fn coalesce_runs() {
+        let runs = coalesce_chunks(vec![5, 1, 2, 3, 9, 10, 2], 8);
+        assert_eq!(runs, vec![(1, 3), (5, 1), (9, 2)]);
+    }
+
+    #[test]
+    fn coalesce_respects_max() {
+        let runs = coalesce_chunks((0..20).collect(), 8);
+        assert_eq!(runs, vec![(0, 8), (8, 8), (16, 4)]);
+    }
+
+    #[test]
+    fn coalesce_empty() {
+        assert!(coalesce_chunks(vec![], 8).is_empty());
+    }
+
+    #[test]
+    fn run_byte_conversion() {
+        assert_eq!(run_to_bytes((2, 3)), (2 * CHUNK_SIZE, 3 * CHUNK_SIZE));
+    }
+}

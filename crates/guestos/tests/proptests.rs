@@ -1,0 +1,150 @@
+//! Property-based tests for guest-kernel invariants: page-cache dirty
+//! accounting, congestion hysteresis, VFS allocation, chunk coalescing.
+
+use proptest::prelude::*;
+
+use iorch_guestos::{
+    coalesce_chunks, congestion_off_threshold, congestion_on_threshold, GuestQueue,
+    GuestQueueParams, PageCache, Submit, Vfs, CHUNK_PAGES,
+};
+use iorch_simcore::SimTime;
+use iorch_storage::{IoKind, IoRequest, RequestId, StreamId};
+
+proptest! {
+    /// Dirty accounting is conserved: after flushing everything and
+    /// completing all writebacks, dirty and writeback counts are zero and
+    /// every touched chunk is still resident (nothing lost).
+    #[test]
+    fn dirty_accounting_conservation(ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..300)) {
+        let mut pc = PageCache::new(100_000 * CHUNK_PAGES);
+        for (i, &(chunk, write)) in ops.iter().enumerate() {
+            if write {
+                pc.mark_dirty(chunk, SimTime::from_millis(i as u64));
+            } else {
+                pc.insert_clean(chunk);
+            }
+            // Invariant: dirty + writeback never exceeds resident.
+            prop_assert!(pc.dirty_pages() + pc.writeback_pages() <= pc.resident_pages());
+        }
+        let batch = pc.take_dirty_batch(usize::MAX, None);
+        prop_assert_eq!(pc.dirty_pages(), 0);
+        for c in &batch {
+            pc.writeback_done(*c);
+        }
+        prop_assert_eq!(pc.writeback_pages(), 0);
+        for &(chunk, _) in &ops {
+            prop_assert!(pc.contains(chunk));
+        }
+    }
+
+    /// take_dirty_batch returns oldest-first without duplicates.
+    #[test]
+    fn dirty_batch_oldest_first(chunks in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut pc = PageCache::new(1_000_000 * CHUNK_PAGES);
+        let mut first_seen = std::collections::HashMap::new();
+        for (i, &c) in chunks.iter().enumerate() {
+            pc.mark_dirty(c, SimTime::from_millis(i as u64));
+            first_seen.entry(c).or_insert(i);
+        }
+        let batch = pc.take_dirty_batch(usize::MAX, None);
+        let mut uniq = std::collections::HashSet::new();
+        for c in &batch {
+            prop_assert!(uniq.insert(*c), "duplicate in batch");
+        }
+        // Oldest-first by first dirty time.
+        for w in batch.windows(2) {
+            prop_assert!(first_seen[&w[0]] <= first_seen[&w[1]]);
+        }
+    }
+
+    /// Congestion hysteresis: the flag can only be on when allocation ever
+    /// crossed 7/8, and it always clears below 13/16.
+    #[test]
+    fn congestion_hysteresis(nr in 16usize..512, submit_batches in proptest::collection::vec(1usize..40, 1..40)) {
+        let params = GuestQueueParams {
+            nr_requests: nr,
+            max_merged_len: 0,
+            ..GuestQueueParams::default()
+        };
+        let mut q = GuestQueue::new(params);
+        let on = congestion_on_threshold(nr);
+        let off = congestion_off_threshold(nr);
+        prop_assert!(off <= on);
+        let mut id = 0u64;
+        for (round, batch) in submit_batches.iter().enumerate() {
+            for _ in 0..*batch {
+                let req = IoRequest {
+                    id: RequestId(id),
+                    kind: IoKind::Read,
+                    stream: StreamId(0),
+                    offset: id * (1 << 22),
+                    len: 4096,
+                    submitted: SimTime::ZERO,
+                };
+                id += 1;
+                if q.submit(req, SimTime::ZERO) == Submit::Accepted {
+                    q.take_dispatchable(SimTime::ZERO, true);
+                }
+            }
+            for ev in q.poll_events() {
+                if ev == iorch_guestos::QueueEvent::CongestionWouldEnter {
+                    q.enter_congestion();
+                }
+            }
+            if q.is_congested() {
+                prop_assert!(q.allocated() >= off, "congested below off threshold");
+            }
+            // Drain a few and verify clearing.
+            if round % 2 == 1 {
+                let n = q.allocated();
+                q.on_complete(n);
+                prop_assert!(!q.is_congested());
+                prop_assert_eq!(q.allocated(), 0);
+            }
+        }
+    }
+
+    /// VFS: allocations never overlap and deletes make space reusable.
+    #[test]
+    fn vfs_no_overlap(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let total: u64 = sizes.iter().sum();
+        let mut vfs = Vfs::new(total * 2);
+        let mut files = Vec::new();
+        for &sz in &sizes {
+            files.push((vfs.create(sz).unwrap(), sz));
+        }
+        // Translate start and end of each file; ranges must not overlap.
+        let mut ranges: Vec<(u64, u64)> = files
+            .iter()
+            .map(|&(f, sz)| {
+                let start = vfs.translate(f, 0, 1).unwrap();
+                (start, start + sz)
+            })
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping extents");
+        }
+        // Delete everything; a file of the total size then fits.
+        for (f, _) in files {
+            vfs.delete(f).unwrap();
+        }
+        prop_assert!(vfs.create(total * 2).is_ok());
+    }
+
+    /// Coalescing covers exactly the input chunk set with run lengths
+    /// within the cap.
+    #[test]
+    fn coalesce_exact_cover(chunks in proptest::collection::vec(0u64..500, 0..200), cap in 1usize..32) {
+        let runs = coalesce_chunks(chunks.clone(), cap);
+        let mut covered = std::collections::BTreeSet::new();
+        for (start, count) in &runs {
+            prop_assert!(*count as usize <= cap);
+            for c in *start..start + count {
+                prop_assert!(covered.insert(c), "chunk covered twice");
+            }
+        }
+        let expect: std::collections::BTreeSet<u64> = chunks.into_iter().collect();
+        prop_assert_eq!(covered, expect);
+    }
+}

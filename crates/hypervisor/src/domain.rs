@@ -1,0 +1,62 @@
+//! Domain (VM) identity and static configuration.
+
+/// Identifies a domain on one physical machine. `DomainId(0)` is dom0 —
+/// the control domain / hypervisor side of the system store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// Is this the control domain?
+    pub fn is_dom0(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Static VM sizing, as varied throughout the paper's experiments
+/// (e.g. "each VM has two VCPUs and 4 GB memory").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VmSpec {
+    /// Number of virtual CPUs.
+    pub vcpus: u32,
+    /// Guest memory in bytes.
+    pub mem_bytes: u64,
+    /// Virtual disk size in bytes.
+    pub vdisk_bytes: u64,
+}
+
+impl VmSpec {
+    /// `vcpus` VCPUs and `mem_gb` GiB of memory, with a default 40 GiB disk.
+    pub fn new(vcpus: u32, mem_gb: u64) -> Self {
+        assert!(vcpus >= 1);
+        VmSpec {
+            vcpus,
+            mem_bytes: mem_gb << 30,
+            vdisk_bytes: 40 << 30,
+        }
+    }
+
+    /// Override the virtual disk size.
+    pub fn with_disk_gb(mut self, gb: u64) -> Self {
+        self.vdisk_bytes = gb << 30;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dom0_detection() {
+        assert!(DomainId(0).is_dom0());
+        assert!(!DomainId(1).is_dom0());
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = VmSpec::new(2, 4).with_disk_gb(10);
+        assert_eq!(s.vcpus, 2);
+        assert_eq!(s.mem_bytes, 4 << 30);
+        assert_eq!(s.vdisk_bytes, 10 << 30);
+    }
+}

@@ -1,0 +1,652 @@
+//! The shared system store — a XenStore work-alike.
+//!
+//! IOrchestra's information-exchange backbone (paper §3, §4): a
+//! hierarchical key-value store maintained by the hypervisor where
+//! "each guest domain stores their configuration data…, all VMs have
+//! access to the store, but not all data fields. For security and privacy,
+//! each VM can only access its own data… Only the hypervisor has the
+//! access to the data of all VMs."
+//!
+//! Watches implement the publish–subscribe pattern of Fig. 3: a write to a
+//! watched subtree queues a [`WatchEvent`] for the watch's owner; the
+//! machine delivers those events over the (modelled) XenBus channel with a
+//! small latency.
+
+use std::collections::BTreeMap;
+
+use crate::domain::DomainId;
+
+/// Hypervisor / control domain: full access to every path.
+pub const DOM0: DomainId = DomainId(0);
+
+/// Errors from store operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// Path does not exist.
+    NotFound,
+    /// Caller lacks permission.
+    PermissionDenied,
+    /// Malformed path (empty segment, no leading `/`).
+    BadPath,
+    /// Unknown transaction id.
+    BadTransaction,
+}
+
+/// Per-node permissions (simplified Xen model: an owner domain plus
+/// world-readable / world-writable bits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Perms {
+    /// Domain with read/write rights.
+    pub owner: DomainId,
+    /// Whether other domains may read.
+    pub others_read: bool,
+    /// Whether other domains may write.
+    pub others_write: bool,
+}
+
+impl Perms {
+    /// Owned by dom0, private.
+    pub fn dom0_private() -> Self {
+        Perms {
+            owner: DOM0,
+            others_read: false,
+            others_write: false,
+        }
+    }
+
+    /// Owned by a domain, private to it (and dom0).
+    pub fn private_to(owner: DomainId) -> Self {
+        Perms {
+            owner,
+            others_read: false,
+            others_write: false,
+        }
+    }
+
+    fn can_read(&self, caller: DomainId) -> bool {
+        caller == DOM0 || caller == self.owner || self.others_read
+    }
+
+    fn can_write(&self, caller: DomainId) -> bool {
+        caller == DOM0 || caller == self.owner || self.others_write
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    value: Option<String>,
+    perms: Perms,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn new(perms: Perms) -> Self {
+        Node {
+            value: None,
+            perms,
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+/// Identifies a registered watch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WatchId(pub u64);
+
+/// A queued watch firing: `path` changed, notify `owner`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WatchEvent {
+    /// The watch that fired.
+    pub watch: WatchId,
+    /// Domain to notify.
+    pub owner: DomainId,
+    /// The path that was written or removed.
+    pub path: String,
+    /// New value (`None` for a removal).
+    pub value: Option<String>,
+}
+
+#[derive(Clone, Debug)]
+struct Watch {
+    id: WatchId,
+    owner: DomainId,
+    prefix: String,
+}
+
+/// Identifies an open transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxnId(pub u64);
+
+/// The system store.
+#[derive(Clone, Debug)]
+pub struct XenStore {
+    root: Node,
+    watches: Vec<Watch>,
+    next_watch: u64,
+    pending: Vec<WatchEvent>,
+    txns: BTreeMap<u64, Vec<(DomainId, String, String)>>,
+    next_txn: u64,
+    write_counts: BTreeMap<DomainId, u64>,
+}
+
+fn split_path(path: &str) -> Result<Vec<&str>, StoreError> {
+    if !path.starts_with('/') {
+        return Err(StoreError::BadPath);
+    }
+    if path == "/" {
+        return Ok(Vec::new());
+    }
+    let segs: Vec<&str> = path[1..].split('/').collect();
+    if segs.iter().any(|s| s.is_empty()) {
+        return Err(StoreError::BadPath);
+    }
+    Ok(segs)
+}
+
+impl Default for XenStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XenStore {
+    /// Empty store; the root is dom0-owned and world-readable.
+    pub fn new() -> Self {
+        XenStore {
+            root: Node::new(Perms {
+                owner: DOM0,
+                others_read: true,
+                others_write: false,
+            }),
+            watches: Vec::new(),
+            next_watch: 0,
+            pending: Vec::new(),
+            txns: BTreeMap::new(),
+            next_txn: 0,
+            write_counts: BTreeMap::new(),
+        }
+    }
+
+    fn lookup(&self, segs: &[&str]) -> Option<&Node> {
+        let mut node = &self.root;
+        for s in segs {
+            node = node.children.get(*s)?;
+        }
+        Some(node)
+    }
+
+    fn lookup_mut(&mut self, segs: &[&str]) -> Option<&mut Node> {
+        let mut node = &mut self.root;
+        for s in segs {
+            node = node.children.get_mut(*s)?;
+        }
+        Some(node)
+    }
+
+    /// Read a value.
+    pub fn read(&self, caller: DomainId, path: &str) -> Result<String, StoreError> {
+        let segs = split_path(path)?;
+        let node = self.lookup(&segs).ok_or(StoreError::NotFound)?;
+        if !node.perms.can_read(caller) {
+            return Err(StoreError::PermissionDenied);
+        }
+        node.value.clone().ok_or(StoreError::NotFound)
+    }
+
+    /// Write a value, creating intermediate nodes. Intermediate and leaf
+    /// nodes created by the write inherit the nearest existing ancestor's
+    /// permissions; writing into an existing node requires write permission
+    /// on it.
+    pub fn write(
+        &mut self,
+        caller: DomainId,
+        path: &str,
+        value: impl Into<String>,
+    ) -> Result<(), StoreError> {
+        let segs = split_path(path)?;
+        if segs.is_empty() {
+            return Err(StoreError::BadPath);
+        }
+        // Walk down, checking write permission on the deepest existing node.
+        {
+            let mut node = &self.root;
+            let mut deepest = node;
+            for s in &segs {
+                match node.children.get(*s) {
+                    Some(child) => {
+                        node = child;
+                        deepest = child;
+                    }
+                    None => break,
+                }
+            }
+            if !deepest.perms.can_write(caller) {
+                return Err(StoreError::PermissionDenied);
+            }
+        }
+        // Create the chain with inherited perms.
+        let mut node = &mut self.root;
+        for s in &segs {
+            let inherited = node.perms;
+            node = node
+                .children
+                .entry((*s).to_string())
+                .or_insert_with(|| Node::new(inherited));
+        }
+        let value = value.into();
+        node.value = Some(value.clone());
+        *self.write_counts.entry(caller).or_insert(0) += 1;
+        self.fire_watches(path, Some(value));
+        Ok(())
+    }
+
+    /// Remove a node (and its subtree).
+    pub fn remove(&mut self, caller: DomainId, path: &str) -> Result<(), StoreError> {
+        let segs = split_path(path)?;
+        if segs.is_empty() {
+            return Err(StoreError::BadPath);
+        }
+        let (parent_segs, leaf) = segs.split_at(segs.len() - 1);
+        let node = self.lookup(&segs).ok_or(StoreError::NotFound)?;
+        if !node.perms.can_write(caller) {
+            return Err(StoreError::PermissionDenied);
+        }
+        let parent = self.lookup_mut(parent_segs).ok_or(StoreError::NotFound)?;
+        parent.children.remove(leaf[0]);
+        self.fire_watches(path, None);
+        Ok(())
+    }
+
+    /// List child names of a directory node.
+    pub fn list(&self, caller: DomainId, path: &str) -> Result<Vec<String>, StoreError> {
+        let segs = split_path(path)?;
+        let node = self.lookup(&segs).ok_or(StoreError::NotFound)?;
+        if !node.perms.can_read(caller) {
+            return Err(StoreError::PermissionDenied);
+        }
+        Ok(node.children.keys().cloned().collect())
+    }
+
+    /// Set permissions on an existing node. Only dom0 or the current owner
+    /// may change them.
+    pub fn set_perms(
+        &mut self,
+        caller: DomainId,
+        path: &str,
+        perms: Perms,
+    ) -> Result<(), StoreError> {
+        let segs = split_path(path)?;
+        let node = self.lookup_mut(&segs).ok_or(StoreError::NotFound)?;
+        if caller != DOM0 && caller != node.perms.owner {
+            return Err(StoreError::PermissionDenied);
+        }
+        node.perms = perms;
+        Ok(())
+    }
+
+    /// Create a directory node with explicit permissions (dom0 setup path;
+    /// also allowed for a domain inside its own subtree).
+    pub fn mkdir(
+        &mut self,
+        caller: DomainId,
+        path: &str,
+        perms: Perms,
+    ) -> Result<(), StoreError> {
+        let segs = split_path(path)?;
+        if segs.is_empty() {
+            return Err(StoreError::BadPath);
+        }
+        // Permission to create: write permission at the deepest existing node.
+        {
+            let mut node = &self.root;
+            let mut deepest = node;
+            for s in &segs {
+                match node.children.get(*s) {
+                    Some(child) => {
+                        node = child;
+                        deepest = child;
+                    }
+                    None => break,
+                }
+            }
+            if !deepest.perms.can_write(caller) {
+                return Err(StoreError::PermissionDenied);
+            }
+        }
+        let mut node = &mut self.root;
+        for s in &segs {
+            let inherited = node.perms;
+            node = node
+                .children
+                .entry((*s).to_string())
+                .or_insert_with(|| Node::new(inherited));
+        }
+        node.perms = perms;
+        Ok(())
+    }
+
+    /// Register a watch on a path prefix. Any write/remove at or below the
+    /// prefix queues a [`WatchEvent`] for `owner`.
+    pub fn watch(&mut self, owner: DomainId, prefix: impl Into<String>) -> WatchId {
+        let id = WatchId(self.next_watch);
+        self.next_watch += 1;
+        self.watches.push(Watch {
+            id,
+            owner,
+            prefix: prefix.into(),
+        });
+        id
+    }
+
+    /// Remove a watch.
+    pub fn unwatch(&mut self, id: WatchId) -> bool {
+        let before = self.watches.len();
+        self.watches.retain(|w| w.id != id);
+        self.watches.len() != before
+    }
+
+    fn fire_watches(&mut self, path: &str, value: Option<String>) {
+        for w in &self.watches {
+            let hit = path == w.prefix
+                || (path.starts_with(&w.prefix)
+                    && path.as_bytes().get(w.prefix.len()) == Some(&b'/'))
+                || w.prefix == "/";
+            if hit {
+                self.pending.push(WatchEvent {
+                    watch: w.id,
+                    owner: w.owner,
+                    path: path.to_string(),
+                    value: value.clone(),
+                });
+            }
+        }
+    }
+
+    /// Drain queued watch events (the machine delivers them over XenBus).
+    pub fn take_events(&mut self) -> Vec<WatchEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Whether any watch events are queued.
+    pub fn has_events(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Begin a transaction: writes are buffered and applied atomically at
+    /// commit (no isolation conflicts modelled — the paper's policies are
+    /// single-writer per key).
+    pub fn txn_begin(&mut self) -> TxnId {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(id, Vec::new());
+        TxnId(id)
+    }
+
+    /// Buffer a write inside a transaction (permissions checked at commit).
+    pub fn txn_write(
+        &mut self,
+        txn: TxnId,
+        caller: DomainId,
+        path: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), StoreError> {
+        let buf = self.txns.get_mut(&txn.0).ok_or(StoreError::BadTransaction)?;
+        buf.push((caller, path.into(), value.into()));
+        Ok(())
+    }
+
+    /// Commit a transaction. If any write fails its permission check the
+    /// whole transaction is rolled back and the error returned.
+    pub fn txn_commit(&mut self, txn: TxnId) -> Result<(), StoreError> {
+        let buf = self.txns.remove(&txn.0).ok_or(StoreError::BadTransaction)?;
+        // Validate first against a clone (cheap at our scale), then apply.
+        let mut probe = self.clone();
+        probe.watches.clear();
+        for (caller, path, value) in &buf {
+            probe.write(*caller, path, value.clone())?;
+        }
+        for (caller, path, value) in buf {
+            self.write(caller, &path, value)?;
+        }
+        Ok(())
+    }
+
+    /// Abort a transaction.
+    pub fn txn_abort(&mut self, txn: TxnId) -> Result<(), StoreError> {
+        self.txns.remove(&txn.0).ok_or(StoreError::BadTransaction)?;
+        Ok(())
+    }
+
+    /// Writes performed by a domain — input for the anomaly detector
+    /// ("IOrchestra can be configured to identify malicious VMs").
+    pub fn write_count(&self, dom: DomainId) -> u64 {
+        self.write_counts.get(&dom).copied().unwrap_or(0)
+    }
+
+    /// Conventional per-domain subtree root, as in Xen.
+    pub fn domain_path(dom: DomainId) -> String {
+        format!("/local/domain/{}", dom.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: u32) -> DomainId {
+        DomainId(n)
+    }
+
+    fn store_with_domain(dom: DomainId) -> XenStore {
+        let mut s = XenStore::new();
+        let path = XenStore::domain_path(dom);
+        s.mkdir(DOM0, &path, Perms::private_to(dom)).unwrap();
+        s
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/virt-dev/flush_now", "1").unwrap();
+        assert_eq!(
+            s.read(d(1), "/local/domain/1/virt-dev/flush_now").unwrap(),
+            "1"
+        );
+    }
+
+    #[test]
+    fn dom0_reads_everything() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/secret", "42").unwrap();
+        assert_eq!(s.read(DOM0, "/local/domain/1/secret").unwrap(), "42");
+    }
+
+    #[test]
+    fn cross_domain_access_denied() {
+        let mut s = store_with_domain(d(1));
+        s.mkdir(DOM0, "/local/domain/2", Perms::private_to(d(2))).unwrap();
+        s.write(d(1), "/local/domain/1/nr", "100").unwrap();
+        // Domain 2 can neither read nor write domain 1's subtree.
+        assert_eq!(
+            s.read(d(2), "/local/domain/1/nr"),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(
+            s.write(d(2), "/local/domain/1/nr", "0"),
+            Err(StoreError::PermissionDenied)
+        );
+        // And cannot create nodes there either.
+        assert_eq!(
+            s.write(d(2), "/local/domain/1/evil", "x"),
+            Err(StoreError::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn created_nodes_inherit_perms() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/a/b/c", "v").unwrap();
+        // The intermediate nodes are private to domain 1.
+        assert_eq!(
+            s.read(d(2), "/local/domain/1/a/b/c"),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(s.read(d(1), "/local/domain/1/a/b/c").unwrap(), "v");
+    }
+
+    #[test]
+    fn missing_path_not_found() {
+        let s = XenStore::new();
+        assert_eq!(s.read(DOM0, "/nope"), Err(StoreError::NotFound));
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut s = XenStore::new();
+        assert_eq!(s.write(DOM0, "relative", "x"), Err(StoreError::BadPath));
+        assert_eq!(s.write(DOM0, "//double", "x"), Err(StoreError::BadPath));
+        assert_eq!(s.write(DOM0, "/", "x"), Err(StoreError::BadPath));
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/a/b", "v").unwrap();
+        s.remove(d(1), "/local/domain/1/a").unwrap();
+        assert_eq!(
+            s.read(d(1), "/local/domain/1/a/b"),
+            Err(StoreError::NotFound)
+        );
+    }
+
+    #[test]
+    fn list_children() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/x", "1").unwrap();
+        s.write(d(1), "/local/domain/1/y", "2").unwrap();
+        let kids = s.list(d(1), "/local/domain/1").unwrap();
+        assert_eq!(kids, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn watch_fires_on_subtree_write() {
+        let mut s = store_with_domain(d(1));
+        let w = s.watch(DOM0, "/local/domain/1");
+        s.write(d(1), "/local/domain/1/has_dirty_pages", "1").unwrap();
+        let evs = s.take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].watch, w);
+        assert_eq!(evs[0].owner, DOM0);
+        assert_eq!(evs[0].path, "/local/domain/1/has_dirty_pages");
+        assert_eq!(evs[0].value.as_deref(), Some("1"));
+        // Drained.
+        assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn watch_prefix_must_match_segment_boundary() {
+        let mut s = XenStore::new();
+        s.watch(DOM0, "/a/b");
+        s.write(DOM0, "/a/bc", "x").unwrap();
+        assert!(s.take_events().is_empty(), "no boundary-crossing matches");
+        s.write(DOM0, "/a/b", "x").unwrap();
+        assert_eq!(s.take_events().len(), 1);
+        s.write(DOM0, "/a/b/c", "x").unwrap();
+        assert_eq!(s.take_events().len(), 1);
+    }
+
+    #[test]
+    fn watch_fires_on_remove() {
+        let mut s = XenStore::new();
+        s.write(DOM0, "/a/b", "x").unwrap();
+        s.take_events();
+        s.watch(d(3), "/a");
+        s.remove(DOM0, "/a/b").unwrap();
+        let evs = s.take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].owner, d(3));
+        assert!(evs[0].value.is_none());
+    }
+
+    #[test]
+    fn unwatch_stops_events() {
+        let mut s = XenStore::new();
+        let w = s.watch(DOM0, "/a");
+        assert!(s.unwatch(w));
+        assert!(!s.unwatch(w));
+        s.write(DOM0, "/a/b", "x").unwrap();
+        assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn multiple_watches_fire_independently() {
+        let mut s = XenStore::new();
+        s.watch(d(1), "/shared");
+        s.watch(d(2), "/shared");
+        s.write(DOM0, "/shared/v", "7").unwrap();
+        let evs = s.take_events();
+        assert_eq!(evs.len(), 2);
+        let owners: Vec<DomainId> = evs.iter().map(|e| e.owner).collect();
+        assert!(owners.contains(&d(1)) && owners.contains(&d(2)));
+    }
+
+    #[test]
+    fn transaction_commit_applies_all() {
+        let mut s = store_with_domain(d(1));
+        let t = s.txn_begin();
+        s.txn_write(t, d(1), "/local/domain/1/a", "1").unwrap();
+        s.txn_write(t, d(1), "/local/domain/1/b", "2").unwrap();
+        s.txn_commit(t).unwrap();
+        assert_eq!(s.read(d(1), "/local/domain/1/a").unwrap(), "1");
+        assert_eq!(s.read(d(1), "/local/domain/1/b").unwrap(), "2");
+    }
+
+    #[test]
+    fn transaction_rolls_back_on_denied_write() {
+        let mut s = store_with_domain(d(1));
+        s.mkdir(DOM0, "/local/domain/2", Perms::private_to(d(2))).unwrap();
+        let t = s.txn_begin();
+        s.txn_write(t, d(1), "/local/domain/1/ok", "1").unwrap();
+        s.txn_write(t, d(1), "/local/domain/2/evil", "1").unwrap();
+        assert_eq!(s.txn_commit(t), Err(StoreError::PermissionDenied));
+        // Nothing applied.
+        assert_eq!(s.read(d(1), "/local/domain/1/ok"), Err(StoreError::NotFound));
+    }
+
+    #[test]
+    fn transaction_abort_discards() {
+        let mut s = store_with_domain(d(1));
+        let t = s.txn_begin();
+        s.txn_write(t, d(1), "/local/domain/1/a", "1").unwrap();
+        s.txn_abort(t).unwrap();
+        assert_eq!(s.read(d(1), "/local/domain/1/a"), Err(StoreError::NotFound));
+        assert_eq!(s.txn_commit(t), Err(StoreError::BadTransaction));
+    }
+
+    #[test]
+    fn write_counts_tracked_per_domain() {
+        let mut s = store_with_domain(d(1));
+        for _ in 0..5 {
+            s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        }
+        assert_eq!(s.write_count(d(1)), 5);
+        assert_eq!(s.write_count(d(9)), 0);
+    }
+
+    #[test]
+    fn set_perms_owner_only() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        let open = Perms {
+            owner: d(1),
+            others_read: true,
+            others_write: false,
+        };
+        assert_eq!(
+            s.set_perms(d(2), "/local/domain/1/x", open),
+            Err(StoreError::PermissionDenied)
+        );
+        s.set_perms(d(1), "/local/domain/1/x", open).unwrap();
+        assert_eq!(s.read(d(2), "/local/domain/1/x").unwrap(), "v");
+    }
+}

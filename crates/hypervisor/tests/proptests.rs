@@ -1,0 +1,128 @@
+//! Property-based tests for the system store, the DRR I/O core and NUMA
+//! placement.
+
+use proptest::prelude::*;
+
+use iorch_hypervisor::{
+    CoreId, DomainId, IoCore, IoCoreParams, NumaTopology, Perms, PlacementPolicy, XenStore, DOM0,
+};
+use iorch_simcore::SimTime;
+use iorch_storage::{IoKind, IoRequest, RequestId, StreamId};
+
+fn seg() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(seg(), 1..4).prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    /// Write-then-read roundtrips for the owner; other domains are denied
+    /// unless the path is under their subtree.
+    #[test]
+    fn store_roundtrip_and_isolation(p in path(), value in "[ -~]{0,24}") {
+        let mut store = XenStore::new();
+        let own = DomainId(3);
+        let other = DomainId(4);
+        let full = format!("/local/domain/3{p}");
+        store.mkdir(DOM0, "/local/domain/3", Perms::private_to(own)).unwrap();
+        store.write(own, &full, value.clone()).unwrap();
+        prop_assert_eq!(store.read(own, &full).unwrap(), value.clone());
+        prop_assert_eq!(store.read(DOM0, &full).unwrap(), value);
+        prop_assert!(store.read(other, &full).is_err());
+        prop_assert!(store.write(other, &full, "x").is_err());
+    }
+
+    /// Watches fire exactly for writes at or below the prefix.
+    #[test]
+    fn watch_prefix_semantics(prefix in path(), target in path()) {
+        let mut store = XenStore::new();
+        store.watch(DOM0, prefix.clone());
+        store.write(DOM0, &target, "v").unwrap();
+        let events = store.take_events();
+        let should_fire = target == prefix
+            || (target.starts_with(&prefix)
+                && target.as_bytes().get(prefix.len()) == Some(&b'/'));
+        prop_assert_eq!(!events.is_empty(), should_fire,
+            "prefix={} target={}", prefix, target);
+    }
+
+    /// DRR conserves requests: everything enqueued is eventually finished
+    /// exactly once, regardless of quanta.
+    #[test]
+    fn drr_conserves_requests(
+        sizes in proptest::collection::vec(1u64..2_000_000, 1..60),
+        quanta in proptest::collection::vec(4096u64..4_000_000, 3),
+    ) {
+        let mut core = IoCore::new(0, CoreId(0), IoCoreParams::default());
+        for (d, q) in quanta.iter().enumerate() {
+            core.set_quantum(DomainId(d as u32), *q);
+        }
+        for (i, &len) in sizes.iter().enumerate() {
+            let dom = DomainId((i % 3) as u32);
+            core.enqueue(dom, IoRequest {
+                id: RequestId(i as u64),
+                kind: IoKind::Read,
+                stream: StreamId(dom.0),
+                offset: i as u64 * (1 << 22),
+                len,
+                submitted: SimTime::ZERO,
+            }, false, SimTime::ZERO);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut now = SimTime::ZERO;
+        while let Some(done) = core.start_next(now) {
+            prop_assert!(done >= now);
+            now = done;
+            let (_, req) = core.finish(now);
+            prop_assert!(seen.insert(req.id), "duplicate completion");
+        }
+        prop_assert_eq!(seen.len(), sizes.len());
+        prop_assert_eq!(core.backlog(), 0);
+    }
+
+    /// Placement: every VCPU gets a core, reserved cores are never used,
+    /// and unplace restores all load.
+    #[test]
+    fn placement_respects_reservations(
+        vms in proptest::collection::vec(1u32..12, 1..6),
+        reserve_first in any::<bool>(),
+    ) {
+        let mut topo = NumaTopology::paper_testbed();
+        if reserve_first {
+            topo.reserve_io_core(CoreId(0));
+            topo.reserve_io_core(CoreId(6));
+        }
+        let mut placed = Vec::new();
+        for (i, &v) in vms.iter().enumerate() {
+            let cores = topo.place(DomainId(i as u32), v, PlacementPolicy::PreferSameSocket);
+            prop_assert_eq!(cores.len(), v as usize);
+            for c in &cores {
+                prop_assert!(!topo.is_reserved(*c), "VCPU on reserved core");
+            }
+            placed.push(cores);
+        }
+        for cores in &placed {
+            topo.unplace(cores);
+        }
+        for c in 0..topo.cores() {
+            prop_assert_eq!(topo.core_load(CoreId(c)), 0);
+        }
+    }
+
+    /// Store remove deletes whole subtrees and watches see the removal.
+    #[test]
+    fn remove_subtree_clean(p1 in seg(), p2 in seg()) {
+        let mut store = XenStore::new();
+        let parent = format!("/{p1}");
+        let child = format!("/{p1}/{p2}");
+        store.write(DOM0, &child, "v").unwrap();
+        store.take_events();
+        store.watch(DOM0, parent.clone());
+        store.remove(DOM0, &parent).unwrap();
+        prop_assert!(store.read(DOM0, &child).is_err());
+        let evs = store.take_events();
+        prop_assert!(evs.iter().any(|e| e.value.is_none()));
+    }
+}

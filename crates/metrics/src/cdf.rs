@@ -1,0 +1,99 @@
+//! Cumulative-distribution extraction from histograms, used to regenerate
+//! the paper's latency-distribution figures (Fig. 5 and Fig. 6).
+
+use crate::histogram::LatencyHistogram;
+use iorch_simcore::SimDuration;
+
+/// One point on a CDF curve: `fraction` of samples were `<= value`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CdfPoint {
+    /// Latency value.
+    pub value: SimDuration,
+    /// Cumulative fraction in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// The full empirical CDF of a histogram (one point per non-empty bucket).
+pub fn cdf(hist: &LatencyHistogram) -> Vec<CdfPoint> {
+    let total = hist.count();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut seen = 0u64;
+    hist.iter_buckets()
+        .map(|(value, count)| {
+            seen += count;
+            CdfPoint {
+                value,
+                fraction: seen as f64 / total as f64,
+            }
+        })
+        .collect()
+}
+
+/// Sample the CDF at fixed cumulative fractions (e.g. every 5%), which is
+/// how the paper's distribution plots are drawn.
+pub fn cdf_at_fractions(hist: &LatencyHistogram, fractions: &[f64]) -> Vec<CdfPoint> {
+    fractions
+        .iter()
+        .map(|&f| CdfPoint {
+            value: hist.percentile(f * 100.0),
+            fraction: f,
+        })
+        .collect()
+}
+
+/// Standard 21-point grid from 0% to 100% in 5% steps.
+pub fn standard_grid() -> Vec<f64> {
+    (0..=20).map(|i| i as f64 / 20.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist(n: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=n {
+            h.record(SimDuration::from_micros(i));
+        }
+        h
+    }
+
+    #[test]
+    fn empty_cdf() {
+        assert!(cdf(&LatencyHistogram::new()).is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let h = uniform_hist(1000);
+        let points = cdf(&h);
+        assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            assert!(pair[0].value <= pair[1].value);
+            assert!(pair[0].fraction <= pair[1].fraction);
+        }
+        let last = points.last().unwrap();
+        assert!((last.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_grid_matches_percentiles() {
+        let h = uniform_hist(1000);
+        let grid = standard_grid();
+        let points = cdf_at_fractions(&h, &grid);
+        assert_eq!(points.len(), 21);
+        assert_eq!(points[10].value, h.percentile(50.0));
+        assert_eq!(points[20].value, h.percentile(100.0));
+    }
+
+    #[test]
+    fn grid_values_monotone() {
+        let h = uniform_hist(5000);
+        let points = cdf_at_fractions(&h, &standard_grid());
+        for pair in points.windows(2) {
+            assert!(pair[0].value <= pair[1].value);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Log-linear latency histogram (HDR-histogram style).
+//!
+//! Values are bucketed with geometric major buckets (one per power of two)
+//! split into 32 linear sub-buckets, giving a worst-case quantization error
+//! of ~3% across the full `u64` nanosecond range — plenty for reporting
+//! means, tails and CDFs while staying allocation-light and mergeable.
+
+use iorch_simcore::SimDuration;
+
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 32
+
+/// A mergeable latency histogram over [`SimDuration`] samples.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    sum_sq_ns: f64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let major = msb - SUB_BUCKET_BITS + 1;
+    let sub = (value >> (major - 1)) & (SUB_BUCKETS as u64 - 1);
+    // Majors start after the first linear SUB_BUCKETS slots.
+    (major as usize) * SUB_BUCKETS + sub as usize
+}
+
+/// Representative value (midpoint of the bucket) for an index.
+#[inline]
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let major = (index / SUB_BUCKETS) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let base = (SUB_BUCKETS as u64 + sub) << (major - 1);
+    let width = 1u64 << (major - 1);
+    base + width / 2
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Vec::new(),
+            total: 0,
+            sum_ns: 0,
+            sum_sq_ns: 0.0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: SimDuration) {
+        let ns = value.as_nanos();
+        let idx = bucket_index(ns);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.sum_sq_ns += (ns as f64) * (ns as f64);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, value: SimDuration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let ns = value.as_nanos();
+        let idx = bucket_index(ns);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum_ns += ns as u128 * n as u128;
+        self.sum_sq_ns += (ns as f64) * (ns as f64) * n as f64;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean of the recorded samples (not bucketed).
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// Population standard deviation of the recorded samples.
+    pub fn std_dev(&self) -> SimDuration {
+        if self.total < 2 {
+            return SimDuration::ZERO;
+        }
+        let n = self.total as f64;
+        let mean = self.sum_ns as f64 / n;
+        let var = (self.sum_sq_ns / n - mean * mean).max(0.0);
+        SimDuration::from_nanos(var.sqrt() as u64)
+    }
+
+    /// Exact minimum recorded sample.
+    pub fn min(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Value at percentile `p` in `[0, 100]`, quantized to bucket midpoints
+    /// but clamped into the exact `[min, max]` observed range.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let v = bucket_value(idx).clamp(self.min_ns, self.max_ns);
+                return SimDuration::from_nanos(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Median, i.e. the 50th percentile.
+    #[inline]
+    pub fn median(&self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// The 99.9th percentile — the paper's headline tail metric.
+    #[inline]
+    pub fn p999(&self) -> SimDuration {
+        self.percentile(99.9)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.sum_sq_ns += other.sum_sq_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Iterate `(bucket_midpoint, count)` for non-empty buckets.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (SimDuration, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (SimDuration::from_nanos(bucket_value(i)), c))
+    }
+
+    /// Fraction of samples at or below `value`.
+    pub fn fraction_below(&self, value: SimDuration) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let limit = bucket_index(value.as_nanos());
+        let below: u64 = self.counts.iter().take(limit + 1).sum();
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_micros(x)
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.std_dev(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_everywhere() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(150));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), us(150));
+        assert_eq!(h.min(), us(150));
+        assert_eq!(h.max(), us(150));
+        // Percentile is bucketed but clamped to the observed range.
+        assert_eq!(h.percentile(0.0), us(150));
+        assert_eq!(h.percentile(100.0), us(150));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(100));
+        h.record(us(200));
+        h.record(us(600));
+        assert_eq!(h.mean(), us(300));
+    }
+
+    #[test]
+    fn percentile_accuracy_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_nanos(i * 100)); // 100ns .. 1ms
+        }
+        for &(p, expect_ns) in &[(50.0, 500_000u64), (90.0, 900_000), (99.0, 990_000)] {
+            let got = h.percentile(p).as_nanos() as f64;
+            let err = (got - expect_ns as f64).abs() / expect_ns as f64;
+            assert!(err < 0.04, "p{p}: got {got}, expect {expect_ns}, err {err}");
+        }
+    }
+
+    #[test]
+    fn p999_tracks_tail() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record(us(100));
+        }
+        h.record(us(10_000));
+        let tail = h.p999();
+        assert!(tail >= us(9_000), "tail={tail}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = SimDuration::from_nanos(i * i + 17);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.mean(), combined.mean());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), combined.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn record_n_matches_loop() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_n(us(42), 500);
+        for _ in 0..500 {
+            b.record(us(42));
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.percentile(99.0), b.percentile(99.0));
+        a.record_n(us(1), 0);
+        assert_eq!(a.count(), 500);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let mut h = LatencyHistogram::new();
+        // Samples 2, 4, 4, 4, 5, 5, 7, 9 -> population stddev = 2.
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            h.record(SimDuration::from_micros(v));
+        }
+        let sd = h.std_dev().as_nanos() as f64;
+        assert!((sd - 2_000.0).abs() < 1.0, "sd={sd}");
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(us(i));
+        }
+        let f10 = h.fraction_below(us(100));
+        let f50 = h.fraction_below(us(500));
+        let f100 = h.fraction_below(us(1000));
+        assert!(f10 < f50 && f50 < f100);
+        assert!((f100 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_tiny_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::from_nanos(31));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::from_nanos(31));
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        // For all magnitudes, the bucket midpoint must be within ~3.2% of
+        // the original value (half of one sub-bucket width).
+        for shift in 0..50u32 {
+            let v = (1u64 << shift) + (1u64 << shift) / 3;
+            let mid = bucket_value(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.033, "v={v} mid={mid} err={err}");
+        }
+    }
+}

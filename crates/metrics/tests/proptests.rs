@@ -1,0 +1,136 @@
+//! Property-based tests for histogram and gauge invariants.
+
+use proptest::prelude::*;
+
+use iorch_metrics::{cdf, LatencyHistogram, TimeWeightedGauge, WindowedRate};
+use iorch_simcore::{SimDuration, SimTime};
+
+fn hist_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(SimDuration::from_nanos(v));
+    }
+    h
+}
+
+proptest! {
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+        let h = hist_of(&values);
+        let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0];
+        let mut prev = SimDuration::ZERO;
+        for &p in &ps {
+            let v = h.percentile(p);
+            prop_assert!(v >= prev, "p{p}: {v} < {prev}");
+            prop_assert!(v >= h.min() && v <= h.max());
+            prev = v;
+        }
+    }
+
+    /// Merging is equivalent to recording the union; merge order is
+    /// irrelevant.
+    #[test]
+    fn merge_associative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = hist_of(&all);
+
+        let mut m1 = hist_of(&a);
+        m1.merge(&hist_of(&b));
+        m1.merge(&hist_of(&c));
+
+        let mut m2 = hist_of(&c);
+        m2.merge(&hist_of(&a));
+        m2.merge(&hist_of(&b));
+
+        prop_assert_eq!(m1.count(), direct.count());
+        prop_assert_eq!(m2.count(), direct.count());
+        prop_assert_eq!(m1.mean(), direct.mean());
+        prop_assert_eq!(m2.mean(), direct.mean());
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(m1.percentile(p), direct.percentile(p));
+            prop_assert_eq!(m2.percentile(p), direct.percentile(p));
+        }
+    }
+
+    /// The mean is exact (not bucketed) and percentile(50) is within the
+    /// histogram's relative error of the true median.
+    #[test]
+    fn median_within_bucket_error(values in proptest::collection::vec(1u64..1_000_000_000, 10..500)) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2] as f64;
+        let got = h.median().as_nanos() as f64;
+        // One sub-bucket of relative error (~3.2%) plus rank-rounding slop:
+        // compare against the neighbouring order statistics too.
+        let lo = sorted[((sorted.len() - 1) / 2).saturating_sub(1)] as f64;
+        let hi = sorted[(sorted.len() / 2 + 1).min(sorted.len() - 1)] as f64;
+        let lower = lo.min(true_median) * 0.96;
+        let upper = hi.max(true_median) * 1.04;
+        prop_assert!(got >= lower && got <= upper, "median {got} not in [{lower}, {upper}]");
+    }
+
+    /// CDF is monotone and ends at 1.
+    #[test]
+    fn cdf_monotone(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300)) {
+        let h = hist_of(&values);
+        let points = cdf(&h);
+        prop_assert!(!points.is_empty());
+        for w in points.windows(2) {
+            prop_assert!(w[0].value <= w[1].value);
+            prop_assert!(w[0].fraction <= w[1].fraction);
+        }
+        prop_assert!((points.last().unwrap().fraction - 1.0).abs() < 1e-9);
+    }
+
+    /// A windowed rate never reports more than the lifetime total, and the
+    /// window sum equals the sum of in-window events.
+    #[test]
+    fn windowed_rate_conservation(
+        events in proptest::collection::vec((0u64..10_000u64, 1u64..1000u64), 1..100),
+        window_ms in 1u64..1000,
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.0);
+        let mut r = WindowedRate::new(SimDuration::from_millis(window_ms));
+        for &(t, amt) in &sorted {
+            r.record(SimTime::from_millis(t), amt);
+        }
+        let now = SimTime::from_millis(sorted.last().unwrap().0);
+        let cutoff = now - SimDuration::from_millis(window_ms);
+        let expect: u64 = sorted
+            .iter()
+            .filter(|&&(t, _)| SimTime::from_millis(t) >= cutoff)
+            .map(|&(_, a)| a)
+            .sum();
+        prop_assert_eq!(r.sum_in_window(now), expect);
+        prop_assert!(r.sum_in_window(now) <= r.lifetime_sum());
+    }
+
+    /// Time-weighted average is bounded by the min and max of the values.
+    #[test]
+    fn gauge_average_bounded(
+        updates in proptest::collection::vec((1u64..10_000u64, 0.0f64..100.0), 1..50),
+    ) {
+        let mut sorted = updates.clone();
+        sorted.sort_by_key(|u| u.0);
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, sorted[0].1);
+        let mut lo = sorted[0].1;
+        let mut hi = sorted[0].1;
+        for &(t, v) in &sorted {
+            g.set(SimTime::from_millis(t), v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let end = SimTime::from_millis(sorted.last().unwrap().0 + 10);
+        let avg = g.average(end);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} not in [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,183 @@
+//! Guest NIC transmit-buffer model — substrate for the paper's named
+//! future-work extension (§7: "network buffer sizes, window sizes, packet
+//! queues").
+//!
+//! A guest's virtio-net TX buffer admits packets up to a byte capacity;
+//! the backend drains it at the rate the (shared) physical link grants.
+//! An undersized buffer starves the link on bursts; an oversized one
+//! bloats queueing delay. The guest cannot see the link, the host cannot
+//! see the application's backlog — the same semantic gap the paper's
+//! block-I/O functions close.
+
+use std::collections::VecDeque;
+
+use iorch_simcore::{SimDuration, SimTime};
+
+/// One queued packet.
+#[derive(Clone, Copy, Debug)]
+struct Pkt {
+    bytes: u64,
+    enqueued: SimTime,
+}
+
+/// Outcome of an enqueue attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxPush {
+    /// Packet admitted.
+    Queued,
+    /// Buffer full: the sender blocks (or the packet is dropped for
+    /// datagram traffic).
+    Full,
+}
+
+/// A byte-capacity-bounded transmit queue with occupancy statistics.
+#[derive(Clone, Debug)]
+pub struct TxQueue {
+    capacity: u64,
+    queued: VecDeque<Pkt>,
+    queued_bytes: u64,
+    rejected: u64,
+    sent_bytes: u64,
+    /// EWMA of the queueing delay packets experienced at dequeue.
+    ewma_delay_us: f64,
+    drained: u64,
+}
+
+impl TxQueue {
+    /// Queue with an initial byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0);
+        TxQueue {
+            capacity,
+            queued: VecDeque::new(),
+            queued_bytes: 0,
+            rejected: 0,
+            sent_bytes: 0,
+            ewma_delay_us: 0.0,
+            drained: 0,
+        }
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Resize the buffer (the collaborative knob). Shrinking never drops
+    /// already-queued packets; it only gates new admissions.
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity.max(1500);
+    }
+
+    /// Bytes currently queued.
+    pub fn backlog(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Packets rejected because the buffer was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Bytes successfully handed to the link.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// EWMA of the queueing delay seen by recently sent packets.
+    pub fn avg_delay(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.ewma_delay_us)
+    }
+
+    /// Try to admit a packet at `now`.
+    pub fn push(&mut self, bytes: u64, now: SimTime) -> TxPush {
+        if self.queued_bytes + bytes > self.capacity {
+            self.rejected += 1;
+            return TxPush::Full;
+        }
+        self.queued.push_back(Pkt {
+            bytes,
+            enqueued: now,
+        });
+        self.queued_bytes += bytes;
+        TxPush::Queued
+    }
+
+    /// Dequeue the next packet for transmission at `now`; returns its size.
+    pub fn pop(&mut self, now: SimTime) -> Option<u64> {
+        let pkt = self.queued.pop_front()?;
+        self.queued_bytes -= pkt.bytes;
+        self.sent_bytes += pkt.bytes;
+        let delay = now.saturating_since(pkt.enqueued).as_micros_f64();
+        self.ewma_delay_us = if self.drained == 0 {
+            delay
+        } else {
+            0.9 * self.ewma_delay_us + 0.1 * delay
+        };
+        self.drained += 1;
+        Some(pkt.bytes)
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn admits_until_capacity() {
+        let mut q = TxQueue::new(4500);
+        assert_eq!(q.push(1500, t(0)), TxPush::Queued);
+        assert_eq!(q.push(1500, t(0)), TxPush::Queued);
+        assert_eq!(q.push(1500, t(0)), TxPush::Queued);
+        assert_eq!(q.push(1500, t(0)), TxPush::Full);
+        assert_eq!(q.backlog(), 4500);
+        assert_eq!(q.rejected(), 1);
+    }
+
+    #[test]
+    fn pop_frees_space_and_tracks_delay() {
+        let mut q = TxQueue::new(3000);
+        q.push(1500, t(0));
+        q.push(1500, t(0));
+        assert_eq!(q.pop(t(100)), Some(1500));
+        assert_eq!(q.push(1500, t(100)), TxPush::Queued);
+        assert!(q.avg_delay() >= SimDuration::from_micros(100));
+        assert_eq!(q.sent_bytes(), 1500);
+    }
+
+    #[test]
+    fn shrink_never_drops() {
+        let mut q = TxQueue::new(6000);
+        for _ in 0..4 {
+            q.push(1500, t(0));
+        }
+        q.set_capacity(1500);
+        assert_eq!(q.backlog(), 6000, "queued packets survive a shrink");
+        assert_eq!(q.push(1500, t(1)), TxPush::Full);
+        while q.pop(t(2)).is_some() {}
+        assert_eq!(q.push(1500, t(3)), TxPush::Queued);
+    }
+
+    #[test]
+    fn floor_capacity_is_one_mtu() {
+        let mut q = TxQueue::new(100_000);
+        q.set_capacity(0);
+        assert_eq!(q.capacity(), 1500);
+    }
+
+    #[test]
+    fn empty_pop() {
+        let mut q = TxQueue::new(3000);
+        assert_eq!(q.pop(t(0)), None);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the network model: causality and conservation.
+
+use proptest::prelude::*;
+
+use iorch_netsim::{NetParams, Network, NodeId};
+use iorch_simcore::SimTime;
+
+proptest! {
+    /// Deliveries never precede sends, and per-sender deliveries to one
+    /// receiver are FIFO.
+    #[test]
+    fn causality_and_fifo(
+        msgs in proptest::collection::vec((0u64..10_000, 0usize..4, 0usize..4, 1u64..1_000_000), 1..60),
+    ) {
+        let mut sorted = msgs.clone();
+        sorted.sort_by_key(|m| m.0);
+        let mut net = Network::new(4, NetParams::default());
+        let mut last_delivery: std::collections::HashMap<(usize, usize), SimTime> =
+            std::collections::HashMap::new();
+        for &(t, src, dst, len) in &sorted {
+            let sent = SimTime::from_micros(t);
+            let delivered = net.transfer_time(NodeId(src), NodeId(dst), len, sent);
+            prop_assert!(delivered > sent, "delivery must take time");
+            if src != dst {
+                let key = (src, dst);
+                if let Some(&prev) = last_delivery.get(&key) {
+                    prop_assert!(delivered >= prev, "per-pair FIFO violated");
+                }
+                last_delivery.insert(key, delivered);
+            }
+        }
+    }
+
+    /// Byte counters are conserved per sender.
+    #[test]
+    fn byte_conservation(lens in proptest::collection::vec(1u64..100_000, 1..50)) {
+        let mut net = Network::new(2, NetParams::default());
+        let mut total = 0u64;
+        for (i, &len) in lens.iter().enumerate() {
+            net.transfer_time(NodeId(0), NodeId(1), len, SimTime::from_micros(i as u64));
+            total += len;
+        }
+        prop_assert_eq!(net.bytes_sent(NodeId(0)), total);
+        prop_assert_eq!(net.msgs_sent(NodeId(0)), lens.len() as u64);
+        prop_assert_eq!(net.bytes_sent(NodeId(1)), 0);
+    }
+
+    /// Bigger messages never arrive sooner than smaller ones sent at the
+    /// same instant on an idle link pair.
+    #[test]
+    fn monotone_in_size(a in 1u64..10_000_000, b in 1u64..10_000_000) {
+        let t1 = {
+            let mut net = Network::new(2, NetParams::default());
+            net.transfer_time(NodeId(0), NodeId(1), a.min(b), SimTime::ZERO)
+        };
+        let t2 = {
+            let mut net = Network::new(2, NetParams::default());
+            net.transfer_time(NodeId(0), NodeId(1), a.max(b), SimTime::ZERO)
+        };
+        prop_assert!(t2 >= t1);
+    }
+}

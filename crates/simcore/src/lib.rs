@@ -1,0 +1,30 @@
+//! # iorch-simcore — deterministic discrete-event simulation engine
+//!
+//! The foundation of the IOrchestra (SC '15) reproduction. Everything above
+//! this crate — storage devices, guest kernels, the hypervisor, workloads —
+//! is modelled as state machines driven by timestamped events over a single
+//! world value.
+//!
+//! Design points, chosen for reproducibility (per the project's HPC guides):
+//!
+//! * **Integer nanosecond clock** ([`SimTime`]/[`SimDuration`]): no float
+//!   drift, portable results.
+//! * **Stable event ordering** ([`Scheduler`]): equal timestamps fire in
+//!   scheduling order, so a run is a pure function of (model, seed).
+//! * **Self-contained RNG** ([`SimRng`], xoshiro256++) with the distribution
+//!   zoo the paper's workloads need (exponential, Poisson, [`Zipfian`],
+//!   Pareto, normal), all seedable and forkable per component.
+//! * **Single-threaded runs**: parallelism belongs *across* runs (rayon in
+//!   the bench harness), never inside one, so every figure is replayable.
+
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod sim;
+mod time;
+
+pub use event::{Callback, EventToken, PeriodicHandle, Scheduler};
+pub use rng::{SimRng, Zipfian};
+pub use sim::{RunOutcome, Simulation};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,127 @@
+//! Property-based tests for the event engine and RNG invariants.
+
+use proptest::prelude::*;
+
+use iorch_simcore::{Scheduler, SimDuration, SimRng, SimTime, Simulation, Zipfian};
+
+proptest! {
+    /// Events always fire in (time, insertion) order regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn events_fire_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_nanos(t),
+                move |w: &mut Vec<(u64, usize)>, _s: &mut Scheduler<Vec<(u64, usize)>>| {
+                    w.push((t, i));
+                },
+            );
+        }
+        sim.run_to_completion();
+        let fired = sim.world();
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset prevents exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..100_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut sim = Simulation::new(Vec::<usize>::new());
+        let mut tokens = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let tok = sim.scheduler_mut().schedule_at(
+                SimTime::from_nanos(t),
+                move |w: &mut Vec<usize>, _s: &mut Scheduler<Vec<usize>>| w.push(i),
+            );
+            tokens.push(tok);
+        }
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, tok) in tokens.into_iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                sim.scheduler_mut().cancel(tok);
+            } else {
+                expected.push(i);
+            }
+        }
+        sim.run_to_completion();
+        let mut fired = sim.world().clone();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// run_until never executes events past the horizon, and a subsequent
+    /// run executes exactly the remainder.
+    #[test]
+    fn horizon_split_is_exact(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+        horizon in 0u64..1_000_000,
+    ) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_nanos(t),
+                move |w: &mut Vec<u64>, _s: &mut Scheduler<Vec<u64>>| w.push(t),
+            );
+        }
+        sim.run_until(SimTime::from_nanos(horizon));
+        let early = sim.world().len();
+        let expect_early = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(early, expect_early);
+        sim.run_to_completion();
+        prop_assert_eq!(sim.world().len(), times.len());
+    }
+
+    /// Identical seeds give identical streams; the stream is within range.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            let x = a.f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// below(n) stays in range for arbitrary n.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Zipfian sampling stays within the item count and is deterministic
+    /// per seed.
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1u64..1_000_000, theta in 0.01f64..0.999) {
+        let z = Zipfian::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Duration arithmetic: (a + b) - b == a for non-overflowing values.
+    #[test]
+    fn duration_roundtrip(a in 0u64..(1 << 62), b in 0u64..(1 << 62)) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+        let t = SimTime::from_nanos(a);
+        prop_assert_eq!((t + db) - db, t);
+    }
+}

@@ -1,0 +1,117 @@
+//! The device-model abstraction.
+//!
+//! A [`DeviceModel`] answers one question: *given this request arriving at a
+//! given internal channel, how long does the medium take to service it?*
+//! Queueing, fairness and dispatch live in
+//! [`StorageSubsystem`](crate::StorageSubsystem); the model captures only the
+//! medium (flash channels, disk mechanics, stripe geometry).
+
+use iorch_simcore::{SimDuration, SimRng};
+
+use crate::request::IoRequest;
+
+/// A physical-medium service-time model.
+pub trait DeviceModel {
+    /// Human-readable model name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of internal channels that can service requests concurrently
+    /// (flash channels / spindles). The subsystem keeps one in-flight
+    /// request per channel.
+    fn channels(&self) -> usize;
+
+    /// Usable capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Aggregate sustained bandwidth in bytes/second, used by the monitor
+    /// as the "capacity" against which utilization is measured.
+    fn max_bandwidth(&self) -> u64;
+
+    /// Service time for `req` on `channel`. Implementations may keep
+    /// per-channel mechanical state (e.g. head position) and may use `rng`
+    /// for service-time noise.
+    fn service_time(&mut self, channel: usize, req: &IoRequest, rng: &mut SimRng) -> SimDuration;
+
+    /// How many channels this request can use concurrently (stripe
+    /// parallelism). The subsystem occupies up to this many idle channels
+    /// for the request; total bandwidth is conserved.
+    fn parallelism(&self, _req: &IoRequest) -> usize {
+        1
+    }
+
+    /// Service time when the request actually runs on `k` channels in
+    /// parallel. Default: no speedup beyond the single-channel model.
+    fn service_time_k(
+        &mut self,
+        channel: usize,
+        req: &IoRequest,
+        k: usize,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let _ = k;
+        self.service_time(channel, req, rng)
+    }
+}
+
+/// Multiplicative log-normal service-time noise shared by device models.
+///
+/// `sigma = 0` disables noise entirely (useful in unit tests).
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceNoise {
+    sigma: f64,
+}
+
+impl ServiceNoise {
+    /// Noise with the given log-normal sigma (0 disables).
+    pub fn new(sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&sigma), "sigma out of range");
+        ServiceNoise { sigma }
+    }
+
+    /// No noise.
+    pub fn none() -> Self {
+        ServiceNoise { sigma: 0.0 }
+    }
+
+    /// Apply noise to a base duration.
+    pub fn apply(&self, base: SimDuration, rng: &mut SimRng) -> SimDuration {
+        if self.sigma == 0.0 {
+            return base;
+        }
+        // mu chosen so the multiplier has mean 1.
+        let mu = -self.sigma * self.sigma / 2.0;
+        let k = rng.log_normal(mu, self.sigma);
+        base.mul_f64(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iorch_simcore::SimDuration;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let noise = ServiceNoise::none();
+        let mut rng = SimRng::new(1);
+        let base = SimDuration::from_micros(100);
+        assert_eq!(noise.apply(base, &mut rng), base);
+    }
+
+    #[test]
+    fn noise_mean_is_near_one() {
+        let noise = ServiceNoise::new(0.2);
+        let mut rng = SimRng::new(2);
+        let base = SimDuration::from_micros(100);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| noise.apply(base, &mut rng).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - 100_000.0).abs() < 2_000.0, "avg={avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma out of range")]
+    fn rejects_bad_sigma() {
+        ServiceNoise::new(1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Rotational-disk service-time model: seek + rotational delay + transfer,
+//! with per-spindle head-position tracking so sequential streams are fast
+//! and random access pays full mechanical cost.
+
+use iorch_simcore::{SimDuration, SimRng};
+
+use crate::device::{DeviceModel, ServiceNoise};
+use crate::request::IoRequest;
+
+/// Parameters for [`HddModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct HddParams {
+    /// Minimum (track-to-track) seek time.
+    pub seek_min: SimDuration,
+    /// Full-stroke seek time.
+    pub seek_max: SimDuration,
+    /// Spindle speed in RPM (for rotational latency).
+    pub rpm: u32,
+    /// Media transfer bandwidth, bytes/s.
+    pub bandwidth: u64,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Log-normal service noise sigma.
+    pub noise_sigma: f64,
+}
+
+impl HddParams {
+    /// A 7200 RPM enterprise SATA disk.
+    pub fn enterprise_7200() -> Self {
+        HddParams {
+            seek_min: SimDuration::from_micros(500),
+            seek_max: SimDuration::from_millis(9),
+            rpm: 7200,
+            bandwidth: 160 * 1024 * 1024,
+            capacity: 1024 * 1024 * 1024 * 1024,
+            noise_sigma: 0.1,
+        }
+    }
+}
+
+/// A single-spindle rotational disk.
+#[derive(Clone, Debug)]
+pub struct HddModel {
+    params: HddParams,
+    noise: ServiceNoise,
+    head_pos: u64,
+    name: String,
+}
+
+impl HddModel {
+    /// Build from parameters; head starts at offset 0.
+    pub fn new(params: HddParams) -> Self {
+        assert!(params.bandwidth > 0 && params.capacity > 0 && params.rpm > 0);
+        HddModel {
+            noise: ServiceNoise::new(params.noise_sigma),
+            head_pos: 0,
+            name: format!("hdd-{}rpm", params.rpm),
+            params,
+        }
+    }
+
+    /// Seek time as a function of byte distance: square-root curve between
+    /// `seek_min` and `seek_max`, zero for a sequential hit.
+    fn seek_time(&self, from: u64, to: u64) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let dist = from.abs_diff(to) as f64 / self.params.capacity as f64;
+        let min = self.params.seek_min.as_secs_f64();
+        let max = self.params.seek_max.as_secs_f64();
+        SimDuration::from_secs_f64(min + (max - min) * dist.sqrt())
+    }
+
+    fn half_rotation(&self) -> SimDuration {
+        // Average rotational delay = half a revolution.
+        SimDuration::from_secs_f64(60.0 / self.params.rpm as f64 / 2.0)
+    }
+}
+
+impl DeviceModel for HddModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn max_bandwidth(&self) -> u64 {
+        self.params.bandwidth
+    }
+
+    fn service_time(&mut self, _channel: usize, req: &IoRequest, rng: &mut SimRng) -> SimDuration {
+        let seek = self.seek_time(self.head_pos, req.offset);
+        let rot = if seek.is_zero() {
+            // Sequential continuation: no rotational penalty.
+            SimDuration::ZERO
+        } else {
+            // Uniform rotational delay in [0, one revolution).
+            self.half_rotation().mul_f64(2.0 * rng.f64())
+        };
+        let transfer =
+            SimDuration::from_secs_f64(req.len as f64 / self.params.bandwidth as f64);
+        self.head_pos = req.end().min(self.params.capacity);
+        self.noise.apply(seek + rot + transfer, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{IoKind, RequestId, StreamId};
+    use iorch_simcore::SimTime;
+
+    fn req(offset: u64, len: u64) -> IoRequest {
+        IoRequest {
+            id: RequestId(0),
+            kind: IoKind::Read,
+            stream: StreamId(0),
+            offset,
+            len,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    fn quiet_hdd() -> HddModel {
+        let mut p = HddParams::enterprise_7200();
+        p.noise_sigma = 0.0;
+        HddModel::new(p)
+    }
+
+    #[test]
+    fn sequential_stream_avoids_seeks() {
+        let mut hdd = quiet_hdd();
+        let mut rng = SimRng::new(1);
+        let first = hdd.service_time(0, &req(0, 65536), &mut rng);
+        // Continue exactly where the head landed.
+        let second = hdd.service_time(0, &req(65536, 65536), &mut rng);
+        assert!(second < first.max(SimDuration::from_micros(600)));
+        // Sequential transfer time only: 64KiB / 160MiB/s ≈ 390us.
+        let expect = 65536.0 / (160.0 * 1024.0 * 1024.0);
+        assert!((second.as_secs_f64() - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn random_access_pays_mechanical_cost() {
+        let mut hdd = quiet_hdd();
+        let mut rng = SimRng::new(2);
+        let far = hdd.params.capacity / 2;
+        let t = hdd.service_time(0, &req(far, 4096), &mut rng);
+        // Must include a multi-millisecond seek.
+        assert!(t > SimDuration::from_millis(4), "t={t}");
+    }
+
+    #[test]
+    fn seek_time_monotone_in_distance() {
+        let hdd = quiet_hdd();
+        let near = hdd.seek_time(0, hdd.params.capacity / 100);
+        let far = hdd.seek_time(0, hdd.params.capacity);
+        assert!(near < far);
+        assert_eq!(hdd.seek_time(42, 42), SimDuration::ZERO);
+        assert!(far <= hdd.params.seek_max + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn single_channel_geometry() {
+        let hdd = HddModel::new(HddParams::enterprise_7200());
+        assert_eq!(hdd.channels(), 1);
+        assert_eq!(hdd.max_bandwidth(), 160 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,199 @@
+//! RAID0 striping combinator over identical member devices — the paper's
+//! testbed volume is a RAID0 of eight Intel 520 SSDs.
+//!
+//! The model maps the array's channels onto member-device channels and
+//! accounts for stripe parallelism: a request spanning `k` stripe units is
+//! serviced as `len/k` bytes of transfer on one member (the other members
+//! work concurrently on their share through their own channels).
+
+use iorch_simcore::{SimDuration, SimRng};
+
+use crate::device::DeviceModel;
+use crate::request::IoRequest;
+
+/// RAID0 over `n` identical members with a fixed stripe unit.
+pub struct Raid0<D: DeviceModel> {
+    members: Vec<D>,
+    stripe_unit: u64,
+    name: String,
+}
+
+impl<D: DeviceModel> Raid0<D> {
+    /// Build an array from members (must be non-empty) and a stripe unit in
+    /// bytes (must be a power of two for cheap address math).
+    pub fn new(members: Vec<D>, stripe_unit: u64) -> Self {
+        assert!(!members.is_empty(), "RAID0 needs at least one member");
+        assert!(
+            stripe_unit.is_power_of_two(),
+            "stripe unit must be a power of two"
+        );
+        let name = format!("raid0x{}-{}", members.len(), members[0].name());
+        Raid0 {
+            members,
+            stripe_unit,
+            name,
+        }
+    }
+
+    /// Number of member devices.
+    pub fn width(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Stripe unit in bytes.
+    pub fn stripe_unit(&self) -> u64 {
+        self.stripe_unit
+    }
+
+    /// How many members a request at `offset`..`offset+len` touches.
+    pub fn span(&self, offset: u64, len: u64) -> usize {
+        if len == 0 {
+            return 1;
+        }
+        let first = offset / self.stripe_unit;
+        let last = (offset + len - 1) / self.stripe_unit;
+        ((last - first + 1) as usize).min(self.members.len())
+    }
+
+    /// Which member owns the stripe unit containing `offset`.
+    pub fn member_for(&self, offset: u64) -> usize {
+        ((offset / self.stripe_unit) % self.members.len() as u64) as usize
+    }
+}
+
+impl<D: DeviceModel> DeviceModel for Raid0<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn channels(&self) -> usize {
+        self.members.iter().map(|m| m.channels()).sum()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.members.iter().map(|m| m.capacity_bytes()).sum()
+    }
+
+    fn max_bandwidth(&self) -> u64 {
+        self.members.iter().map(|m| m.max_bandwidth()).sum()
+    }
+
+    fn parallelism(&self, req: &IoRequest) -> usize {
+        self.span(req.offset, req.len)
+    }
+
+    fn service_time(&mut self, channel: usize, req: &IoRequest, rng: &mut SimRng) -> SimDuration {
+        // Single-channel service: the whole payload through one member
+        // channel (no free parallelism — capacity is conserved).
+        self.service_time_k(channel, req, 1, rng)
+    }
+
+    fn service_time_k(
+        &mut self,
+        channel: usize,
+        req: &IoRequest,
+        k: usize,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let n = self.members.len();
+        let k = k.clamp(1, self.span(req.offset, req.len)) as u64;
+        // The member doing "our" share of the stripe; per-member address is
+        // the array offset folded down by the array width to preserve
+        // sequentiality within a member. The payload is split over the `k`
+        // channels the subsystem actually reserved.
+        let member_idx = self.member_for(req.offset);
+        let member = &mut self.members[member_idx];
+        let member_channels = member.channels().max(1);
+        let sub_channel = channel % member_channels;
+        let sub = IoRequest {
+            offset: req.offset / n as u64,
+            len: (req.len / k).max(1),
+            ..*req
+        };
+        member.service_time(sub_channel, &sub, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{IoKind, RequestId, StreamId};
+    use crate::ssd::{SsdModel, SsdParams};
+    use iorch_simcore::SimTime;
+
+    fn quiet_array(n: usize) -> Raid0<SsdModel> {
+        let mut p = SsdParams::intel520();
+        p.noise_sigma = 0.0;
+        let members = (0..n).map(|_| SsdModel::new(p)).collect();
+        Raid0::new(members, 64 * 1024)
+    }
+
+    fn req(offset: u64, len: u64) -> IoRequest {
+        IoRequest {
+            id: RequestId(0),
+            kind: IoKind::Read,
+            stream: StreamId(0),
+            offset,
+            len,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn aggregates_geometry() {
+        let arr = quiet_array(8);
+        assert_eq!(arr.width(), 8);
+        assert_eq!(arr.channels(), 32);
+        assert_eq!(arr.capacity_bytes(), 8 * 120 * 1024 * 1024 * 1024);
+        assert_eq!(
+            arr.max_bandwidth(),
+            8 * 4 * 130 * 1024 * 1024 // 8 drives × 4 channels × 130 MiB/s
+        );
+    }
+
+    #[test]
+    fn span_counts_stripe_units() {
+        let arr = quiet_array(8);
+        assert_eq!(arr.span(0, 1024), 1);
+        assert_eq!(arr.span(0, 64 * 1024), 1);
+        assert_eq!(arr.span(0, 64 * 1024 + 1), 2);
+        assert_eq!(arr.span(0, 8 * 64 * 1024), 8);
+        // Span is capped at the array width.
+        assert_eq!(arr.span(0, 100 * 64 * 1024), 8);
+        // Offset straddling a boundary.
+        assert_eq!(arr.span(64 * 1024 - 1, 2), 2);
+    }
+
+    #[test]
+    fn member_rotation() {
+        let arr = quiet_array(4);
+        assert_eq!(arr.member_for(0), 0);
+        assert_eq!(arr.member_for(64 * 1024), 1);
+        assert_eq!(arr.member_for(4 * 64 * 1024), 0);
+    }
+
+    #[test]
+    fn striped_large_read_faster_with_more_lanes() {
+        let mut arr = quiet_array(8);
+        let mut rng = SimRng::new(3);
+        let len = 8 * 1024 * 1024;
+        let r = req(0, len);
+        assert_eq!(arr.parallelism(&r), 8);
+        let one_lane = arr.service_time_k(0, &r, 1, &mut rng);
+        let eight_lanes = arr.service_time_k(0, &r, 8, &mut rng);
+        assert!(
+            eight_lanes.as_secs_f64() < one_lane.as_secs_f64() / 4.0,
+            "8 lanes {eight_lanes} vs 1 lane {one_lane}"
+        );
+        // Plain service_time conserves capacity: no free parallelism.
+        let plain = arr.service_time(0, &r, &mut rng);
+        assert_eq!(plain, one_lane);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_stripe() {
+        let p = SsdParams::intel520();
+        Raid0::new(vec![SsdModel::new(p)], 3000);
+    }
+}

@@ -1,0 +1,126 @@
+//! Block I/O request model shared by the whole stack.
+
+use iorch_simcore::SimTime;
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IoKind {
+    /// A read from the device.
+    Read,
+    /// A write to the device.
+    Write,
+}
+
+impl IoKind {
+    /// True for [`IoKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, IoKind::Write)
+    }
+}
+
+/// Identifies the logical submitter of a request at the storage layer —
+/// one per virtual disk / guest domain. The storage crate is deliberately
+/// ignorant of hypervisor domain types; upper layers map domains onto
+/// streams.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StreamId(pub u32);
+
+/// Unique request id for tracing and completion matching.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RequestId(pub u64);
+
+/// A block I/O request travelling from a guest to a physical device.
+#[derive(Clone, Copy, Debug)]
+pub struct IoRequest {
+    /// Unique id.
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Submitting stream (virtual disk / domain).
+    pub stream: StreamId,
+    /// Byte offset on the device address space.
+    pub offset: u64,
+    /// Length in bytes; always > 0.
+    pub len: u64,
+    /// When the request entered the host storage subsystem.
+    pub submitted: SimTime,
+}
+
+impl IoRequest {
+    /// One past the last byte touched.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True if `other` starts exactly where `self` ends and is mergeable
+    /// (same kind, same stream) — the block layer's back-merge test.
+    pub fn can_back_merge(&self, other: &IoRequest) -> bool {
+        self.kind == other.kind && self.stream == other.stream && self.end() == other.offset
+    }
+}
+
+/// Allocates unique request ids.
+#[derive(Debug, Default, Clone)]
+pub struct RequestIdAlloc {
+    next: u64,
+}
+
+impl RequestIdAlloc {
+    /// Fresh allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Allocate the next id.
+    pub fn next(&mut self) -> RequestId {
+        let id = RequestId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, kind: IoKind, stream: u32, offset: u64, len: u64) -> IoRequest {
+        IoRequest {
+            id: RequestId(id),
+            kind,
+            stream: StreamId(stream),
+            offset,
+            len,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn end_offset() {
+        let r = req(0, IoKind::Read, 1, 4096, 8192);
+        assert_eq!(r.end(), 12288);
+    }
+
+    #[test]
+    fn back_merge_rules() {
+        let a = req(0, IoKind::Read, 1, 0, 4096);
+        let contiguous = req(1, IoKind::Read, 1, 4096, 4096);
+        let gap = req(2, IoKind::Read, 1, 8192, 4096);
+        let other_kind = req(3, IoKind::Write, 1, 4096, 4096);
+        let other_stream = req(4, IoKind::Read, 2, 4096, 4096);
+        assert!(a.can_back_merge(&contiguous));
+        assert!(!a.can_back_merge(&gap));
+        assert!(!a.can_back_merge(&other_kind));
+        assert!(!a.can_back_merge(&other_stream));
+    }
+
+    #[test]
+    fn id_alloc_is_sequential_and_unique() {
+        let mut alloc = RequestIdAlloc::new();
+        let a = alloc.next();
+        let b = alloc.next();
+        assert_ne!(a, b);
+        assert_eq!(a, RequestId(0));
+        assert_eq!(b, RequestId(1));
+    }
+}

@@ -1,0 +1,168 @@
+//! SSD service-time model.
+//!
+//! Calibrated loosely on the paper's testbed drives (Intel 520-class SATA
+//! SSDs): tens-of-microseconds access latency, ~500 MB/s sustained per
+//! drive, writes slightly slower than reads once the drive is streaming.
+
+use iorch_simcore::{SimDuration, SimRng};
+
+use crate::device::{DeviceModel, ServiceNoise};
+use crate::request::{IoKind, IoRequest};
+
+/// Parameters for [`SsdModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct SsdParams {
+    /// Fixed per-request read latency (flash array + controller).
+    pub read_latency: SimDuration,
+    /// Fixed per-request write latency (program + controller).
+    pub write_latency: SimDuration,
+    /// Per-channel sustained read bandwidth, bytes/s.
+    pub read_bw_per_channel: u64,
+    /// Per-channel sustained write bandwidth, bytes/s.
+    pub write_bw_per_channel: u64,
+    /// Number of independent flash channels.
+    pub channels: usize,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Log-normal service noise sigma.
+    pub noise_sigma: f64,
+}
+
+impl SsdParams {
+    /// An Intel 520-class 120 GB SATA SSD, as used (×8) in the paper's
+    /// RAID0 array. Reads sustain ~520 MB/s; sustained (post-cache,
+    /// steady-state) writes on this SandForce generation collapse to
+    /// ~150 MB/s per drive, which is what a writeback-heavy server sees.
+    pub fn intel520() -> Self {
+        SsdParams {
+            read_latency: SimDuration::from_micros(55),
+            write_latency: SimDuration::from_micros(65),
+            read_bw_per_channel: 130 * 1024 * 1024, // 4 channels ≈ 520 MB/s
+            write_bw_per_channel: 38 * 1024 * 1024, // 4 channels ≈ 150 MB/s
+            channels: 4,
+            capacity: 120 * 1024 * 1024 * 1024,
+            noise_sigma: 0.12,
+        }
+    }
+}
+
+/// A multi-channel SSD.
+#[derive(Clone, Debug)]
+pub struct SsdModel {
+    params: SsdParams,
+    noise: ServiceNoise,
+    name: String,
+}
+
+impl SsdModel {
+    /// Build from parameters.
+    pub fn new(params: SsdParams) -> Self {
+        assert!(params.channels > 0, "SSD needs at least one channel");
+        assert!(params.read_bw_per_channel > 0 && params.write_bw_per_channel > 0);
+        SsdModel {
+            noise: ServiceNoise::new(params.noise_sigma),
+            name: format!("ssd-{}ch", params.channels),
+            params,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &SsdParams {
+        &self.params
+    }
+}
+
+impl DeviceModel for SsdModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn channels(&self) -> usize {
+        self.params.channels
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn max_bandwidth(&self) -> u64 {
+        // Aggregate of the faster direction; the monitor compares actual
+        // transfer rates against this.
+        self.params
+            .read_bw_per_channel
+            .max(self.params.write_bw_per_channel)
+            * self.params.channels as u64
+    }
+
+    fn service_time(&mut self, _channel: usize, req: &IoRequest, rng: &mut SimRng) -> SimDuration {
+        let (lat, bw) = match req.kind {
+            IoKind::Read => (self.params.read_latency, self.params.read_bw_per_channel),
+            IoKind::Write => (self.params.write_latency, self.params.write_bw_per_channel),
+        };
+        let transfer = SimDuration::from_secs_f64(req.len as f64 / bw as f64);
+        self.noise.apply(lat + transfer, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestId, StreamId};
+    use iorch_simcore::SimTime;
+
+    fn req(kind: IoKind, len: u64) -> IoRequest {
+        IoRequest {
+            id: RequestId(0),
+            kind,
+            stream: StreamId(0),
+            offset: 0,
+            len,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    fn quiet_ssd() -> SsdModel {
+        let mut p = SsdParams::intel520();
+        p.noise_sigma = 0.0;
+        SsdModel::new(p)
+    }
+
+    #[test]
+    fn small_read_is_latency_bound() {
+        let mut ssd = quiet_ssd();
+        let mut rng = SimRng::new(1);
+        let t = ssd.service_time(0, &req(IoKind::Read, 4096), &mut rng);
+        // 55us latency + 4KiB/130MiB/s ≈ 55us + 30us
+        assert!(t >= SimDuration::from_micros(55));
+        assert!(t < SimDuration::from_micros(120), "t={t}");
+    }
+
+    #[test]
+    fn large_read_is_bandwidth_bound() {
+        let mut ssd = quiet_ssd();
+        let mut rng = SimRng::new(1);
+        let len = 64 * 1024 * 1024; // 64 MiB
+        let t = ssd.service_time(0, &req(IoKind::Read, len), &mut rng);
+        let expect = len as f64 / (130.0 * 1024.0 * 1024.0);
+        let got = t.as_secs_f64();
+        assert!((got - expect).abs() / expect < 0.01, "got={got} expect={expect}");
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let mut ssd = quiet_ssd();
+        let mut rng = SimRng::new(1);
+        let r = ssd.service_time(0, &req(IoKind::Read, 65536), &mut rng);
+        let w = ssd.service_time(0, &req(IoKind::Write, 65536), &mut rng);
+        assert!(w > r);
+    }
+
+    #[test]
+    fn reports_geometry() {
+        let ssd = SsdModel::new(SsdParams::intel520());
+        assert_eq!(ssd.channels(), 4);
+        assert!(ssd.max_bandwidth() > 500 * 1024 * 1024);
+        assert_eq!(ssd.capacity_bytes(), 120 * 1024 * 1024 * 1024);
+        assert!(ssd.name().starts_with("ssd"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared workload infrastructure: VM handles, latency recorders, and
+//! file provisioning helpers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use iorch_guestos::FileId;
+use iorch_hypervisor::{Cluster, DomainId};
+use iorch_metrics::LatencyHistogram;
+use iorch_simcore::{SimDuration, SimTime};
+
+/// A VM somewhere in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VmRef {
+    /// Machine index.
+    pub machine: usize,
+    /// Domain on that machine.
+    pub dom: DomainId,
+}
+
+/// Collected results of one workload instance.
+#[derive(Debug)]
+pub struct Recorder {
+    /// Latency histogram of recorded operations.
+    pub hist: LatencyHistogram,
+    /// Operations recorded.
+    pub ops: u64,
+    /// Payload bytes recorded.
+    pub bytes: u64,
+    /// Samples before this instant are dropped (warm-up).
+    pub record_after: SimTime,
+    /// Set by bounded workloads when their fixed problem size is done.
+    pub finished: bool,
+    /// Generators check this each cycle and stop when set.
+    pub stopped: bool,
+}
+
+impl Recorder {
+    /// Record one operation.
+    pub fn record(&mut self, now: SimTime, latency: SimDuration, bytes: u64) {
+        if now < self.record_after {
+            return;
+        }
+        self.hist.record(latency);
+        self.ops += 1;
+        self.bytes += bytes;
+    }
+
+    /// Throughput in bytes/second between `record_after` and `now`.
+    pub fn throughput_bps(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.record_after).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / span
+        }
+    }
+
+    /// Operations per second between `record_after` and `now`.
+    pub fn ops_per_sec(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.record_after).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / span
+        }
+    }
+}
+
+/// Shared recorder handle.
+pub type Rec = Rc<RefCell<Recorder>>;
+
+/// Make a recorder that starts recording at `record_after`.
+pub fn recorder(record_after: SimTime) -> Rec {
+    Rc::new(RefCell::new(Recorder {
+        hist: LatencyHistogram::new(),
+        ops: 0,
+        bytes: 0,
+        record_after,
+        finished: false,
+        stopped: false,
+    }))
+}
+
+/// Create `count` files of `size` bytes on a VM's disk (setup phase; no
+/// simulated I/O cost, as the paper pre-populates data sets before runs).
+pub fn provision_files(cl: &mut Cluster, vm: VmRef, count: usize, size: u64) -> Vec<FileId> {
+    let kernel = cl
+        .machine_mut(vm.machine)
+        .kernel_mut(vm.dom)
+        .expect("provisioning a dead VM");
+    (0..count)
+        .map(|_| kernel.create_file(size).expect("disk too small"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_drops_warmup() {
+        let rec = recorder(SimTime::from_millis(100));
+        rec.borrow_mut()
+            .record(SimTime::from_millis(50), SimDuration::from_micros(10), 100);
+        rec.borrow_mut()
+            .record(SimTime::from_millis(150), SimDuration::from_micros(10), 100);
+        let r = rec.borrow();
+        assert_eq!(r.ops, 1);
+        assert_eq!(r.bytes, 100);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let rec = recorder(SimTime::ZERO);
+        rec.borrow_mut()
+            .record(SimTime::from_millis(1), SimDuration::from_micros(10), 1000);
+        let r = rec.borrow();
+        assert!((r.throughput_bps(SimTime::from_secs(1)) - 1000.0).abs() < 1e-9);
+        assert!((r.ops_per_sec(SimTime::from_secs(2)) - 0.5).abs() < 1e-9);
+        assert_eq!(r.throughput_bps(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Writing your own control plane.
+//!
+//! IOrchestra's framework is deliberately open ("it can be easily applied
+//! to other issues that require cross-domain collaboration" — paper §1).
+//! This example implements a tiny custom policy on the same hook surface
+//! the built-in planes use: a *write-back governor* that simply syncs any
+//! guest whose dirty pages exceed a fixed budget, and compares it to
+//! running with no policy at all.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use std::rc::Rc;
+
+use iorchestra_suite::guestos::KernelSignal;
+use iorchestra_suite::hypervisor::{
+    Cluster, ControlPlane, DomainId, IoPathMode, Machine, MachineConfig, Sched, VmSpec,
+};
+use iorchestra_suite::simcore::{SimDuration, SimTime, Simulation};
+use iorchestra_suite::workloads::{recorder, spawn_fileserver, FsParams, VmRef};
+
+/// Sync any guest holding more than `budget_pages` dirty pages, checked on
+/// every monitoring tick.
+struct DirtyBudgetGovernor {
+    budget_pages: u64,
+    syncs_issued: u64,
+}
+
+impl ControlPlane for DirtyBudgetGovernor {
+    fn name(&self) -> &'static str {
+        "dirty-budget-governor"
+    }
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_millis(100))
+    }
+
+    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+        // Keep stock congestion behaviour; this policy is flush-only.
+        if sig == KernelSignal::CongestionQuery {
+            m.cp_enter_congestion(dom);
+        }
+    }
+
+    fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
+        for dom in m.domain_ids() {
+            let dirty = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
+            if dirty > self.budget_pages {
+                self.syncs_issued += 1;
+                m.cp_remote_sync(s, dom);
+            }
+        }
+    }
+}
+
+fn run(custom: bool) -> (f64, u64) {
+    let mut sim = Simulation::new(Cluster::new());
+    let (cl, s) = sim.parts_mut();
+    let idx = cl.add_machine(MachineConfig::paper_testbed(9, IoPathMode::Paravirt));
+    if custom {
+        cl.install_control(
+            s,
+            idx,
+            Box::new(DirtyBudgetGovernor {
+                budget_pages: 8192, // 32 MiB
+                syncs_issued: 0,
+            }),
+        );
+    }
+    let rec = recorder(SimTime::from_secs(1));
+    for v in 0..4u64 {
+        let (cl, s) = sim.parts_mut();
+        let dom = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(6), |g| {
+            g.wb.periodic_interval = SimDuration::from_secs(2);
+            g.wb.dirty_expire = SimDuration::from_secs(6);
+        });
+        spawn_fileserver(
+            cl,
+            s,
+            VmRef { machine: idx, dom },
+            FsParams {
+                threads: 1,
+                pool: 2_000,
+                file_size: 512 << 10,
+                op_cpu: SimDuration::from_millis(1),
+                burst: Some((100, SimDuration::from_millis(600))),
+                seed: 9 ^ v,
+                ..FsParams::default()
+            },
+            Rc::clone(&rec),
+        );
+    }
+    sim.run_until(SimTime::from_secs(8));
+    let now = sim.now();
+    let bps = rec.borrow().throughput_bps(now);
+    let (_, writes) = sim.world().machine(idx).storage.monitor().byte_counts();
+    (bps / 1e6, writes >> 20)
+}
+
+fn main() {
+    let (plain_bps, plain_writes) = run(false);
+    let (gov_bps, gov_writes) = run(true);
+    println!("4 file-server VMs in request waves, 8 simulated seconds\n");
+    println!("{:<24} {:>14} {:>18}", "policy", "FS MB/s", "device writes (MB)");
+    println!("{:<24} {:>14.1} {:>18}", "none (stock kernel)", plain_bps, plain_writes);
+    println!("{:<24} {:>14.1} {:>18}", "dirty-budget governor", gov_bps, gov_writes);
+    println!(
+        "\nThe governor drains dirty pages early through cp_remote_sync — the same \
+         machine verb IOrchestra's Algorithm 1 uses — smoothing device traffic \
+         without touching the guest kernels."
+    );
+}
