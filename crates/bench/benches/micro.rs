@@ -1,133 +1,136 @@
-//! Criterion micro-benchmarks for the hot data structures: system-store
-//! operations, the event queue, the latency histogram, the DRR poller and
-//! the WFQ host queue.
+//! Micro-benchmarks for the hot data structures: system-store operations,
+//! the event queue, the latency histogram, the DRR poller and the WFQ host
+//! queue. Runs on the in-tree [`iorch_bench::timing`] harness (no external
+//! bench framework); set `IORCH_BENCH_QUICK=1` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use iorch_bench::timing::Timer;
 use iorch_hypervisor::{CoreId, DomainId, IoCore, IoCoreParams, Perms, XenStore, DOM0};
 use iorch_metrics::LatencyHistogram;
 use iorch_simcore::{Scheduler, SimDuration, SimTime, Simulation};
 use iorch_storage::{IoKind, IoRequest, RequestId, StreamId, WfqQueue};
 
-fn bench_store(c: &mut Criterion) {
-    c.bench_function("xenstore_write_read", |b| {
+fn bench_store(t: &Timer) {
+    {
         let mut store = XenStore::new();
         store
             .mkdir(DOM0, "/local/domain/1", Perms::private_to(DomainId(1)))
             .unwrap();
-        b.iter(|| {
+        t.time("xenstore_write_read", || {
             store
                 .write(DomainId(1), "/local/domain/1/virt-dev/nr", "12345")
                 .unwrap();
             black_box(store.read(DOM0, "/local/domain/1/virt-dev/nr").unwrap());
-        });
-    });
-    c.bench_function("xenstore_watch_fire", |b| {
+        })
+        .report();
+    }
+    {
         let mut store = XenStore::new();
         store
             .mkdir(DOM0, "/local/domain/1", Perms::private_to(DomainId(1)))
             .unwrap();
         store.watch(DOM0, "/local");
         store.watch(DomainId(1), "/local/domain/1");
-        b.iter(|| {
+        t.time("xenstore_watch_fire", || {
             store
                 .write(DomainId(1), "/local/domain/1/virt-dev/congested", "1")
                 .unwrap();
             black_box(store.take_events());
-        });
-    });
+        })
+        .report();
+    }
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("scheduler_1k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(0u64);
-            for i in 0..1000u64 {
-                sim.scheduler_mut().schedule_at(
-                    SimTime::from_nanos(i * 997 % 50_000),
-                    |w: &mut u64, _s: &mut Scheduler<u64>| *w += 1,
-                );
-            }
-            sim.run_to_completion();
-            black_box(*sim.world())
-        });
-    });
+fn bench_event_queue(t: &Timer) {
+    t.time("scheduler_1k_events", || {
+        let mut sim = Simulation::new(0u64);
+        for i in 0..1000u64 {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_nanos(i * 997 % 50_000),
+                |w: &mut u64, _s: &mut Scheduler<u64>| *w += 1,
+            );
+        }
+        sim.run_to_completion();
+        black_box(*sim.world())
+    })
+    .report();
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("histogram_record", |b| {
+fn bench_histogram(t: &Timer) {
+    {
         let mut h = LatencyHistogram::new();
         let mut x = 1u64;
-        b.iter(|| {
+        t.time("histogram_record", || {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             h.record(SimDuration::from_nanos(x >> 40));
-        });
-    });
-    c.bench_function("histogram_p999", |b| {
+        })
+        .report();
+    }
+    {
         let mut h = LatencyHistogram::new();
         for i in 0..100_000u64 {
             h.record(SimDuration::from_nanos(i * 37 % 10_000_000));
         }
-        b.iter(|| black_box(h.p999()));
-    });
+        t.time("histogram_p999", || black_box(h.p999())).report();
+    }
 }
 
-fn bench_drr(c: &mut Criterion) {
-    c.bench_function("iocore_drr_cycle", |b| {
-        b.iter(|| {
-            let mut core = IoCore::new(0, CoreId(0), IoCoreParams::default());
-            for i in 0..64u64 {
-                core.enqueue(
-                    DomainId((i % 4) as u32),
-                    IoRequest {
-                        id: RequestId(i),
-                        kind: IoKind::Read,
-                        stream: StreamId((i % 4) as u32),
-                        offset: i * (1 << 20),
-                        len: 64 << 10,
-                        submitted: SimTime::ZERO,
-                    },
-                    false,
-                    SimTime::ZERO,
-                );
-            }
-            let mut now = SimTime::ZERO;
-            while let Some(done) = core.start_next(now) {
-                now = done;
-                black_box(core.finish(now));
-            }
-        });
-    });
-}
-
-fn bench_wfq(c: &mut Criterion) {
-    c.bench_function("wfq_enqueue_dequeue", |b| {
-        b.iter(|| {
-            let mut q = WfqQueue::new();
-            for s in 0..8u32 {
-                q.set_weight(StreamId(s), 100 + s * 50);
-            }
-            for i in 0..256u64 {
-                q.enqueue(IoRequest {
+fn bench_drr(t: &Timer) {
+    t.time("iocore_drr_cycle", || {
+        let mut core = IoCore::new(0, CoreId(0), IoCoreParams::default());
+        for i in 0..64u64 {
+            core.enqueue(
+                DomainId((i % 4) as u32),
+                IoRequest {
                     id: RequestId(i),
-                    kind: IoKind::Write,
-                    stream: StreamId((i % 8) as u32),
+                    kind: IoKind::Read,
+                    stream: StreamId((i % 4) as u32),
                     offset: i * (1 << 20),
                     len: 64 << 10,
                     submitted: SimTime::ZERO,
-                });
-            }
-            while let Some(r) = q.dequeue() {
-                black_box(r);
-            }
-        });
-    });
+                },
+                false,
+                SimTime::ZERO,
+            );
+        }
+        let mut now = SimTime::ZERO;
+        while let Some(done) = core.start_next(now) {
+            now = done;
+            black_box(core.finish(now));
+        }
+    })
+    .report();
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_store, bench_event_queue, bench_histogram, bench_drr, bench_wfq
-);
-criterion_main!(micro);
+fn bench_wfq(t: &Timer) {
+    t.time("wfq_enqueue_dequeue", || {
+        let mut q = WfqQueue::new();
+        for s in 0..8u32 {
+            q.set_weight(StreamId(s), 100 + s * 50);
+        }
+        for i in 0..256u64 {
+            q.enqueue(IoRequest {
+                id: RequestId(i),
+                kind: IoKind::Write,
+                stream: StreamId((i % 8) as u32),
+                offset: i * (1 << 20),
+                len: 64 << 10,
+                submitted: SimTime::ZERO,
+            });
+        }
+        while let Some(r) = q.dequeue() {
+            black_box(r);
+        }
+    })
+    .report();
+}
+
+fn main() {
+    let t = Timer::from_env();
+    bench_store(&t);
+    bench_event_queue(&t);
+    bench_histogram(&t);
+    bench_drr(&t);
+    bench_wfq(&t);
+}

@@ -1,0 +1,317 @@
+//! Hot-path benchmark gate: measures the optimized store/control-plane
+//! fast paths against the frozen seed implementation
+//! (`iorch_hypervisor::xenstore_legacy`) with one harness in one process,
+//! and writes `BENCH_hotpath.json` at the repo root.
+//!
+//! Exits non-zero if the gate fails:
+//!   * store write, store read, and per-tick control-plane cost must be
+//!     at least 2x faster than the seed baseline;
+//!   * store-write cost must be sub-linear in non-matching watches
+//!     (1 vs 256 watchers on disjoint subtrees within 1.5x).
+//!
+//! Run via `scripts/bench_hotpath.sh` (release build). Set
+//! `IORCH_BENCH_QUICK=1` for a fast smoke run (same gate, noisier).
+
+use iorch_bench::timing::{Sample, Timer};
+use iorch_hypervisor::xenstore_legacy::XenStore as LegacyStore;
+use iorch_hypervisor::{DomainId, Perms, XenStore, DOM0};
+use iorch_simcore::{SimDuration, Simulation};
+use iorchestra::keys::{self, val, DomainKeys};
+
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+
+/// Domains the synthetic control plane manages.
+const DOMS: u32 = 16;
+
+fn setup_new(doms: u32) -> (XenStore, Vec<DomainKeys>) {
+    let mut s = XenStore::new();
+    let mut ks = Vec::new();
+    for d in 1..=doms {
+        let dom = DomainId(d);
+        s.mkdir(DOM0, &XenStore::domain_path(dom), Perms::private_to(dom)).unwrap();
+        let k = DomainKeys::new(dom);
+        s.write(dom, &k.has_dirty_pages, val::zero()).unwrap();
+        s.write(dom, &k.nr_dirty, val::zero()).unwrap();
+        ks.push(k);
+    }
+    s.take_events();
+    (s, ks)
+}
+
+fn setup_legacy(doms: u32) -> LegacyStore {
+    let mut s = LegacyStore::new();
+    for d in 1..=doms {
+        let dom = DomainId(d);
+        s.mkdir(DOM0, &LegacyStore::domain_path(dom), Perms::private_to(dom)).unwrap();
+        s.write(dom, &keys::has_dirty_pages(dom), "0".to_string()).unwrap();
+        s.write(dom, &keys::nr_dirty(dom), "0".to_string()).unwrap();
+    }
+    s.take_events();
+    s
+}
+
+struct Pair {
+    name: &'static str,
+    current: Sample,
+    baseline: Sample,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.baseline.ns_per_iter() / self.current.ns_per_iter()
+    }
+    fn report(&self) {
+        println!(
+            "{:<24} current {:>9.1} ns/op   seed {:>9.1} ns/op   speedup {:>5.2}x",
+            self.name,
+            self.current.ns_per_iter(),
+            self.baseline.ns_per_iter(),
+            self.speedup()
+        );
+    }
+}
+
+/// Store write: the guest-publish path. Current uses a pre-parsed
+/// `StorePath` + cached small-int values; seed formats the key string and
+/// allocates the value on every write.
+fn bench_store_write(t: &Timer) -> Pair {
+    let (mut s, ks) = setup_new(1);
+    let k = &ks[0];
+    let dom = DomainId(1);
+    let mut n = 0u64;
+    let current = t.time("store_write/current", || {
+        n = (n + 1) & 0xff;
+        s.write(dom, &k.nr_dirty, val::uint(n)).unwrap();
+    });
+    s.take_events();
+
+    let mut s = setup_legacy(1);
+    let mut n = 0u64;
+    let baseline = t.time("store_write/seed", || {
+        n = (n + 1) & 0xff;
+        s.write(dom, &keys::nr_dirty(dom), n.to_string()).unwrap();
+    });
+    s.take_events();
+    Pair { name: "store_write", current, baseline }
+}
+
+/// Store read: the manager-side poll. Current borrows through `read_ref`
+/// with an interned path; seed formats the key and clones the value.
+fn bench_store_read(t: &Timer) -> Pair {
+    let (mut s, ks) = setup_new(1);
+    let k = &ks[0];
+    let dom = DomainId(1);
+    s.write(dom, &k.nr_dirty, val::uint(42)).unwrap();
+    let current = t.time("store_read/current", || {
+        s.read_ref(DOM0, &k.nr_dirty).unwrap().len()
+    });
+
+    let mut s = setup_legacy(1);
+    s.write(dom, &keys::nr_dirty(dom), "42".to_string()).unwrap();
+    let baseline = t.time("store_read/seed", || {
+        s.read(DOM0, &keys::nr_dirty(dom)).unwrap().len()
+    });
+    Pair { name: "store_read", current, baseline }
+}
+
+/// Watch fan-out: a write under a watched subtree delivering to 8
+/// watchers. Current shares one interned payload; seed clones the path
+/// and value per subscriber.
+fn bench_watch_fanout(t: &Timer) -> Pair {
+    const WATCHERS: usize = 8;
+    let (mut s, ks) = setup_new(1);
+    let k = &ks[0];
+    let dom = DomainId(1);
+    for _ in 0..WATCHERS {
+        s.watch(DOM0, &k.virt_dev);
+    }
+    let mut n = 0u64;
+    let current = t.time("watch_fanout/current", || {
+        n = (n + 1) & 0xff;
+        s.write(dom, &k.nr_dirty, val::uint(n)).unwrap();
+        s.take_events().len()
+    });
+
+    let mut s = setup_legacy(1);
+    for _ in 0..WATCHERS {
+        s.watch(DOM0, keys::nr_dirty(dom));
+    }
+    let mut n = 0u64;
+    let baseline = t.time("watch_fanout/seed", || {
+        n = (n + 1) & 0xff;
+        s.write(dom, &keys::nr_dirty(dom), n.to_string()).unwrap();
+        s.take_events().len()
+    });
+    Pair { name: "watch_fanout", current, baseline }
+}
+
+/// One control-plane tick over 16 domains: republish `nr` for each (the
+/// plane's periodic monitoring write) and drain events. Current goes
+/// through `write_if_changed` with cached keys/values, so steady-state
+/// ticks allocate nothing and publish nothing; seed re-formats and
+/// re-fires every tick.
+fn bench_control_tick(t: &Timer) -> Pair {
+    let (mut s, ks) = setup_new(DOMS);
+    for k in &ks {
+        s.watch(DOM0, &k.virt_dev);
+    }
+    s.take_events();
+    let current = t.time("control_tick/current", || {
+        for (i, k) in ks.iter().enumerate() {
+            let dom = DomainId(i as u32 + 1);
+            s.write_if_changed(dom, &k.nr_dirty, val::uint(7)).unwrap();
+        }
+        s.take_events().len()
+    });
+
+    let mut s = setup_legacy(DOMS);
+    for d in 1..=DOMS {
+        s.watch(DOM0, format!("{}/virt-dev", LegacyStore::domain_path(DomainId(d))));
+    }
+    s.take_events();
+    let baseline = t.time("control_tick/seed", || {
+        for d in 1..=DOMS {
+            let dom = DomainId(d);
+            s.write(dom, &keys::nr_dirty(dom), 7u64.to_string()).unwrap();
+        }
+        s.take_events().len()
+    });
+    Pair { name: "control_tick", current, baseline }
+}
+
+/// Scheduler churn: schedule-then-cancel timeout patterns, the shape that
+/// leaked tombstones in the seed scheduler. Current-only (the seed
+/// scheduler differs in memory growth, not per-op time).
+fn bench_scheduler_churn(t: &Timer) -> Sample {
+    let mut sim: Simulation<u64> = Simulation::new(0u64);
+    t.time("scheduler_churn", || {
+        let sched = sim.scheduler_mut();
+        let mut tokens = Vec::with_capacity(64);
+        for i in 0..64u64 {
+            tokens.push(
+                sched.schedule_in(SimDuration::from_micros(i + 1), move |w, _| *w += 1),
+            );
+        }
+        for tok in tokens.iter().step_by(2) {
+            sched.cancel(*tok);
+        }
+        sim.run_to_completion();
+        *sim.world()
+    })
+}
+
+/// Store-write cost with 1 vs 256 watchers on disjoint subtrees: the
+/// watch index must keep non-matching watches off the write path.
+fn bench_watch_scaling(t: &Timer) -> (Sample, Sample, Pair) {
+    fn run(t: &Timer, watchers: usize, name: &'static str) -> Sample {
+        let (mut s, ks) = setup_new(1);
+        let k = &ks[0];
+        let dom = DomainId(1);
+        for i in 0..watchers {
+            s.watch(DOM0, format!("/spectators/w{i}"));
+        }
+        let mut n = 0u64;
+        let sample = t.time(name, || {
+            n = (n + 1) & 0xff;
+            s.write(dom, &k.nr_dirty, val::uint(n)).unwrap();
+        });
+        assert!(!s.has_events(), "disjoint watchers must not fire");
+        sample
+    }
+    fn run_legacy(t: &Timer, watchers: usize, name: &'static str) -> Sample {
+        let mut s = setup_legacy(1);
+        let dom = DomainId(1);
+        for i in 0..watchers {
+            s.watch(DOM0, format!("/spectators/w{i}"));
+        }
+        let mut n = 0u64;
+        t.time(name, || {
+            n = (n + 1) & 0xff;
+            s.write(dom, &keys::nr_dirty(dom), n.to_string()).unwrap();
+        })
+    }
+    let one = run(t, 1, "watch_scaling/current_1");
+    let many = run(t, 256, "watch_scaling/current_256");
+    // The 256-spectator case against the seed's linear scan, for context.
+    let seed_many = run_legacy(t, 256, "watch_scaling/seed_256");
+    let pair = Pair { name: "write_256_spectators", current: many.clone(), baseline: seed_many };
+    (one, many, pair)
+}
+
+fn main() {
+    let t = Timer::from_env();
+    println!(
+        "hotpath bench: warmup {:?}, measure {:?} per case\n",
+        t.warmup, t.measure
+    );
+
+    let write = bench_store_write(&t);
+    let read = bench_store_read(&t);
+    let fanout = bench_watch_fanout(&t);
+    let tick = bench_control_tick(&t);
+    let churn = bench_scheduler_churn(&t);
+    let (scale_one, scale_many, scale_ctx) = bench_watch_scaling(&t);
+
+    write.report();
+    read.report();
+    fanout.report();
+    tick.report();
+    scale_ctx.report();
+    println!(
+        "{:<24} 1 watcher {:>9.1} ns/op   256 disjoint {:>9.1} ns/op   ratio {:>5.2}x",
+        "watch_scaling",
+        scale_one.ns_per_iter(),
+        scale_many.ns_per_iter(),
+        scale_many.ns_per_iter() / scale_one.ns_per_iter()
+    );
+    println!(
+        "{:<24} {:>9.1} ns/cycle (64 events, half cancelled)",
+        "scheduler_churn",
+        churn.ns_per_iter()
+    );
+
+    let ratio = scale_many.ns_per_iter() / scale_one.ns_per_iter();
+    let pair_json = |p: &Pair| {
+        format!(
+            "{{\"current_ns\": {:.2}, \"seed_ns\": {:.2}, \"speedup\": {:.3}}}",
+            p.current.ns_per_iter(),
+            p.baseline.ns_per_iter(),
+            p.speedup()
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"store_write\": {},\n  \"store_read\": {},\n  \"watch_fanout\": {},\n  \"control_tick\": {},\n  \"write_256_spectators\": {},\n  \"watch_scaling\": {{\"one_watcher_ns\": {:.2}, \"disjoint_256_ns\": {:.2}, \"ratio\": {:.3}}},\n  \"scheduler_churn_ns_per_cycle\": {:.2}\n}}\n",
+        t.warmup.as_millis(),
+        t.measure.as_millis(),
+        pair_json(&write),
+        pair_json(&read),
+        pair_json(&fanout),
+        pair_json(&tick),
+        pair_json(&scale_ctx),
+        scale_one.ns_per_iter(),
+        scale_many.ns_per_iter(),
+        ratio,
+        churn.ns_per_iter(),
+    );
+    std::fs::write(JSON_PATH, &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {JSON_PATH}");
+
+    // The gate.
+    let mut failed = Vec::new();
+    for p in [&write, &read, &tick] {
+        if p.speedup() < 2.0 {
+            failed.push(format!("{}: speedup {:.2}x < 2.0x", p.name, p.speedup()));
+        }
+    }
+    if ratio > 1.5 {
+        failed.push(format!("watch_scaling: 256-watcher ratio {ratio:.2}x > 1.5x"));
+    }
+    if failed.is_empty() {
+        println!("GATE PASS");
+    } else {
+        for f in &failed {
+            println!("GATE FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

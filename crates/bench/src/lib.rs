@@ -8,5 +8,6 @@
 //! that — see EXPERIMENTS.md).
 
 pub mod runner;
+pub mod timing;
 
 pub use runner::*;

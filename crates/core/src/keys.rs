@@ -3,7 +3,9 @@
 //! The prototype's XenStore layout (paper Fig. 3): each domain owns
 //! `/local/domain/<id>/virt-dev/…` where the collaborative state lives.
 
-use iorch_hypervisor::{DomainId, XenStore};
+use std::sync::{Arc, OnceLock};
+
+use iorch_hypervisor::{DomainId, StorePath, XenStore};
 
 /// `has_dirty_pages` — set by the guest when `bdi_writeback.nr > 0`
 /// (Algorithm 1).
@@ -52,6 +54,107 @@ pub fn is_key(path: &str, key: &str) -> bool {
     path.rsplit('/').next() == Some(key)
 }
 
+/// Pre-parsed store paths for one domain's `virt-dev` subtree.
+///
+/// The per-tick policy loops (Algorithms 1–3) touch these keys for every
+/// domain on every 100 ms tick; building them with `format!` each time put
+/// a handful of heap allocations on the hot path per domain per tick.
+/// A `DomainKeys` is built once when the domain attaches to the control
+/// plane; after that every store operation clones an interned
+/// [`StorePath`] (a reference-count bump) and watch events fired from
+/// these writes share the same allocation.
+#[derive(Clone, Debug)]
+pub struct DomainKeys {
+    /// The domain these keys belong to.
+    pub dom: DomainId,
+    /// `/local/domain/<id>` — the domain's subtree root.
+    pub base: StorePath,
+    /// `…/virt-dev` — where the collaborative state lives (watch target).
+    pub virt_dev: StorePath,
+    /// `…/virt-dev/has_dirty_pages` (Algorithm 1).
+    pub has_dirty_pages: StorePath,
+    /// `…/virt-dev/nr` (Algorithm 1's argmax input).
+    pub nr_dirty: StorePath,
+    /// `…/virt-dev/flush_now` (Algorithm 1 trigger).
+    pub flush_now: StorePath,
+    /// `…/virt-dev/congested` (Algorithm 2).
+    pub congested: StorePath,
+    /// `…/virt-dev/release_request` (Algorithm 2).
+    pub release_request: StorePath,
+    /// `…/virt-dev/weight/<socket>`, grown on demand (§3.3).
+    socket_weights: Vec<StorePath>,
+}
+
+impl DomainKeys {
+    /// Build the key set for a domain (the only place these paths are
+    /// formatted).
+    pub fn new(dom: DomainId) -> Self {
+        let parse = |s: String| StorePath::parse(&s).expect("domain key paths are well-formed");
+        DomainKeys {
+            dom,
+            base: parse(XenStore::domain_path(dom)),
+            virt_dev: parse(format!("{}/virt-dev", XenStore::domain_path(dom))),
+            has_dirty_pages: parse(has_dirty_pages(dom)),
+            nr_dirty: parse(nr_dirty(dom)),
+            flush_now: parse(flush_now(dom)),
+            congested: parse(congested(dom)),
+            release_request: parse(release_request(dom)),
+            socket_weights: Vec::new(),
+        }
+    }
+
+    /// `…/virt-dev/weight/<socket>`, interned on first use per socket.
+    pub fn socket_weight(&mut self, socket: usize) -> &StorePath {
+        while self.socket_weights.len() <= socket {
+            let sk = self.socket_weights.len();
+            let path = socket_weight(self.dom, sk);
+            self.socket_weights
+                .push(StorePath::parse(&path).expect("weight paths are well-formed"));
+        }
+        &self.socket_weights[socket]
+    }
+}
+
+/// Cached store-value encodings for the hot flag and counter writes.
+///
+/// The store holds values as `Arc<str>`; encoding `"0"`, `"1"` and small
+/// counters through this module means the per-tick republishes pass a
+/// shared allocation straight through to the tree and every watch event.
+pub mod val {
+    use super::{Arc, OnceLock};
+
+    const SMALL: u64 = 256;
+
+    fn small_table() -> &'static [Arc<str>] {
+        static TABLE: OnceLock<Vec<Arc<str>>> = OnceLock::new();
+        TABLE.get_or_init(|| (0..SMALL).map(|n| Arc::from(n.to_string().as_str())).collect())
+    }
+
+    /// `"0"` — the dominant flag value.
+    pub fn zero() -> Arc<str> {
+        uint(0)
+    }
+
+    /// `"1"` — the other flag value.
+    pub fn one() -> Arc<str> {
+        uint(1)
+    }
+
+    /// A boolean flag as `"1"`/`"0"`.
+    pub fn flag(v: bool) -> Arc<str> {
+        uint(v as u64)
+    }
+
+    /// Decimal encoding of an unsigned counter; values below 256 come from
+    /// a shared table, larger ones allocate.
+    pub fn uint(n: u64) -> Arc<str> {
+        match small_table().get(n as usize) {
+            Some(v) => Arc::clone(v),
+            None => Arc::from(n.to_string().as_str()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +185,33 @@ mod tests {
     fn key_matching() {
         assert!(is_key("/local/domain/1/virt-dev/flush_now", "flush_now"));
         assert!(!is_key("/local/domain/1/virt-dev/flush_now", "congested"));
+    }
+
+    #[test]
+    fn domain_keys_match_formatted_paths() {
+        let d = DomainId(42);
+        let mut k = DomainKeys::new(d);
+        assert_eq!(k.base.as_str(), "/local/domain/42");
+        assert_eq!(k.virt_dev.as_str(), "/local/domain/42/virt-dev");
+        assert_eq!(k.has_dirty_pages.as_str(), has_dirty_pages(d));
+        assert_eq!(k.nr_dirty.as_str(), nr_dirty(d));
+        assert_eq!(k.flush_now.as_str(), flush_now(d));
+        assert_eq!(k.congested.as_str(), congested(d));
+        assert_eq!(k.release_request.as_str(), release_request(d));
+        // Sockets can be requested out of order; the vec backfills.
+        assert_eq!(k.socket_weight(1).as_str(), socket_weight(d, 1));
+        assert_eq!(k.socket_weight(0).as_str(), socket_weight(d, 0));
+    }
+
+    #[test]
+    fn cached_values_encode_decimal() {
+        assert_eq!(&*val::zero(), "0");
+        assert_eq!(&*val::one(), "1");
+        assert_eq!(&*val::flag(true), "1");
+        assert_eq!(&*val::flag(false), "0");
+        assert_eq!(&*val::uint(255), "255");
+        assert_eq!(&*val::uint(1_000_000), "1000000");
+        // Small values share one allocation.
+        assert!(std::sync::Arc::ptr_eq(&val::uint(7), &val::uint(7)));
     }
 }

@@ -13,10 +13,11 @@
 //!   over the system store with watches, plus anomaly detection.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use iorch_guestos::KernelSignal;
 use iorch_hypervisor::{
-    ControlPlane, Cluster, DomainId, Machine, Sched, WatchEvent, XenStore, DOM0,
+    ControlPlane, Cluster, DomainId, Machine, Sched, StorePath, WatchEvent, DOM0,
 };
 use iorch_simcore::{SimDuration, SimRng, SimTime};
 
@@ -24,7 +25,7 @@ use crate::anomaly::{AnomalyDetector, AnomalyParams};
 use crate::formulas::{
     drr_quantum, inverse_latency_weights, ratio_changed, socket_io_share, socket_process_weight,
 };
-use crate::keys;
+use crate::keys::{self, val, DomainKeys};
 use crate::monitor::MonitoringModule;
 
 /// Which of IOrchestra's three functions are enabled — §5 evaluates them
@@ -232,6 +233,9 @@ pub struct IOrchestraPlane {
     last_route_weights: BTreeMap<DomainId, Vec<f64>>,
     last_weight_push: SimTime,
     manager_watch_registered: bool,
+    /// Interned per-domain store paths, built once at attach so the
+    /// per-tick loops below never `format!` a path.
+    domain_keys: BTreeMap<DomainId, DomainKeys>,
     stats: PlaneStats,
 }
 
@@ -263,6 +267,7 @@ impl IOrchestraPlane {
             last_route_weights: BTreeMap::new(),
             last_weight_push: SimTime::ZERO,
             manager_watch_registered: false,
+            domain_keys: BTreeMap::new(),
             stats: PlaneStats::default(),
             cfg,
         }
@@ -278,10 +283,22 @@ impl IOrchestraPlane {
         self.anomaly.flagged()
     }
 
-    fn guest_write(m: &mut Machine, dom: DomainId, path: &str, v: &str) {
+    fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
         // The guest driver writes through its own credentials — permission
         // violations would surface here.
         let _ = m.store.write(dom, path, v);
+    }
+
+    /// Guest-side monitoring republish: suppressed entirely when the store
+    /// already holds the value, so an idle domain puts zero traffic on the
+    /// XenBus channel per tick. Only used for keys no policy callback
+    /// consumes (the control keys always publish).
+    fn guest_publish(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
+        let _ = m.store.write_if_changed(dom, path, v);
+    }
+
+    fn keys_for(domain_keys: &mut BTreeMap<DomainId, DomainKeys>, dom: DomainId) -> &mut DomainKeys {
+        domain_keys.entry(dom).or_insert_with(|| DomainKeys::new(dom))
     }
 
     fn run_flush_policy(&mut self, m: &mut Machine, s: &mut Sched) {
@@ -298,9 +315,10 @@ impl IOrchestraPlane {
             if self.flush_in_progress.contains(&dom) {
                 continue;
             }
+            let k = Self::keys_for(&mut self.domain_keys, dom);
             let has_dirty = m
                 .store
-                .read(DOM0, &keys::has_dirty_pages(dom))
+                .read_ref(DOM0, &k.has_dirty_pages)
                 .map(|v| v == "1")
                 .unwrap_or(false);
             if !has_dirty {
@@ -308,7 +326,7 @@ impl IOrchestraPlane {
             }
             let nr = m
                 .store
-                .read(DOM0, &keys::nr_dirty(dom))
+                .read_ref(DOM0, &k.nr_dirty)
                 .ok()
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(0);
@@ -319,7 +337,8 @@ impl IOrchestraPlane {
         if let Some((_, dom)) = best {
             self.flush_in_progress.insert(dom);
             self.stats.flushes_triggered += 1;
-            let _ = m.store.write(DOM0, &keys::flush_now(dom), "1");
+            let k = Self::keys_for(&mut self.domain_keys, dom);
+            let _ = m.store.write(DOM0, &k.flush_now, val::one());
         }
         let _ = s;
     }
@@ -337,10 +356,11 @@ impl IOrchestraPlane {
                 self.rng.range(0, self.cfg.wake_interleave_max_ms.max(1)),
             );
             self.stats.staggered_wakeups += 1;
+            let congested_key = Self::keys_for(&mut self.domain_keys, dom).congested.clone();
             s.schedule_in(offset, move |cl: &mut Cluster, s| {
-                cl.cp_action(s, idx, |m, s| {
+                cl.cp_action(s, idx, move |m, s| {
                     m.cp_grant_bypass(s, dom);
-                    let _ = m.store.write(DOM0, &keys::congested(dom), "0");
+                    let _ = m.store.write(DOM0, &congested_key, val::zero());
                 });
             });
         }
@@ -411,12 +431,9 @@ impl IOrchestraPlane {
             // Publish to the store (the guests' registered callbacks pick
             // these up; for the simulated guests the machine applies them
             // directly).
+            let k = Self::keys_for(&mut self.domain_keys, dom);
             for (sk, w) in route.iter().enumerate() {
-                let _ = m.store.write(
-                    DOM0,
-                    &keys::socket_weight(dom, sk),
-                    format!("{:.4}", w),
-                );
+                let _ = m.store.write(DOM0, k.socket_weight(sk), format!("{:.4}", w));
             }
             m.cp_set_route_weights(dom, route);
             // Quanta per socket: Q_i = BW_max · S^{VMi}_{SKT}.
@@ -450,11 +467,13 @@ impl ControlPlane for IOrchestraPlane {
             self.manager_watch_registered = true;
         }
         // Guest-driver registration: defaults + a watch on its own subtree.
-        let base = XenStore::domain_path(dom);
-        Self::guest_write(m, dom, &keys::flush_now(dom), "0");
-        Self::guest_write(m, dom, &keys::congested(dom), "0");
-        Self::guest_write(m, dom, &keys::release_request(dom), "0");
-        m.store.watch(dom, format!("{base}/virt-dev"));
+        // The DomainKeys built here is the one the per-tick loops reuse for
+        // the domain's whole lifetime.
+        let k = Self::keys_for(&mut self.domain_keys, dom);
+        Self::guest_write(m, dom, &k.flush_now, val::zero());
+        Self::guest_write(m, dom, &k.congested, val::zero());
+        Self::guest_write(m, dom, &k.release_request, val::zero());
+        m.store.watch(dom, &k.virt_dev);
     }
 
     fn on_domain_destroyed(&mut self, _m: &mut Machine, _s: &mut Sched, dom: DomainId) {
@@ -462,6 +481,7 @@ impl ControlPlane for IOrchestraPlane {
         self.congested_fifo.retain(|&d| d != dom);
         self.last_route_weights.remove(&dom);
         self.write_count_base.remove(&dom);
+        self.domain_keys.remove(&dom);
         self.anomaly.remove(dom);
     }
 
@@ -470,29 +490,37 @@ impl ControlPlane for IOrchestraPlane {
             KernelSignal::DirtyStatusChanged(has) => {
                 if self.cfg.functions.flush {
                     let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
-                    Self::guest_write(m, dom, &keys::has_dirty_pages(dom), if has { "1" } else { "0" });
-                    Self::guest_write(m, dom, &keys::nr_dirty(dom), &nr.to_string());
+                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    // Monitoring keys: no callback consumes them, so a
+                    // value the store already holds is not republished.
+                    Self::guest_publish(m, dom, &k.has_dirty_pages, val::flag(has));
+                    Self::guest_publish(m, dom, &k.nr_dirty, val::uint(nr));
                 }
             }
             KernelSignal::CongestionQuery => {
                 if self.cfg.functions.congestion {
                     // The guest enters congestion immediately (as Linux
                     // does) and asks the host through the store; the answer
-                    // arrives a store-round-trip later.
+                    // arrives a store-round-trip later. This is a control
+                    // key: it always publishes, because the management
+                    // module must re-answer even a repeated query.
                     m.cp_enter_congestion(dom);
-                    Self::guest_write(m, dom, &keys::congested(dom), "1");
+                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    Self::guest_write(m, dom, &k.congested, val::one());
                 } else {
                     m.cp_enter_congestion(dom);
                 }
             }
             KernelSignal::CongestionCleared => {
                 if self.cfg.functions.congestion {
-                    Self::guest_write(m, dom, &keys::congested(dom), "0");
+                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    Self::guest_write(m, dom, &k.congested, val::zero());
                     self.congested_fifo.retain(|&d| d != dom);
                 }
             }
             KernelSignal::RemoteSyncCompleted => {
-                Self::guest_write(m, dom, &keys::flush_now(dom), "0");
+                let k = Self::keys_for(&mut self.domain_keys, dom);
+                Self::guest_write(m, dom, &k.flush_now, val::zero());
             }
         }
         let _ = s;
@@ -518,7 +546,8 @@ impl ControlPlane for IOrchestraPlane {
                 } else {
                     // False trigger: release the request queue.
                     self.stats.releases_granted += 1;
-                    let _ = m.store.write(DOM0, &keys::release_request(dom), "1");
+                        let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let _ = m.store.write(DOM0, &k.release_request, val::one());
                 }
             } else if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("0") {
                 self.flush_in_progress.remove(&dom);
@@ -530,8 +559,9 @@ impl ControlPlane for IOrchestraPlane {
             } else if keys::is_key(&ev.path, "release_request") && ev.value.as_deref() == Some("1")
             {
                 m.cp_grant_bypass(s, dom);
-                Self::guest_write(m, dom, &keys::release_request(dom), "0");
-                Self::guest_write(m, dom, &keys::congested(dom), "0");
+                let k = Self::keys_for(&mut self.domain_keys, dom);
+                Self::guest_write(m, dom, &k.release_request, val::zero());
+                Self::guest_write(m, dom, &k.congested, val::zero());
             }
         }
     }
@@ -554,7 +584,8 @@ impl ControlPlane for IOrchestraPlane {
             for dom in m.domain_ids() {
                 let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
                 if nr > 0 {
-                    Self::guest_write(m, dom, &keys::nr_dirty(dom), &nr.to_string());
+                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    Self::guest_publish(m, dom, &k.nr_dirty, val::uint(nr));
                 }
             }
         }

@@ -1,76 +1,95 @@
-//! Property-based tests for the co-scheduling formulas and the anomaly
-//! detector.
-
-use proptest::prelude::*;
+//! Randomized tests for the co-scheduling formulas and the anomaly
+//! detector, driven by the in-tree generators (`iorch_simcore::gen`) with
+//! a fixed seed sweep — no external property-test crate.
 
 use iorch_hypervisor::DomainId;
-use iorch_simcore::{SimDuration, SimTime};
+use iorch_simcore::{gen, SimDuration, SimRng, SimTime};
 use iorchestra::anomaly::{AnomalyDetector, AnomalyParams};
 use iorchestra::formulas::{
     drr_quantum, inverse_latency_weights, ratio_changed, socket_io_share, socket_process_weight,
 };
 
-proptest! {
-    /// Inverse-latency weights: sum to one, all finite and non-negative,
-    /// and ordering is inverse to the latencies.
-    #[test]
-    fn weights_are_a_distribution(lats in proptest::collection::vec(0.0f64..1e6, 1..8)) {
+const CASES: usize = 64;
+
+/// Inverse-latency weights: sum to one, all finite and non-negative, and
+/// ordering is inverse to the latencies.
+#[test]
+fn weights_are_a_distribution() {
+    for seed in gen::seeds(0xC0_0001, CASES) {
+        let mut rng = SimRng::new(seed);
+        let lats = gen::vec_between(&mut rng, 1, 8, |r| gen::f64_in(r, 0.0, 1e6));
         let w = inverse_latency_weights(&lats);
-        prop_assert_eq!(w.len(), lats.len());
+        assert_eq!(w.len(), lats.len(), "seed {seed}");
         let sum: f64 = w.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9, "seed {seed}");
         for (i, a) in lats.iter().enumerate() {
-            prop_assert!(w[i].is_finite() && w[i] >= 0.0);
+            assert!(w[i].is_finite() && w[i] >= 0.0, "seed {seed}");
             for (j, b) in lats.iter().enumerate() {
                 if a.max(0.5) < b.max(0.5) {
-                    prop_assert!(w[i] >= w[j], "faster socket must weigh more");
+                    assert!(w[i] >= w[j], "faster socket must weigh more (seed {seed})");
                 }
             }
         }
     }
+}
 
-    /// Socket shares partition the VM share exactly.
-    #[test]
-    fn shares_partition_vm_share(
-        weights in proptest::collection::vec(0.01f64..100.0, 1..16),
-        sockets in proptest::collection::vec(0usize..4, 16),
-        vm_share in 0.01f64..1.0,
-    ) {
-        let n = weights.len();
-        let socks = &sockets[..n];
+/// Socket shares partition the VM share exactly.
+#[test]
+fn shares_partition_vm_share() {
+    for seed in gen::seeds(0xC0_0002, CASES) {
+        let mut rng = SimRng::new(seed);
+        let weights = gen::vec_between(&mut rng, 1, 16, |r| gen::f64_in(r, 0.01, 100.0));
+        let socks = gen::vec_of(&mut rng, weights.len(), |r| r.below(4) as usize);
+        let vm_share = gen::f64_in(&mut rng, 0.01, 1.0);
         let total: f64 = weights.iter().sum();
         let sum: f64 = (0..4)
-            .map(|sk| socket_io_share(socket_process_weight(&weights, socks, sk), total, vm_share))
+            .map(|sk| socket_io_share(socket_process_weight(&weights, &socks, sk), total, vm_share))
             .sum();
-        prop_assert!((sum - vm_share).abs() < 1e-9);
+        assert!((sum - vm_share).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    /// Quanta are monotone in share and bandwidth and never below the floor.
-    #[test]
-    fn quantum_monotone(bw in 1u64..10_000_000_000, s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+/// Quanta are monotone in share and bandwidth and never below the floor.
+#[test]
+fn quantum_monotone() {
+    for seed in gen::seeds(0xC0_0003, CASES) {
+        let mut rng = SimRng::new(seed);
+        let bw = 1 + rng.below(10_000_000_000);
+        let s1 = rng.f64();
+        let s2 = rng.f64();
         let round = SimDuration::from_millis(1);
         let q1 = drr_quantum(bw, s1, round);
         let q2 = drr_quantum(bw, s2, round);
-        prop_assert!(q1 >= 4096 && q2 >= 4096);
+        assert!(q1 >= 4096 && q2 >= 4096, "seed {seed}");
         if s1 < s2 {
-            prop_assert!(q1 <= q2);
+            assert!(q1 <= q2, "seed {seed}");
         }
     }
+}
 
-    /// ratio_changed is reflexive-false (same weights never "change") and
-    /// symmetric shapes always change.
-    #[test]
-    fn ratio_change_properties(w in proptest::collection::vec(0.01f64..10.0, 1..6), thr in 0.01f64..2.0) {
-        prop_assert!(!ratio_changed(&w, &w, thr));
+/// ratio_changed is reflexive-false (same weights never "change") and
+/// shape mismatches always change.
+#[test]
+fn ratio_change_properties() {
+    for seed in gen::seeds(0xC0_0004, CASES) {
+        let mut rng = SimRng::new(seed);
+        let w = gen::vec_between(&mut rng, 1, 6, |r| gen::f64_in(r, 0.01, 10.0));
+        let thr = gen::f64_in(&mut rng, 0.01, 2.0);
+        assert!(!ratio_changed(&w, &w, thr), "seed {seed}");
         let mut longer = w.clone();
         longer.push(1.0);
-        prop_assert!(ratio_changed(&w, &longer, thr));
+        assert!(ratio_changed(&w, &longer, thr), "seed {seed}");
     }
+}
 
-    /// The anomaly detector never flags a domain whose rate stays within
-    /// budget, and always flags one that exceeds it in a single window.
-    #[test]
-    fn detector_threshold_exact(budget in 1u64..100, overshoot in 1u64..100) {
+/// The anomaly detector never flags a domain whose rate stays within
+/// budget, and always flags one that exceeds it in a single window.
+#[test]
+fn detector_threshold_exact() {
+    for seed in gen::seeds(0xC0_0005, CASES) {
+        let mut rng = SimRng::new(seed);
+        let budget = 1 + rng.below(99);
+        let overshoot = 1 + rng.below(99);
         let params = AnomalyParams {
             window: SimDuration::from_millis(100),
             max_writes_per_window: budget,
@@ -78,15 +97,18 @@ proptest! {
         let mut det = AnomalyDetector::new(params);
         // Exactly at budget: never flagged.
         for i in 0..budget {
-            prop_assert!(!det.on_write(DomainId(1), SimTime::from_millis(i.min(99))));
+            assert!(
+                !det.on_write(DomainId(1), SimTime::from_millis(i.min(99))),
+                "seed {seed}"
+            );
         }
-        prop_assert!(!det.is_flagged(DomainId(1)));
+        assert!(!det.is_flagged(DomainId(1)), "seed {seed}");
         // Exceeding within one window: flagged.
         let mut det2 = AnomalyDetector::new(params);
         let mut flagged = false;
         for _ in 0..budget + overshoot {
             flagged = det2.on_write(DomainId(2), SimTime::from_millis(50));
         }
-        prop_assert!(flagged);
+        assert!(flagged, "seed {seed}");
     }
 }

@@ -1,21 +1,25 @@
-//! Property-based tests for guest-kernel invariants: page-cache dirty
+//! Randomized tests for guest-kernel invariants: page-cache dirty
 //! accounting, congestion hysteresis, VFS allocation, chunk coalescing.
-
-use proptest::prelude::*;
+//! Driven by the in-tree generators (`iorch_simcore::gen`) with a fixed
+//! seed sweep — no external property-test crate.
 
 use iorch_guestos::{
     coalesce_chunks, congestion_off_threshold, congestion_on_threshold, GuestQueue,
     GuestQueueParams, PageCache, Submit, Vfs, CHUNK_PAGES,
 };
-use iorch_simcore::SimTime;
+use iorch_simcore::{gen, SimRng, SimTime};
 use iorch_storage::{IoKind, IoRequest, RequestId, StreamId};
 
-proptest! {
-    /// Dirty accounting is conserved: after flushing everything and
-    /// completing all writebacks, dirty and writeback counts are zero and
-    /// every touched chunk is still resident (nothing lost).
-    #[test]
-    fn dirty_accounting_conservation(ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..300)) {
+const CASES: usize = 64;
+
+/// Dirty accounting is conserved: after flushing everything and completing
+/// all writebacks, dirty and writeback counts are zero and every touched
+/// chunk is still resident (nothing lost).
+#[test]
+fn dirty_accounting_conservation() {
+    for seed in gen::seeds(0x60_0001, CASES) {
+        let mut rng = SimRng::new(seed);
+        let ops = gen::vec_between(&mut rng, 1, 300, |r| (r.below(200), r.chance(0.5)));
         let mut pc = PageCache::new(100_000 * CHUNK_PAGES);
         for (i, &(chunk, write)) in ops.iter().enumerate() {
             if write {
@@ -24,22 +28,29 @@ proptest! {
                 pc.insert_clean(chunk);
             }
             // Invariant: dirty + writeback never exceeds resident.
-            prop_assert!(pc.dirty_pages() + pc.writeback_pages() <= pc.resident_pages());
+            assert!(
+                pc.dirty_pages() + pc.writeback_pages() <= pc.resident_pages(),
+                "seed {seed}"
+            );
         }
         let batch = pc.take_dirty_batch(usize::MAX, None);
-        prop_assert_eq!(pc.dirty_pages(), 0);
+        assert_eq!(pc.dirty_pages(), 0, "seed {seed}");
         for c in &batch {
             pc.writeback_done(*c);
         }
-        prop_assert_eq!(pc.writeback_pages(), 0);
+        assert_eq!(pc.writeback_pages(), 0, "seed {seed}");
         for &(chunk, _) in &ops {
-            prop_assert!(pc.contains(chunk));
+            assert!(pc.contains(chunk), "seed {seed}");
         }
     }
+}
 
-    /// take_dirty_batch returns oldest-first without duplicates.
-    #[test]
-    fn dirty_batch_oldest_first(chunks in proptest::collection::vec(0u64..1000, 1..200)) {
+/// take_dirty_batch returns oldest-first without duplicates.
+#[test]
+fn dirty_batch_oldest_first() {
+    for seed in gen::seeds(0x60_0002, CASES) {
+        let mut rng = SimRng::new(seed);
+        let chunks = gen::vec_between(&mut rng, 1, 200, |r| r.below(1000));
         let mut pc = PageCache::new(1_000_000 * CHUNK_PAGES);
         let mut first_seen = std::collections::HashMap::new();
         for (i, &c) in chunks.iter().enumerate() {
@@ -49,18 +60,23 @@ proptest! {
         let batch = pc.take_dirty_batch(usize::MAX, None);
         let mut uniq = std::collections::HashSet::new();
         for c in &batch {
-            prop_assert!(uniq.insert(*c), "duplicate in batch");
+            assert!(uniq.insert(*c), "duplicate in batch (seed {seed})");
         }
         // Oldest-first by first dirty time.
         for w in batch.windows(2) {
-            prop_assert!(first_seen[&w[0]] <= first_seen[&w[1]]);
+            assert!(first_seen[&w[0]] <= first_seen[&w[1]], "seed {seed}");
         }
     }
+}
 
-    /// Congestion hysteresis: the flag can only be on when allocation ever
-    /// crossed 7/8, and it always clears below 13/16.
-    #[test]
-    fn congestion_hysteresis(nr in 16usize..512, submit_batches in proptest::collection::vec(1usize..40, 1..40)) {
+/// Congestion hysteresis: the flag can only be on when allocation ever
+/// crossed 7/8, and it always clears below 13/16.
+#[test]
+fn congestion_hysteresis() {
+    for seed in gen::seeds(0x60_0003, CASES) {
+        let mut rng = SimRng::new(seed);
+        let nr = 16 + rng.below(512 - 16) as usize;
+        let submit_batches = gen::vec_between(&mut rng, 1, 40, |r| 1 + r.below(39) as usize);
         let params = GuestQueueParams {
             nr_requests: nr,
             max_merged_len: 0,
@@ -69,7 +85,7 @@ proptest! {
         let mut q = GuestQueue::new(params);
         let on = congestion_on_threshold(nr);
         let off = congestion_off_threshold(nr);
-        prop_assert!(off <= on);
+        assert!(off <= on, "seed {seed}");
         let mut id = 0u64;
         for (round, batch) in submit_batches.iter().enumerate() {
             for _ in 0..*batch {
@@ -92,21 +108,25 @@ proptest! {
                 }
             }
             if q.is_congested() {
-                prop_assert!(q.allocated() >= off, "congested below off threshold");
+                assert!(q.allocated() >= off, "congested below off threshold (seed {seed})");
             }
             // Drain a few and verify clearing.
             if round % 2 == 1 {
                 let n = q.allocated();
                 q.on_complete(n);
-                prop_assert!(!q.is_congested());
-                prop_assert_eq!(q.allocated(), 0);
+                assert!(!q.is_congested(), "seed {seed}");
+                assert_eq!(q.allocated(), 0, "seed {seed}");
             }
         }
     }
+}
 
-    /// VFS: allocations never overlap and deletes make space reusable.
-    #[test]
-    fn vfs_no_overlap(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+/// VFS: allocations never overlap and deletes make space reusable.
+#[test]
+fn vfs_no_overlap() {
+    for seed in gen::seeds(0x60_0004, CASES) {
+        let mut rng = SimRng::new(seed);
+        let sizes = gen::vec_between(&mut rng, 1, 50, |r| 1 + r.below(9_999));
         let total: u64 = sizes.iter().sum();
         let mut vfs = Vfs::new(total * 2);
         let mut files = Vec::new();
@@ -123,28 +143,33 @@ proptest! {
             .collect();
         ranges.sort_unstable();
         for w in ranges.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlapping extents");
+            assert!(w[0].1 <= w[1].0, "overlapping extents (seed {seed})");
         }
         // Delete everything; a file of the total size then fits.
         for (f, _) in files {
             vfs.delete(f).unwrap();
         }
-        prop_assert!(vfs.create(total * 2).is_ok());
+        assert!(vfs.create(total * 2).is_ok(), "seed {seed}");
     }
+}
 
-    /// Coalescing covers exactly the input chunk set with run lengths
-    /// within the cap.
-    #[test]
-    fn coalesce_exact_cover(chunks in proptest::collection::vec(0u64..500, 0..200), cap in 1usize..32) {
+/// Coalescing covers exactly the input chunk set with run lengths within
+/// the cap.
+#[test]
+fn coalesce_exact_cover() {
+    for seed in gen::seeds(0x60_0005, CASES) {
+        let mut rng = SimRng::new(seed);
+        let chunks = gen::vec_between(&mut rng, 0, 200, |r| r.below(500));
+        let cap = 1 + rng.below(31) as usize;
         let runs = coalesce_chunks(chunks.clone(), cap);
         let mut covered = std::collections::BTreeSet::new();
         for (start, count) in &runs {
-            prop_assert!(*count as usize <= cap);
+            assert!(*count as usize <= cap, "seed {seed}");
             for c in *start..start + count {
-                prop_assert!(covered.insert(c), "chunk covered twice");
+                assert!(covered.insert(c), "chunk covered twice (seed {seed})");
             }
         }
         let expect: std::collections::BTreeSet<u64> = chunks.into_iter().collect();
-        prop_assert_eq!(covered, expect);
+        assert_eq!(covered, expect, "seed {seed}");
     }
 }

@@ -24,6 +24,7 @@ mod machine;
 mod numa;
 mod ring;
 mod xenstore;
+pub mod xenstore_legacy;
 
 pub use cpu::CpuAccounting;
 pub use domain::{DomainId, VmSpec};
@@ -34,4 +35,7 @@ pub use machine::{
 };
 pub use numa::{CoreId, NumaTopology, PlacementPolicy};
 pub use ring::{Ring, RingPush};
-pub use xenstore::{Perms, StoreError, TxnId, WatchEvent, WatchId, XenStore, DOM0};
+pub use xenstore::{
+    AsStorePath, IntoStoreValue, Perms, StoreError, StorePath, TxnId, WatchEvent, WatchId,
+    XenStore, DOM0,
+};

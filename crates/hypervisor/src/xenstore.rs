@@ -11,8 +11,33 @@
 //! watched subtree queues a [`WatchEvent`] for the watch's owner; the
 //! machine delivers those events over the (modelled) XenBus channel with a
 //! small latency.
+//!
+//! # Hot path
+//!
+//! The store sits on the path of every Algorithm 1–3 decision, so every
+//! per-operation allocation the seed implementation made has been removed:
+//!
+//! * Paths are walked with an iterator — no per-op `Vec<&str>`.
+//! * [`StorePath`] interns a validated path as an `Arc<str>`; policy code
+//!   parses its keys once per domain and clones them for free.
+//! * Values live as `Arc<str>`; watch-event payloads share them instead of
+//!   cloning a `String` per subscriber, and [`XenStore::read_ref`] borrows
+//!   straight out of the tree.
+//! * Watches are indexed by their full prefix. A write enumerates the
+//!   ancestor prefixes of its path (cost: path depth), so non-matching
+//!   watches cost nothing — the seed scanned every watch on every write.
+//! * [`XenStore::write_if_changed`] suppresses no-op republishes entirely.
+//! * Transactions validate permissions by walking the live tree; the seed
+//!   cloned the whole store per commit.
+//!
+//! The seed implementation is preserved verbatim in
+//! [`crate::xenstore_legacy`] as a differential-test oracle and benchmark
+//! baseline.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::domain::DomainId;
 
@@ -63,18 +88,231 @@ impl Perms {
         }
     }
 
-    fn can_read(&self, caller: DomainId) -> bool {
+    /// Whether `caller` may read a node with these permissions.
+    pub fn can_read(&self, caller: DomainId) -> bool {
         caller == DOM0 || caller == self.owner || self.others_read
     }
 
-    fn can_write(&self, caller: DomainId) -> bool {
+    /// Whether `caller` may write a node with these permissions.
+    pub fn can_write(&self, caller: DomainId) -> bool {
         caller == DOM0 || caller == self.owner || self.others_write
     }
 }
 
+// --------------------------------------------------------------------
+// Paths
+// --------------------------------------------------------------------
+
+fn validate_path(path: &str) -> Result<(), StoreError> {
+    if !path.starts_with('/') {
+        return Err(StoreError::BadPath);
+    }
+    if path == "/" {
+        return Ok(());
+    }
+    // No empty segment: no "//" anywhere and no trailing '/'.
+    let bytes = path.as_bytes();
+    if bytes[bytes.len() - 1] == b'/' {
+        return Err(StoreError::BadPath);
+    }
+    if bytes.windows(2).any(|w| w == b"//") {
+        return Err(StoreError::BadPath);
+    }
+    Ok(())
+}
+
+/// Iterate the segments of an already-validated absolute path.
+/// `"/"` yields nothing.
+fn path_segments(path: &str) -> std::str::Split<'_, char> {
+    // `""` has a single empty segment under split; normalise so the root
+    // path iterates zero segments. `"/".split('/')` on the trimmed empty
+    // string still yields one "", so handle via the trimmed slice below.
+    let trimmed = if path == "/" { "" } else { &path[1..] };
+    let mut it = trimmed.split('/');
+    if trimmed.is_empty() {
+        // Consume the single empty item so the iterator is empty.
+        it.next();
+    }
+    it
+}
+
+/// A pre-validated, interned store path.
+///
+/// Parsing checks the same rules as the string entry points (leading `/`,
+/// no empty segments); after that, passing a `StorePath` to the store is
+/// allocation-free, and the path inside any resulting [`WatchEvent`] is a
+/// reference-counted clone of this one. Policy code should build its keys
+/// once per domain (see `iorchestra::keys::DomainKeys`) and reuse them
+/// every tick.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StorePath {
+    full: Arc<str>,
+}
+
+impl StorePath {
+    /// Parse and intern a path.
+    pub fn parse(path: &str) -> Result<Self, StoreError> {
+        validate_path(path)?;
+        Ok(StorePath {
+            full: Arc::from(path),
+        })
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.full
+    }
+
+    /// A shared copy of the underlying string (refcount bump, no copy).
+    pub fn shared(&self) -> Arc<str> {
+        Arc::clone(&self.full)
+    }
+
+    /// Iterate the path's segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        path_segments(&self.full)
+    }
+}
+
+impl Deref for StorePath {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.full
+    }
+}
+
+impl AsRef<str> for StorePath {
+    fn as_ref(&self) -> &str {
+        &self.full
+    }
+}
+
+impl fmt::Display for StorePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+impl fmt::Debug for StorePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StorePath({})", &*self.full)
+    }
+}
+
+/// Anything the store accepts as a path argument.
+///
+/// Strings are validated and walked in place; a [`StorePath`] additionally
+/// hands the store a shareable `Arc<str>` so firing a watch never copies
+/// the path.
+pub trait AsStorePath {
+    /// The path as a string slice.
+    fn path_str(&self) -> &str;
+    /// A pre-interned shared copy, if one exists. `None` means the store
+    /// allocates one lazily — and only if a watch actually fires.
+    fn to_shared(&self) -> Option<Arc<str>> {
+        None
+    }
+}
+
+impl AsStorePath for &str {
+    fn path_str(&self) -> &str {
+        self
+    }
+}
+
+impl AsStorePath for String {
+    fn path_str(&self) -> &str {
+        self
+    }
+}
+
+impl AsStorePath for &String {
+    fn path_str(&self) -> &str {
+        self
+    }
+}
+
+impl AsStorePath for StorePath {
+    fn path_str(&self) -> &str {
+        &self.full
+    }
+    fn to_shared(&self) -> Option<Arc<str>> {
+        Some(self.shared())
+    }
+}
+
+impl AsStorePath for &StorePath {
+    fn path_str(&self) -> &str {
+        &self.full
+    }
+    fn to_shared(&self) -> Option<Arc<str>> {
+        Some(self.shared())
+    }
+}
+
+/// Anything the store accepts as a value argument. Cached `Arc<str>`
+/// encodings (see `iorchestra::keys::val`) pass through with a refcount
+/// bump; borrowed strings are copied once, at the final write site.
+pub trait IntoStoreValue {
+    /// The value as a string slice (used for change detection without
+    /// committing to an allocation).
+    fn value_str(&self) -> &str;
+    /// Convert into the stored representation.
+    fn into_value(self) -> Arc<str>;
+}
+
+impl IntoStoreValue for Arc<str> {
+    fn value_str(&self) -> &str {
+        self
+    }
+    fn into_value(self) -> Arc<str> {
+        self
+    }
+}
+
+impl IntoStoreValue for &Arc<str> {
+    fn value_str(&self) -> &str {
+        self
+    }
+    fn into_value(self) -> Arc<str> {
+        Arc::clone(self)
+    }
+}
+
+impl IntoStoreValue for &str {
+    fn value_str(&self) -> &str {
+        self
+    }
+    fn into_value(self) -> Arc<str> {
+        Arc::from(self)
+    }
+}
+
+impl IntoStoreValue for String {
+    fn value_str(&self) -> &str {
+        self
+    }
+    fn into_value(self) -> Arc<str> {
+        Arc::from(self)
+    }
+}
+
+impl IntoStoreValue for &String {
+    fn value_str(&self) -> &str {
+        self
+    }
+    fn into_value(self) -> Arc<str> {
+        Arc::from(self.as_str())
+    }
+}
+
+// --------------------------------------------------------------------
+// Nodes, watches, events
+// --------------------------------------------------------------------
+
 #[derive(Clone, Debug)]
 struct Node {
-    value: Option<String>,
+    value: Option<Arc<str>>,
     perms: Perms,
     children: BTreeMap<String, Node>,
 }
@@ -94,6 +332,9 @@ impl Node {
 pub struct WatchId(pub u64);
 
 /// A queued watch firing: `path` changed, notify `owner`.
+///
+/// The payload strings are shared (`Arc<str>`): when several watches match
+/// one write, every event references the same path and value allocation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WatchEvent {
     /// The watch that fired.
@@ -101,16 +342,15 @@ pub struct WatchEvent {
     /// Domain to notify.
     pub owner: DomainId,
     /// The path that was written or removed.
-    pub path: String,
+    pub path: Arc<str>,
     /// New value (`None` for a removal).
-    pub value: Option<String>,
+    pub value: Option<Arc<str>>,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Watch {
     id: WatchId,
     owner: DomainId,
-    prefix: String,
 }
 
 /// Identifies an open transaction.
@@ -121,26 +361,19 @@ pub struct TxnId(pub u64);
 #[derive(Clone, Debug)]
 pub struct XenStore {
     root: Node,
-    watches: Vec<Watch>,
+    /// Watches bucketed by their full prefix string. A write looks up each
+    /// ancestor prefix of its path — O(depth) probes, independent of how
+    /// many watches are registered elsewhere in the tree.
+    watch_index: HashMap<Arc<str>, Vec<Watch>>,
+    /// Reverse map for `unwatch`.
+    watch_prefixes: BTreeMap<u64, Arc<str>>,
     next_watch: u64,
     pending: Vec<WatchEvent>,
-    txns: BTreeMap<u64, Vec<(DomainId, String, String)>>,
+    /// Reused hit buffer for `fire_watches` (watch id, owner).
+    scratch_hits: Vec<(u64, DomainId)>,
+    txns: BTreeMap<u64, Vec<(DomainId, StorePath, Arc<str>)>>,
     next_txn: u64,
     write_counts: BTreeMap<DomainId, u64>,
-}
-
-fn split_path(path: &str) -> Result<Vec<&str>, StoreError> {
-    if !path.starts_with('/') {
-        return Err(StoreError::BadPath);
-    }
-    if path == "/" {
-        return Ok(Vec::new());
-    }
-    let segs: Vec<&str> = path[1..].split('/').collect();
-    if segs.iter().any(|s| s.is_empty()) {
-        return Err(StoreError::BadPath);
-    }
-    Ok(segs)
 }
 
 impl Default for XenStore {
@@ -158,109 +391,203 @@ impl XenStore {
                 others_read: true,
                 others_write: false,
             }),
-            watches: Vec::new(),
+            watch_index: HashMap::new(),
+            watch_prefixes: BTreeMap::new(),
             next_watch: 0,
             pending: Vec::new(),
+            scratch_hits: Vec::new(),
             txns: BTreeMap::new(),
             next_txn: 0,
             write_counts: BTreeMap::new(),
         }
     }
 
-    fn lookup(&self, segs: &[&str]) -> Option<&Node> {
+    fn lookup<'a>(&'a self, path: &str) -> Option<&'a Node> {
         let mut node = &self.root;
-        for s in segs {
-            node = node.children.get(*s)?;
+        for s in path_segments(path) {
+            node = node.children.get(s)?;
         }
         Some(node)
     }
 
-    fn lookup_mut(&mut self, segs: &[&str]) -> Option<&mut Node> {
+    fn lookup_mut<'a>(&'a mut self, path: &str) -> Option<&'a mut Node> {
         let mut node = &mut self.root;
-        for s in segs {
-            node = node.children.get_mut(*s)?;
+        for s in path_segments(path) {
+            node = node.children.get_mut(s)?;
         }
         Some(node)
     }
 
-    /// Read a value.
-    pub fn read(&self, caller: DomainId, path: &str) -> Result<String, StoreError> {
-        let segs = split_path(path)?;
-        let node = self.lookup(&segs).ok_or(StoreError::NotFound)?;
+    /// Read a value (owned copy; see [`XenStore::read_ref`] for the
+    /// borrowing fast path).
+    pub fn read<P: AsStorePath>(&self, caller: DomainId, path: P) -> Result<String, StoreError> {
+        self.read_ref(caller, path).map(str::to_string)
+    }
+
+    /// Read a value without copying it: borrows straight out of the tree.
+    pub fn read_ref<P: AsStorePath>(&self, caller: DomainId, path: P) -> Result<&str, StoreError> {
+        let path = path.path_str();
+        validate_path(path)?;
+        let node = self.lookup(path).ok_or(StoreError::NotFound)?;
+        if !node.perms.can_read(caller) {
+            return Err(StoreError::PermissionDenied);
+        }
+        node.value.as_deref().ok_or(StoreError::NotFound)
+    }
+
+    /// Read a value as a shared `Arc<str>` (refcount bump, no copy).
+    pub fn read_shared<P: AsStorePath>(
+        &self,
+        caller: DomainId,
+        path: P,
+    ) -> Result<Arc<str>, StoreError> {
+        let path = path.path_str();
+        validate_path(path)?;
+        let node = self.lookup(path).ok_or(StoreError::NotFound)?;
         if !node.perms.can_read(caller) {
             return Err(StoreError::PermissionDenied);
         }
         node.value.clone().ok_or(StoreError::NotFound)
     }
 
+    /// Walk to the node at `path`, creating missing nodes with inherited
+    /// permissions. Checks write permission on the deepest pre-existing
+    /// node before creating anything (seed semantics), in a single pass.
+    fn walk_create<'a>(
+        root: &'a mut Node,
+        caller: DomainId,
+        path: &str,
+    ) -> Result<&'a mut Node, StoreError> {
+        let mut node = root;
+        let mut creating = false;
+        for s in path_segments(path) {
+            if !creating && node.children.contains_key(s) {
+                node = node.children.get_mut(s).unwrap();
+            } else {
+                if !creating {
+                    // First missing segment: `node` is the deepest
+                    // pre-existing node — nothing has been created yet.
+                    if !node.perms.can_write(caller) {
+                        return Err(StoreError::PermissionDenied);
+                    }
+                    creating = true;
+                }
+                let inherited = node.perms;
+                node = node
+                    .children
+                    .entry(s.to_string())
+                    .or_insert_with(|| Node::new(inherited));
+            }
+        }
+        if !creating && !node.perms.can_write(caller) {
+            return Err(StoreError::PermissionDenied);
+        }
+        Ok(node)
+    }
+
     /// Write a value, creating intermediate nodes. Intermediate and leaf
     /// nodes created by the write inherit the nearest existing ancestor's
     /// permissions; writing into an existing node requires write permission
     /// on it.
-    pub fn write(
+    pub fn write<P: AsStorePath, V: IntoStoreValue>(
         &mut self,
         caller: DomainId,
-        path: &str,
-        value: impl Into<String>,
+        path: P,
+        value: V,
     ) -> Result<(), StoreError> {
-        let segs = split_path(path)?;
-        if segs.is_empty() {
+        let path_str = path.path_str();
+        validate_path(path_str)?;
+        if path_str == "/" {
             return Err(StoreError::BadPath);
         }
-        // Walk down, checking write permission on the deepest existing node.
-        {
-            let mut node = &self.root;
-            let mut deepest = node;
-            for s in &segs {
-                match node.children.get(*s) {
-                    Some(child) => {
-                        node = child;
-                        deepest = child;
-                    }
-                    None => break,
-                }
-            }
-            if !deepest.perms.can_write(caller) {
-                return Err(StoreError::PermissionDenied);
-            }
-        }
-        // Create the chain with inherited perms.
-        let mut node = &mut self.root;
-        for s in &segs {
-            let inherited = node.perms;
-            node = node
-                .children
-                .entry((*s).to_string())
-                .or_insert_with(|| Node::new(inherited));
-        }
-        let value = value.into();
-        node.value = Some(value.clone());
+        let value = {
+            let node = Self::walk_create(&mut self.root, caller, path_str)?;
+            let value = value.into_value();
+            node.value = Some(Arc::clone(&value));
+            value
+        };
         *self.write_counts.entry(caller).or_insert(0) += 1;
-        self.fire_watches(path, Some(value));
+        self.fire_watches(path_str, path.to_shared(), Some(value));
         Ok(())
     }
 
-    /// Remove a node (and its subtree).
-    pub fn remove(&mut self, caller: DomainId, path: &str) -> Result<(), StoreError> {
-        let segs = split_path(path)?;
-        if segs.is_empty() {
+    /// Write a value only if it differs from what is already stored.
+    /// Returns `Ok(true)` if the store changed (watches fired), `Ok(false)`
+    /// if the identical value was already present — in which case nothing
+    /// is republished and no watch event is queued. Permission checks are
+    /// identical to [`XenStore::write`] either way.
+    pub fn write_if_changed<P: AsStorePath, V: IntoStoreValue>(
+        &mut self,
+        caller: DomainId,
+        path: P,
+        value: V,
+    ) -> Result<bool, StoreError> {
+        let path_str = path.path_str();
+        validate_path(path_str)?;
+        if path_str == "/" {
             return Err(StoreError::BadPath);
         }
-        let (parent_segs, leaf) = segs.split_at(segs.len() - 1);
-        let node = self.lookup(&segs).ok_or(StoreError::NotFound)?;
+        if let Some(node) = self.lookup(path_str) {
+            if !node.perms.can_write(caller) {
+                return Err(StoreError::PermissionDenied);
+            }
+            if node.value.as_deref() == Some(value.value_str()) {
+                return Ok(false);
+            }
+        }
+        self.write(caller, path, value)?;
+        Ok(true)
+    }
+
+    /// Remove a node and its subtree. Fires one watch event per removed
+    /// node — the named path first, then every descendant in depth-first
+    /// child order — so a watcher of a deleted subtree learns about every
+    /// node that vanished, not just the root of the removal.
+    pub fn remove<P: AsStorePath>(&mut self, caller: DomainId, path: P) -> Result<(), StoreError> {
+        let path_str = path.path_str();
+        validate_path(path_str)?;
+        if path_str == "/" {
+            return Err(StoreError::BadPath);
+        }
+        let node = self.lookup(path_str).ok_or(StoreError::NotFound)?;
         if !node.perms.can_write(caller) {
             return Err(StoreError::PermissionDenied);
         }
-        let parent = self.lookup_mut(parent_segs).ok_or(StoreError::NotFound)?;
-        parent.children.remove(leaf[0]);
-        self.fire_watches(path, None);
+        let (parent_path, leaf) = path_str.rsplit_once('/').unwrap();
+        let parent = if parent_path.is_empty() {
+            &mut self.root
+        } else {
+            self.lookup_mut(parent_path).ok_or(StoreError::NotFound)?
+        };
+        let removed = parent.children.remove(leaf).ok_or(StoreError::NotFound)?;
+        // Event for the removed root (sharing the caller's interned path
+        // when available), then one per descendant, parent-first.
+        self.fire_watches(path_str, path.to_shared(), None);
+        let mut buf = String::from(path_str);
+        self.fire_removed_subtree(&removed, &mut buf);
         Ok(())
     }
 
+    fn fire_removed_subtree(&mut self, node: &Node, path: &mut String) {
+        for (name, child) in &node.children {
+            let len = path.len();
+            path.push('/');
+            path.push_str(name);
+            self.fire_watches(path, None, None);
+            self.fire_removed_subtree(child, path);
+            path.truncate(len);
+        }
+    }
+
     /// List child names of a directory node.
-    pub fn list(&self, caller: DomainId, path: &str) -> Result<Vec<String>, StoreError> {
-        let segs = split_path(path)?;
-        let node = self.lookup(&segs).ok_or(StoreError::NotFound)?;
+    pub fn list<P: AsStorePath>(
+        &self,
+        caller: DomainId,
+        path: P,
+    ) -> Result<Vec<String>, StoreError> {
+        let path = path.path_str();
+        validate_path(path)?;
+        let node = self.lookup(path).ok_or(StoreError::NotFound)?;
         if !node.perms.can_read(caller) {
             return Err(StoreError::PermissionDenied);
         }
@@ -269,14 +596,15 @@ impl XenStore {
 
     /// Set permissions on an existing node. Only dom0 or the current owner
     /// may change them.
-    pub fn set_perms(
+    pub fn set_perms<P: AsStorePath>(
         &mut self,
         caller: DomainId,
-        path: &str,
+        path: P,
         perms: Perms,
     ) -> Result<(), StoreError> {
-        let segs = split_path(path)?;
-        let node = self.lookup_mut(&segs).ok_or(StoreError::NotFound)?;
+        let path = path.path_str();
+        validate_path(path)?;
+        let node = self.lookup_mut(path).ok_or(StoreError::NotFound)?;
         if caller != DOM0 && caller != node.perms.owner {
             return Err(StoreError::PermissionDenied);
         }
@@ -286,79 +614,110 @@ impl XenStore {
 
     /// Create a directory node with explicit permissions (dom0 setup path;
     /// also allowed for a domain inside its own subtree).
-    pub fn mkdir(
+    pub fn mkdir<P: AsStorePath>(
         &mut self,
         caller: DomainId,
-        path: &str,
+        path: P,
         perms: Perms,
     ) -> Result<(), StoreError> {
-        let segs = split_path(path)?;
-        if segs.is_empty() {
+        let path = path.path_str();
+        validate_path(path)?;
+        if path == "/" {
             return Err(StoreError::BadPath);
         }
-        // Permission to create: write permission at the deepest existing node.
-        {
-            let mut node = &self.root;
-            let mut deepest = node;
-            for s in &segs {
-                match node.children.get(*s) {
-                    Some(child) => {
-                        node = child;
-                        deepest = child;
-                    }
-                    None => break,
-                }
-            }
-            if !deepest.perms.can_write(caller) {
-                return Err(StoreError::PermissionDenied);
-            }
-        }
-        let mut node = &mut self.root;
-        for s in &segs {
-            let inherited = node.perms;
-            node = node
-                .children
-                .entry((*s).to_string())
-                .or_insert_with(|| Node::new(inherited));
-        }
+        let node = Self::walk_create(&mut self.root, caller, path)?;
         node.perms = perms;
         Ok(())
     }
 
     /// Register a watch on a path prefix. Any write/remove at or below the
     /// prefix queues a [`WatchEvent`] for `owner`.
-    pub fn watch(&mut self, owner: DomainId, prefix: impl Into<String>) -> WatchId {
+    pub fn watch<P: AsStorePath>(&mut self, owner: DomainId, prefix: P) -> WatchId {
         let id = WatchId(self.next_watch);
         self.next_watch += 1;
-        self.watches.push(Watch {
-            id,
-            owner,
-            prefix: prefix.into(),
-        });
+        let key: Arc<str> = prefix
+            .to_shared()
+            .unwrap_or_else(|| Arc::from(prefix.path_str()));
+        self.watch_prefixes.insert(id.0, Arc::clone(&key));
+        self.watch_index
+            .entry(key)
+            .or_default()
+            .push(Watch { id, owner });
         id
     }
 
     /// Remove a watch.
     pub fn unwatch(&mut self, id: WatchId) -> bool {
-        let before = self.watches.len();
-        self.watches.retain(|w| w.id != id);
-        self.watches.len() != before
+        let Some(prefix) = self.watch_prefixes.remove(&id.0) else {
+            return false;
+        };
+        if let Some(bucket) = self.watch_index.get_mut(&*prefix) {
+            bucket.retain(|w| w.id != id);
+            if bucket.is_empty() {
+                self.watch_index.remove(&*prefix);
+            }
+        }
+        true
     }
 
-    fn fire_watches(&mut self, path: &str, value: Option<String>) {
-        for w in &self.watches {
-            let hit = path == w.prefix
-                || (path.starts_with(&w.prefix)
-                    && path.as_bytes().get(w.prefix.len()) == Some(&b'/'))
-                || w.prefix == "/";
-            if hit {
-                self.pending.push(WatchEvent {
-                    watch: w.id,
-                    owner: w.owner,
-                    path: path.to_string(),
-                    value: value.clone(),
-                });
+    /// Number of registered watches.
+    pub fn watch_count(&self) -> usize {
+        self.watch_prefixes.len()
+    }
+
+    /// Queue events for every watch whose prefix covers `path`.
+    ///
+    /// Matching semantics are identical to the seed's linear scan: a watch
+    /// with prefix `q` fires when `path == q`, when `q` is an ancestor of
+    /// `path` (segment boundary), or when `q` is the catch-all `"/"` (or
+    /// the degenerate `""`). Instead of scanning every watch, the path's
+    /// ancestor prefixes are looked up directly; events are emitted in
+    /// watch-registration order, exactly as the scan produced them.
+    fn fire_watches(&mut self, path: &str, shared: Option<Arc<str>>, value: Option<Arc<str>>) {
+        if self.watch_index.is_empty() {
+            return;
+        }
+        let XenStore {
+            watch_index,
+            scratch_hits,
+            pending,
+            ..
+        } = self;
+        scratch_hits.clear();
+        {
+            let mut probe = |prefix: &str| {
+                if let Some(bucket) = watch_index.get(prefix) {
+                    for w in bucket {
+                        scratch_hits.push((w.id.0, w.owner));
+                    }
+                }
+            };
+            probe("");
+            probe("/");
+            if path != "/" {
+                let bytes = path.as_bytes();
+                for i in 1..bytes.len() {
+                    if bytes[i] == b'/' {
+                        probe(&path[..i]);
+                    }
+                }
+                probe(path);
             }
+        }
+        if scratch_hits.is_empty() {
+            return;
+        }
+        // Registration order == ascending watch id (the seed scanned its
+        // watch list in push order, which is the same order).
+        scratch_hits.sort_unstable_by_key(|&(id, _)| id);
+        let shared = shared.unwrap_or_else(|| Arc::from(path));
+        for &(id, owner) in scratch_hits.iter() {
+            pending.push(WatchEvent {
+                watch: WatchId(id),
+                owner,
+                path: Arc::clone(&shared),
+                value: value.clone(),
+            });
         }
     }
 
@@ -383,27 +742,60 @@ impl XenStore {
     }
 
     /// Buffer a write inside a transaction (permissions checked at commit).
-    pub fn txn_write(
+    pub fn txn_write<P: AsStorePath, V: IntoStoreValue>(
         &mut self,
         txn: TxnId,
         caller: DomainId,
-        path: impl Into<String>,
-        value: impl Into<String>,
+        path: P,
+        value: V,
     ) -> Result<(), StoreError> {
         let buf = self.txns.get_mut(&txn.0).ok_or(StoreError::BadTransaction)?;
-        buf.push((caller, path.into(), value.into()));
+        // Intern here so a malformed path is representable until commit
+        // rejects it; StorePath::parse would eagerly reject, but the seed
+        // deferred all validation to commit, so buffer the raw string.
+        let path = StorePath {
+            full: path
+                .to_shared()
+                .unwrap_or_else(|| Arc::from(path.path_str())),
+        };
+        buf.push((caller, path, value.into_value()));
+        Ok(())
+    }
+
+    /// Validate one buffered transaction write against the current tree:
+    /// the same check [`XenStore::write`] performs, with no mutation.
+    ///
+    /// Because created nodes inherit their parent's permissions verbatim,
+    /// the deepest pre-existing node on any buffered path carries exactly
+    /// the permissions the seed's clone-and-replay probe would have seen —
+    /// so checking against the unmodified tree is equivalent to the seed's
+    /// full-store clone, without the clone.
+    fn check_txn_write(&self, caller: DomainId, path: &str) -> Result<(), StoreError> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(StoreError::BadPath);
+        }
+        let mut node = &self.root;
+        for s in path_segments(path) {
+            match node.children.get(s) {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        if !node.perms.can_write(caller) {
+            return Err(StoreError::PermissionDenied);
+        }
         Ok(())
     }
 
     /// Commit a transaction. If any write fails its permission check the
-    /// whole transaction is rolled back and the error returned.
+    /// whole transaction is rolled back (the store is untouched and no
+    /// watch events fire) and the error returned. A successful commit
+    /// applies and publishes the writes in buffer order.
     pub fn txn_commit(&mut self, txn: TxnId) -> Result<(), StoreError> {
         let buf = self.txns.remove(&txn.0).ok_or(StoreError::BadTransaction)?;
-        // Validate first against a clone (cheap at our scale), then apply.
-        let mut probe = self.clone();
-        probe.watches.clear();
-        for (caller, path, value) in &buf {
-            probe.write(*caller, path, value.clone())?;
+        for (caller, path, _) in &buf {
+            self.check_txn_write(*caller, path)?;
         }
         for (caller, path, value) in buf {
             self.write(caller, &path, value)?;
@@ -419,6 +811,8 @@ impl XenStore {
 
     /// Writes performed by a domain — input for the anomaly detector
     /// ("IOrchestra can be configured to identify malicious VMs").
+    /// Suppressed [`XenStore::write_if_changed`] republishes do not count:
+    /// they put no traffic on the channel.
     pub fn write_count(&self, dom: DomainId) -> u64 {
         self.write_counts.get(&dom).copied().unwrap_or(0)
     }
@@ -426,6 +820,30 @@ impl XenStore {
     /// Conventional per-domain subtree root, as in Xen.
     pub fn domain_path(dom: DomainId) -> String {
         format!("/local/domain/{}", dom.0)
+    }
+
+    /// Flatten the tree into `(path, value, perms)` rows, depth-first in
+    /// child order. Used by tests to compare whole-store state (e.g. that
+    /// a failed transaction left the tree byte-identical) and by the
+    /// differential suite against the legacy implementation.
+    pub fn dump(&self) -> Vec<(String, Option<String>, Perms)> {
+        let mut out = Vec::new();
+        fn visit(node: &Node, path: &mut String, out: &mut Vec<(String, Option<String>, Perms)>) {
+            for (name, child) in &node.children {
+                let len = path.len();
+                path.push('/');
+                path.push_str(name);
+                out.push((
+                    path.clone(),
+                    child.value.as_deref().map(str::to_string),
+                    child.perms,
+                ));
+                visit(child, path, out);
+                path.truncate(len);
+            }
+        }
+        visit(&self.root, &mut String::new(), &mut out);
+        out
     }
 }
 
@@ -506,6 +924,74 @@ mod tests {
         assert_eq!(s.write(DOM0, "relative", "x"), Err(StoreError::BadPath));
         assert_eq!(s.write(DOM0, "//double", "x"), Err(StoreError::BadPath));
         assert_eq!(s.write(DOM0, "/", "x"), Err(StoreError::BadPath));
+        assert_eq!(s.write(DOM0, "/trailing/", "x"), Err(StoreError::BadPath));
+        assert_eq!(s.write(DOM0, "/mid//dle", "x"), Err(StoreError::BadPath));
+    }
+
+    #[test]
+    fn store_path_parse_matches_string_validation() {
+        assert!(StorePath::parse("/a/b").is_ok());
+        assert_eq!(StorePath::parse("/a/b").unwrap().as_str(), "/a/b");
+        assert!(StorePath::parse("/").is_ok());
+        assert_eq!(StorePath::parse("rel"), Err(StoreError::BadPath));
+        assert_eq!(StorePath::parse("//x"), Err(StoreError::BadPath));
+        assert_eq!(StorePath::parse("/x/"), Err(StoreError::BadPath));
+        let p = StorePath::parse("/a/b/c").unwrap();
+        assert_eq!(p.segments().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(
+            StorePath::parse("/").unwrap().segments().count(),
+            0,
+            "root has no segments"
+        );
+    }
+
+    #[test]
+    fn interned_path_roundtrip_and_shared_event_payload() {
+        let mut s = store_with_domain(d(1));
+        let key = StorePath::parse("/local/domain/1/virt-dev/nr").unwrap();
+        s.watch(DOM0, "/local/domain/1");
+        s.write(d(1), &key, "7").unwrap();
+        assert_eq!(s.read_ref(d(1), &key).unwrap(), "7");
+        let evs = s.take_events();
+        assert_eq!(evs.len(), 1);
+        // The event shares the interned path allocation.
+        assert!(Arc::ptr_eq(&evs[0].path, &key.shared()));
+    }
+
+    #[test]
+    fn read_ref_borrows_without_copy() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/x", "hello").unwrap();
+        assert_eq!(s.read_ref(d(1), "/local/domain/1/x").unwrap(), "hello");
+        assert_eq!(
+            s.read_ref(d(2), "/local/domain/1/x"),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(s.read_ref(DOM0, "/nope"), Err(StoreError::NotFound));
+        let shared = s.read_shared(d(1), "/local/domain/1/x").unwrap();
+        assert_eq!(&*shared, "hello");
+    }
+
+    #[test]
+    fn write_if_changed_suppresses_republish() {
+        let mut s = store_with_domain(d(1));
+        s.watch(DOM0, "/local");
+        assert!(s.write_if_changed(d(1), "/local/domain/1/nr", "5").unwrap());
+        assert_eq!(s.take_events().len(), 1);
+        assert_eq!(s.write_count(d(1)), 1);
+        // Identical value: no event, no write counted.
+        assert!(!s.write_if_changed(d(1), "/local/domain/1/nr", "5").unwrap());
+        assert!(s.take_events().is_empty());
+        assert_eq!(s.write_count(d(1)), 1);
+        // Changed value publishes again.
+        assert!(s.write_if_changed(d(1), "/local/domain/1/nr", "6").unwrap());
+        assert_eq!(s.take_events().len(), 1);
+        assert_eq!(s.read_ref(d(1), "/local/domain/1/nr").unwrap(), "6");
+        // Permission checks still apply even when the value matches.
+        assert_eq!(
+            s.write_if_changed(d(2), "/local/domain/1/nr", "6"),
+            Err(StoreError::PermissionDenied)
+        );
     }
 
     #[test]
@@ -517,6 +1003,31 @@ mod tests {
             s.read(d(1), "/local/domain/1/a/b"),
             Err(StoreError::NotFound)
         );
+    }
+
+    #[test]
+    fn remove_fires_event_per_deleted_node() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/virt-dev/weight/0", "0.5").unwrap();
+        s.write(d(1), "/local/domain/1/virt-dev/weight/1", "0.5").unwrap();
+        s.take_events();
+        // The guest watches its own weight subtree; deleting the parent
+        // must tell it about every vanished node.
+        s.watch(d(1), "/local/domain/1/virt-dev/weight");
+        s.remove(DOM0, "/local/domain/1/virt-dev").unwrap();
+        let evs = s.take_events();
+        let paths: Vec<&str> = evs.iter().map(|e| &*e.path).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "/local/domain/1/virt-dev/weight",
+                "/local/domain/1/virt-dev/weight/0",
+                "/local/domain/1/virt-dev/weight/1",
+            ],
+            "parent-first, then descendants in child order; the removed \
+             root itself is outside the watch prefix"
+        );
+        assert!(evs.iter().all(|e| e.value.is_none()));
     }
 
     #[test]
@@ -537,7 +1048,7 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].watch, w);
         assert_eq!(evs[0].owner, DOM0);
-        assert_eq!(evs[0].path, "/local/domain/1/has_dirty_pages");
+        assert_eq!(&*evs[0].path, "/local/domain/1/has_dirty_pages");
         assert_eq!(evs[0].value.as_deref(), Some("1"));
         // Drained.
         assert!(s.take_events().is_empty());
@@ -553,6 +1064,15 @@ mod tests {
         assert_eq!(s.take_events().len(), 1);
         s.write(DOM0, "/a/b/c", "x").unwrap();
         assert_eq!(s.take_events().len(), 1);
+    }
+
+    #[test]
+    fn root_watch_catches_everything() {
+        let mut s = XenStore::new();
+        s.watch(DOM0, "/");
+        s.write(DOM0, "/a", "1").unwrap();
+        s.write(DOM0, "/deep/ly/nested/key", "2").unwrap();
+        assert_eq!(s.take_events().len(), 2);
     }
 
     #[test]
@@ -572,8 +1092,10 @@ mod tests {
     fn unwatch_stops_events() {
         let mut s = XenStore::new();
         let w = s.watch(DOM0, "/a");
+        assert_eq!(s.watch_count(), 1);
         assert!(s.unwatch(w));
         assert!(!s.unwatch(w));
+        assert_eq!(s.watch_count(), 0);
         s.write(DOM0, "/a/b", "x").unwrap();
         assert!(s.take_events().is_empty());
     }
@@ -588,6 +1110,19 @@ mod tests {
         assert_eq!(evs.len(), 2);
         let owners: Vec<DomainId> = evs.iter().map(|e| e.owner).collect();
         assert!(owners.contains(&d(1)) && owners.contains(&d(2)));
+    }
+
+    #[test]
+    fn events_preserve_registration_order_across_prefixes() {
+        // Watches at different depths (thus different index buckets) must
+        // still fire in registration order, as the seed's scan did.
+        let mut s = XenStore::new();
+        let w_deep = s.watch(d(2), "/a/b");
+        let w_root = s.watch(d(1), "/");
+        let w_mid = s.watch(d(3), "/a");
+        s.write(DOM0, "/a/b/c", "x").unwrap();
+        let ids: Vec<WatchId> = s.take_events().iter().map(|e| e.watch).collect();
+        assert_eq!(ids, vec![w_deep, w_root, w_mid]);
     }
 
     #[test]
@@ -624,6 +1159,18 @@ mod tests {
     }
 
     #[test]
+    fn transaction_dependent_writes_commit() {
+        // A later txn write below a node created by an earlier one: the
+        // walk-based validation must accept it, as the clone-probe did.
+        let mut s = store_with_domain(d(1));
+        let t = s.txn_begin();
+        s.txn_write(t, d(1), "/local/domain/1/a", "1").unwrap();
+        s.txn_write(t, d(1), "/local/domain/1/a/b/c", "2").unwrap();
+        s.txn_commit(t).unwrap();
+        assert_eq!(s.read(d(1), "/local/domain/1/a/b/c").unwrap(), "2");
+    }
+
+    #[test]
     fn write_counts_tracked_per_domain() {
         let mut s = store_with_domain(d(1));
         for _ in 0..5 {
@@ -648,5 +1195,25 @@ mod tests {
         );
         s.set_perms(d(1), "/local/domain/1/x", open).unwrap();
         assert_eq!(s.read(d(2), "/local/domain/1/x").unwrap(), "v");
+    }
+
+    #[test]
+    fn dump_flattens_depth_first() {
+        let mut s = XenStore::new();
+        s.write(DOM0, "/b", "2").unwrap();
+        s.write(DOM0, "/a/x", "1").unwrap();
+        let rows: Vec<(String, Option<String>)> = s
+            .dump()
+            .into_iter()
+            .map(|(p, v, _)| (p, v))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("/a".to_string(), None),
+                ("/a/x".to_string(), Some("1".to_string())),
+                ("/b".to_string(), Some("2".to_string())),
+            ]
+        );
     }
 }

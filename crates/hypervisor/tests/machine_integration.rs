@@ -86,7 +86,7 @@ fn control_plane_receives_signals_events_and_ticks() {
         "dirty signal must reach the control plane"
     );
     assert!(
-        events.borrow().iter().any(|e| e.path == "/local/domain/1/test"),
+        events.borrow().iter().any(|e| &*e.path == "/local/domain/1/test"),
         "watch event must be delivered"
     );
     assert!(*ticks.borrow() >= 15, "ticks={}", *ticks.borrow());

@@ -1,9 +1,11 @@
-//! Property-based tests for histogram and gauge invariants.
-
-use proptest::prelude::*;
+//! Randomized tests for histogram and gauge invariants, driven by the
+//! in-tree generators (`iorch_simcore::gen`) with a fixed seed sweep — no
+//! external property-test crate.
 
 use iorch_metrics::{cdf, LatencyHistogram, TimeWeightedGauge, WindowedRate};
-use iorch_simcore::{SimDuration, SimTime};
+use iorch_simcore::{gen, SimDuration, SimRng, SimTime};
+
+const CASES: usize = 64;
 
 fn hist_of(values: &[u64]) -> LatencyHistogram {
     let mut h = LatencyHistogram::new();
@@ -13,29 +15,33 @@ fn hist_of(values: &[u64]) -> LatencyHistogram {
     h
 }
 
-proptest! {
-    /// Percentiles are monotone in p and bracketed by min/max.
-    #[test]
-    fn percentiles_monotone(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+/// Percentiles are monotone in p and bracketed by min/max.
+#[test]
+fn percentiles_monotone() {
+    for seed in gen::seeds(0x3E_0001, CASES) {
+        let mut rng = SimRng::new(seed);
+        let values = gen::vec_between(&mut rng, 1, 500, |r| r.below(u64::MAX / 2));
         let h = hist_of(&values);
         let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0];
         let mut prev = SimDuration::ZERO;
         for &p in &ps {
             let v = h.percentile(p);
-            prop_assert!(v >= prev, "p{p}: {v} < {prev}");
-            prop_assert!(v >= h.min() && v <= h.max());
+            assert!(v >= prev, "p{p}: {v} < {prev} (seed {seed})");
+            assert!(v >= h.min() && v <= h.max(), "seed {seed}");
             prev = v;
         }
     }
+}
 
-    /// Merging is equivalent to recording the union; merge order is
-    /// irrelevant.
-    #[test]
-    fn merge_associative(
-        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
-        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
-        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
-    ) {
+/// Merging is equivalent to recording the union; merge order is
+/// irrelevant.
+#[test]
+fn merge_associative() {
+    for seed in gen::seeds(0x3E_0002, CASES) {
+        let mut rng = SimRng::new(seed);
+        let a = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000_000));
+        let b = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000_000));
+        let c = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000_000));
         let mut all = a.clone();
         all.extend(&b);
         all.extend(&c);
@@ -49,20 +55,24 @@ proptest! {
         m2.merge(&hist_of(&a));
         m2.merge(&hist_of(&b));
 
-        prop_assert_eq!(m1.count(), direct.count());
-        prop_assert_eq!(m2.count(), direct.count());
-        prop_assert_eq!(m1.mean(), direct.mean());
-        prop_assert_eq!(m2.mean(), direct.mean());
+        assert_eq!(m1.count(), direct.count(), "seed {seed}");
+        assert_eq!(m2.count(), direct.count(), "seed {seed}");
+        assert_eq!(m1.mean(), direct.mean(), "seed {seed}");
+        assert_eq!(m2.mean(), direct.mean(), "seed {seed}");
         for p in [50.0, 90.0, 99.0] {
-            prop_assert_eq!(m1.percentile(p), direct.percentile(p));
-            prop_assert_eq!(m2.percentile(p), direct.percentile(p));
+            assert_eq!(m1.percentile(p), direct.percentile(p), "seed {seed}");
+            assert_eq!(m2.percentile(p), direct.percentile(p), "seed {seed}");
         }
     }
+}
 
-    /// The mean is exact (not bucketed) and percentile(50) is within the
-    /// histogram's relative error of the true median.
-    #[test]
-    fn median_within_bucket_error(values in proptest::collection::vec(1u64..1_000_000_000, 10..500)) {
+/// The mean is exact (not bucketed) and percentile(50) is within the
+/// histogram's relative error of the true median.
+#[test]
+fn median_within_bucket_error() {
+    for seed in gen::seeds(0x3E_0003, CASES) {
+        let mut rng = SimRng::new(seed);
+        let values = gen::vec_between(&mut rng, 10, 500, |r| 1 + r.below(1_000_000_000));
         let h = hist_of(&values);
         let mut sorted = values.clone();
         sorted.sort_unstable();
@@ -74,29 +84,41 @@ proptest! {
         let hi = sorted[(sorted.len() / 2 + 1).min(sorted.len() - 1)] as f64;
         let lower = lo.min(true_median) * 0.96;
         let upper = hi.max(true_median) * 1.04;
-        prop_assert!(got >= lower && got <= upper, "median {got} not in [{lower}, {upper}]");
+        assert!(
+            got >= lower && got <= upper,
+            "median {got} not in [{lower}, {upper}] (seed {seed})"
+        );
     }
+}
 
-    /// CDF is monotone and ends at 1.
-    #[test]
-    fn cdf_monotone(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300)) {
+/// CDF is monotone and ends at 1.
+#[test]
+fn cdf_monotone() {
+    for seed in gen::seeds(0x3E_0004, CASES) {
+        let mut rng = SimRng::new(seed);
+        let values = gen::vec_between(&mut rng, 1, 300, |r| r.below(u64::MAX / 2));
         let h = hist_of(&values);
         let points = cdf(&h);
-        prop_assert!(!points.is_empty());
+        assert!(!points.is_empty(), "seed {seed}");
         for w in points.windows(2) {
-            prop_assert!(w[0].value <= w[1].value);
-            prop_assert!(w[0].fraction <= w[1].fraction);
+            assert!(w[0].value <= w[1].value, "seed {seed}");
+            assert!(w[0].fraction <= w[1].fraction, "seed {seed}");
         }
-        prop_assert!((points.last().unwrap().fraction - 1.0).abs() < 1e-9);
+        assert!(
+            (points.last().unwrap().fraction - 1.0).abs() < 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    /// A windowed rate never reports more than the lifetime total, and the
-    /// window sum equals the sum of in-window events.
-    #[test]
-    fn windowed_rate_conservation(
-        events in proptest::collection::vec((0u64..10_000u64, 1u64..1000u64), 1..100),
-        window_ms in 1u64..1000,
-    ) {
+/// A windowed rate never reports more than the lifetime total, and the
+/// window sum equals the sum of in-window events.
+#[test]
+fn windowed_rate_conservation() {
+    for seed in gen::seeds(0x3E_0005, CASES) {
+        let mut rng = SimRng::new(seed);
+        let events = gen::vec_between(&mut rng, 1, 100, |r| (r.below(10_000), 1 + r.below(999)));
+        let window_ms = 1 + rng.below(999);
         let mut sorted = events.clone();
         sorted.sort_by_key(|e| e.0);
         let mut r = WindowedRate::new(SimDuration::from_millis(window_ms));
@@ -110,15 +132,18 @@ proptest! {
             .filter(|&&(t, _)| SimTime::from_millis(t) >= cutoff)
             .map(|&(_, a)| a)
             .sum();
-        prop_assert_eq!(r.sum_in_window(now), expect);
-        prop_assert!(r.sum_in_window(now) <= r.lifetime_sum());
+        assert_eq!(r.sum_in_window(now), expect, "seed {seed}");
+        assert!(r.sum_in_window(now) <= r.lifetime_sum(), "seed {seed}");
     }
+}
 
-    /// Time-weighted average is bounded by the min and max of the values.
-    #[test]
-    fn gauge_average_bounded(
-        updates in proptest::collection::vec((1u64..10_000u64, 0.0f64..100.0), 1..50),
-    ) {
+/// Time-weighted average is bounded by the min and max of the values.
+#[test]
+fn gauge_average_bounded() {
+    for seed in gen::seeds(0x3E_0006, CASES) {
+        let mut rng = SimRng::new(seed);
+        let updates =
+            gen::vec_between(&mut rng, 1, 50, |r| (1 + r.below(9_999), gen::f64_in(r, 0.0, 100.0)));
         let mut sorted = updates.clone();
         sorted.sort_by_key(|u| u.0);
         let mut g = TimeWeightedGauge::new(SimTime::ZERO, sorted[0].1);
@@ -131,6 +156,9 @@ proptest! {
         }
         let end = SimTime::from_millis(sorted.last().unwrap().0 + 10);
         let avg = g.average(end);
-        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} not in [{lo}, {hi}]");
+        assert!(
+            avg >= lo - 1e-9 && avg <= hi + 1e-9,
+            "avg {avg} not in [{lo}, {hi}] (seed {seed})"
+        );
     }
 }

@@ -153,11 +153,58 @@ impl<M> Scheduler<M> {
 
     /// Cancel a pending event. Cancelling an already-fired or already-
     /// cancelled event is a no-op (returns false).
+    ///
+    /// The cancelled-token set stays bounded by the number of *pending*
+    /// events: tokens are dropped when their entry is skipped at the heap
+    /// head, the whole set is cleared whenever the queue drains, and if
+    /// callers cancel faster than the heap pops (so the set outgrows the
+    /// heap) the stale tokens — those whose events already fired — are
+    /// purged in one amortized sweep. The seed version kept every
+    /// cancelled token forever, a slow leak in any long-running driver
+    /// that cancels timeouts.
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if token.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(token.0)
+        if self.heap.is_empty() {
+            // Nothing pending: the event has already fired (or been
+            // drained), so there is nothing to cancel.
+            self.cancelled.clear();
+            return false;
+        }
+        if !self.cancelled.insert(token.0) {
+            return false;
+        }
+        if self.cancelled.len() > self.heap.len() {
+            // More tombstones than pending events means some belong to
+            // events that already fired; keep only the live ones.
+            let live: HashSet<u64> = self.heap.iter().map(|e| e.seq).collect();
+            self.cancelled.retain(|t| live.contains(t));
+        }
+        true
+    }
+
+    /// Drop every pending event (and cancellation tombstone) while keeping
+    /// the heap's allocation, so a driver can reuse one scheduler across
+    /// runs without reallocating its queue. The clock and counters are
+    /// left untouched; see [`Scheduler::reset`] to also rewind them.
+    pub fn clear_pending(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+
+    /// Rewind to an empty scheduler at time zero, retaining allocations.
+    pub fn reset(&mut self) {
+        self.clear_pending();
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+        self.executed = 0;
+    }
+
+    /// Number of cancellation tombstones currently held (bounded by
+    /// [`Scheduler::pending`]; exposed for tests and diagnostics).
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Schedule a periodic callback firing every `interval`, starting one
@@ -219,7 +266,12 @@ impl<M> Scheduler<M> {
     /// Returns `None` when the queue is empty.
     pub(crate) fn pop_next(&mut self) -> Option<(SimTime, Callback<M>)> {
         self.drain_cancelled_head();
-        let entry = self.heap.pop()?;
+        let Some(entry) = self.heap.pop() else {
+            // Queue drained: any remaining tombstones refer to events that
+            // can never fire, so the set empties with it.
+            self.cancelled.clear();
+            return None;
+        };
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
         self.executed += 1;
@@ -347,6 +399,72 @@ mod tests {
         s.schedule_in(SimDuration::from_millis(5), |_, _| {});
         s.cancel(tok);
         assert_eq!(s.peek_next_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn cancelled_set_stays_bounded() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        // One long-lived event keeps the heap non-empty the whole time.
+        s.schedule_at(SimTime::from_secs(1000), |_, _| {});
+        let mut world = Vec::new();
+        for round in 0..1000u64 {
+            let tok = s.schedule_at(SimTime::from_millis(round), |_, _| {});
+            // Cancel half before they fire, half after.
+            if round % 2 == 0 {
+                assert!(s.cancel(tok));
+            }
+            while s.peek_next_time().map_or(false, |t| t <= SimTime::from_millis(round)) {
+                let (_, cb) = s.pop_next().unwrap();
+                cb(&mut world, &mut s);
+            }
+            if round % 2 == 1 {
+                // Cancelling after the fact may report true (staleness is
+                // detected lazily), but the tombstone must not accumulate.
+                s.cancel(tok);
+            }
+            assert!(
+                s.cancelled_backlog() <= s.pending(),
+                "tombstones ({}) exceed pending events ({}) at round {round}",
+                s.cancelled_backlog(),
+                s.pending()
+            );
+        }
+        // Draining the queue empties the tombstone set too.
+        while let Some((_, cb)) = s.pop_next() {
+            cb(&mut world, &mut s);
+        }
+        assert_eq!(s.cancelled_backlog(), 0);
+    }
+
+    #[test]
+    fn cancel_on_empty_queue_is_noop() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        let tok = s.schedule_now(|_, _| {});
+        let (_, cb) = s.pop_next().unwrap();
+        let mut world = Vec::new();
+        cb(&mut world, &mut s);
+        assert!(!s.cancel(tok));
+        assert_eq!(s.cancelled_backlog(), 0);
+    }
+
+    #[test]
+    fn reset_reuses_scheduler() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        for i in 0..10u64 {
+            s.schedule_at(SimTime::from_millis(i), |w, _| w.push(0));
+        }
+        let tok = s.schedule_at(SimTime::from_millis(99), |_, _| {});
+        s.cancel(tok);
+        s.reset();
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.cancelled_backlog(), 0);
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.events_executed(), 0);
+        // Fully functional after reset.
+        s.schedule_at(SimTime::from_millis(1), |w, _| w.push(7));
+        let mut world = Vec::new();
+        drain(&mut s, &mut world);
+        assert_eq!(world, vec![7]);
     }
 
     #[test]

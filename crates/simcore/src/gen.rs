@@ -1,0 +1,115 @@
+//! Deterministic random-data generators for in-tree randomized tests.
+//!
+//! The per-crate `proptests.rs` suites used to pull in the external
+//! `proptest` crate; tier-1 now builds fully offline, so those suites run
+//! on these helpers instead: plain functions over [`SimRng`], driven by a
+//! fixed base seed plus a seed sweep (see [`seeds`]). A failing case
+//! reports its seed, and re-running with that seed reproduces it exactly —
+//! the same shrink-free but fully replayable workflow the simulation
+//! itself uses.
+
+use crate::rng::SimRng;
+
+/// Derive `n` well-separated child seeds from a base seed (SplitMix64
+/// stream, the same mixer [`SimRng::new`] seeds its state with). Tests
+/// iterate this for their seed sweep so every case is independent.
+pub fn seeds(base: u64, n: usize) -> impl Iterator<Item = u64> {
+    let mut state = base;
+    (0..n).map(move |_| {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    })
+}
+
+/// A lowercase ASCII word with length in `min_len..=max_len`.
+pub fn ascii_word(rng: &mut SimRng, min_len: usize, max_len: usize) -> String {
+    let len = rng.range(min_len as u64, max_len as u64) as usize;
+    (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect()
+}
+
+/// An absolute store-style path of `1..=max_depth` segments drawn from
+/// `alphabet` (e.g. `"/local/domain/3"`). With a small alphabet, distinct
+/// draws collide often — exactly what differential store tests want.
+pub fn path_from_alphabet(rng: &mut SimRng, alphabet: &[&str], max_depth: usize) -> String {
+    let depth = rng.range(1, max_depth as u64) as usize;
+    let mut p = String::new();
+    for _ in 0..depth {
+        p.push('/');
+        p.push_str(alphabet[rng.below(alphabet.len() as u64) as usize]);
+    }
+    p
+}
+
+/// A vector of `len` values produced by `f`.
+pub fn vec_of<T>(rng: &mut SimRng, len: usize, mut f: impl FnMut(&mut SimRng) -> T) -> Vec<T> {
+    (0..len).map(|_| f(rng)).collect()
+}
+
+/// A vector with random length in `min_len..=max_len`.
+pub fn vec_between<T>(
+    rng: &mut SimRng,
+    min_len: usize,
+    max_len: usize,
+    f: impl FnMut(&mut SimRng) -> T,
+) -> Vec<T> {
+    let len = rng.range(min_len as u64, max_len as u64) as usize;
+    vec_of(rng, len, f)
+}
+
+/// A float drawn uniformly from `[lo, hi)`.
+pub fn f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.f64() * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = seeds(42, 16).collect();
+        let b: Vec<u64> = seeds(42, 16).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "child seeds collide");
+        let c: Vec<u64> = seeds(43, 16).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn words_respect_bounds() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            let w = ascii_word(&mut rng, 1, 8);
+            assert!((1..=8).contains(&w.len()));
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn paths_are_wellformed() {
+        let mut rng = SimRng::new(7);
+        let alphabet = ["a", "b", "local"];
+        for _ in 0..200 {
+            let p = path_from_alphabet(&mut rng, &alphabet, 4);
+            assert!(p.starts_with('/'));
+            assert!(!p.ends_with('/'));
+            assert!(!p.contains("//"));
+            assert!(p[1..].split('/').count() <= 4);
+        }
+    }
+
+    #[test]
+    fn f64_in_stays_in_range() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..200 {
+            let x = f64_in(&mut rng, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -14,12 +14,16 @@
 //! * **Self-contained RNG** ([`SimRng`], xoshiro256++) with the distribution
 //!   zoo the paper's workloads need (exponential, Poisson, [`Zipfian`],
 //!   Pareto, normal), all seedable and forkable per component.
-//! * **Single-threaded runs**: parallelism belongs *across* runs (rayon in
-//!   the bench harness), never inside one, so every figure is replayable.
+//! * **Single-threaded runs**: parallelism belongs *across* runs, never
+//!   inside one, so every figure is replayable.
+//! * **Self-contained tests** ([`gen`]): randomized-test data generators
+//!   over [`SimRng`], so tier-1 needs no external property-test crate and
+//!   builds fully offline.
 
 #![warn(missing_docs)]
 
 mod event;
+pub mod gen;
 mod rng;
 mod sim;
 mod time;

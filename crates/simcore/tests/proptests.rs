@@ -1,14 +1,21 @@
-//! Property-based tests for the event engine and RNG invariants.
+//! Randomized tests for the event engine and RNG invariants.
+//!
+//! Formerly `proptest`-based; now driven by the in-tree deterministic
+//! generators (`iorch_simcore::gen`) so tier-1 has no registry
+//! dependencies. Each property sweeps a fixed set of derived seeds; a
+//! failure message carries the seed that reproduces it.
 
-use proptest::prelude::*;
+use iorch_simcore::{gen, Scheduler, SimDuration, SimRng, SimTime, Simulation, Zipfian};
 
-use iorch_simcore::{Scheduler, SimDuration, SimRng, SimTime, Simulation, Zipfian};
+const CASES: usize = 64;
 
-proptest! {
-    /// Events always fire in (time, insertion) order regardless of the
-    /// order they were scheduled in.
-    #[test]
-    fn events_fire_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events always fire in (time, insertion) order regardless of the order
+/// they were scheduled in.
+#[test]
+fn events_fire_in_order() {
+    for seed in gen::seeds(0x51_0001, CASES) {
+        let mut rng = SimRng::new(seed);
+        let times = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000));
         let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
         for (i, &t) in times.iter().enumerate() {
             sim.scheduler_mut().schedule_at(
@@ -20,21 +27,23 @@ proptest! {
         }
         sim.run_to_completion();
         let fired = sim.world();
-        prop_assert_eq!(fired.len(), times.len());
+        assert_eq!(fired.len(), times.len(), "seed {seed}");
         for pair in fired.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            assert!(pair[0].0 <= pair[1].0, "time order violated (seed {seed})");
             if pair[0].0 == pair[1].0 {
-                prop_assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated");
+                assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated (seed {seed})");
             }
         }
     }
+}
 
-    /// Cancelling an arbitrary subset prevents exactly that subset.
-    #[test]
-    fn cancellation_is_exact(
-        times in proptest::collection::vec(0u64..100_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
-    ) {
+/// Cancelling an arbitrary subset prevents exactly that subset.
+#[test]
+fn cancellation_is_exact() {
+    for seed in gen::seeds(0x51_0002, CASES) {
+        let mut rng = SimRng::new(seed);
+        let times = gen::vec_between(&mut rng, 1, 100, |r| r.below(100_000));
+        let cancel_mask = gen::vec_of(&mut rng, times.len(), |r| r.chance(0.5));
         let mut sim = Simulation::new(Vec::<usize>::new());
         let mut tokens = Vec::new();
         for (i, &t) in times.iter().enumerate() {
@@ -46,7 +55,7 @@ proptest! {
         }
         let mut expected: Vec<usize> = Vec::new();
         for (i, tok) in tokens.into_iter().enumerate() {
-            if cancel_mask[i % cancel_mask.len()] {
+            if cancel_mask[i] {
                 sim.scheduler_mut().cancel(tok);
             } else {
                 expected.push(i);
@@ -56,16 +65,18 @@ proptest! {
         let mut fired = sim.world().clone();
         fired.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(fired, expected);
+        assert_eq!(fired, expected, "seed {seed}");
     }
+}
 
-    /// run_until never executes events past the horizon, and a subsequent
-    /// run executes exactly the remainder.
-    #[test]
-    fn horizon_split_is_exact(
-        times in proptest::collection::vec(0u64..1_000_000, 1..100),
-        horizon in 0u64..1_000_000,
-    ) {
+/// run_until never executes events past the horizon, and a subsequent run
+/// executes exactly the remainder.
+#[test]
+fn horizon_split_is_exact() {
+    for seed in gen::seeds(0x51_0003, CASES) {
+        let mut rng = SimRng::new(seed);
+        let times = gen::vec_between(&mut rng, 1, 100, |r| r.below(1_000_000));
+        let horizon = rng.below(1_000_000);
         let mut sim = Simulation::new(Vec::<u64>::new());
         for &t in &times {
             sim.scheduler_mut().schedule_at(
@@ -76,52 +87,71 @@ proptest! {
         sim.run_until(SimTime::from_nanos(horizon));
         let early = sim.world().len();
         let expect_early = times.iter().filter(|&&t| t <= horizon).count();
-        prop_assert_eq!(early, expect_early);
+        assert_eq!(early, expect_early, "seed {seed}");
         sim.run_to_completion();
-        prop_assert_eq!(sim.world().len(), times.len());
+        assert_eq!(sim.world().len(), times.len(), "seed {seed}");
     }
+}
 
-    /// Identical seeds give identical streams; the stream is within range.
-    #[test]
-    fn rng_determinism(seed in any::<u64>()) {
+/// Identical seeds give identical streams; the stream is within range.
+#[test]
+fn rng_determinism() {
+    for seed in gen::seeds(0x51_0004, CASES) {
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..100 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}");
         }
         for _ in 0..100 {
             let x = a.f64();
-            prop_assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&x), "seed {seed}");
         }
     }
+}
 
-    /// below(n) stays in range for arbitrary n.
-    #[test]
-    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+/// below(n) stays in range for arbitrary n.
+#[test]
+fn rng_below_in_range() {
+    for seed in gen::seeds(0x51_0005, CASES) {
         let mut rng = SimRng::new(seed);
+        // Cover tiny, mid-sized and near-max bounds.
+        let n = match seed % 3 {
+            0 => 1 + rng.below(16),
+            1 => 1 + rng.below(1 << 40),
+            _ => u64::MAX - rng.below(1 << 20),
+        };
         for _ in 0..50 {
-            prop_assert!(rng.below(n) < n);
+            assert!(rng.below(n) < n, "seed {seed}, n {n}");
         }
     }
+}
 
-    /// Zipfian sampling stays within the item count and is deterministic
-    /// per seed.
-    #[test]
-    fn zipf_in_range(seed in any::<u64>(), n in 1u64..1_000_000, theta in 0.01f64..0.999) {
-        let z = Zipfian::new(n, theta);
+/// Zipfian sampling stays within the item count and is deterministic per
+/// seed.
+#[test]
+fn zipf_in_range() {
+    for seed in gen::seeds(0x51_0006, CASES) {
         let mut rng = SimRng::new(seed);
+        let n = 1 + rng.below(1_000_000);
+        let theta = gen::f64_in(&mut rng, 0.01, 0.999);
+        let z = Zipfian::new(n, theta);
         for _ in 0..100 {
-            prop_assert!(z.sample(&mut rng) < n);
+            assert!(z.sample(&mut rng) < n, "seed {seed}, n {n}, theta {theta}");
         }
     }
+}
 
-    /// Duration arithmetic: (a + b) - b == a for non-overflowing values.
-    #[test]
-    fn duration_roundtrip(a in 0u64..(1 << 62), b in 0u64..(1 << 62)) {
+/// Duration arithmetic: (a + b) - b == a for non-overflowing values.
+#[test]
+fn duration_roundtrip() {
+    for seed in gen::seeds(0x51_0007, CASES) {
+        let mut rng = SimRng::new(seed);
+        let a = rng.below(1 << 62);
+        let b = rng.below(1 << 62);
         let da = SimDuration::from_nanos(a);
         let db = SimDuration::from_nanos(b);
-        prop_assert_eq!((da + db) - db, da);
+        assert_eq!((da + db) - db, da, "seed {seed}");
         let t = SimTime::from_nanos(a);
-        prop_assert_eq!((t + db) - db, t);
+        assert_eq!((t + db) - db, t, "seed {seed}");
     }
 }

@@ -1,13 +1,15 @@
-//! Property-based tests for storage-layer invariants: WFQ fairness and
+//! Randomized tests for storage-layer invariants: WFQ fairness and
 //! conservation, RAID0 address math, subsystem completion conservation.
+//! Driven by the in-tree generators (`iorch_simcore::gen`) with a fixed
+//! seed sweep — no external property-test crate.
 
-use proptest::prelude::*;
-
-use iorch_simcore::{SimRng, SimTime};
+use iorch_simcore::{gen, SimRng, SimTime};
 use iorch_storage::{
     IoKind, IoRequest, Raid0, RequestId, SsdModel, SsdParams, StorageSubsystem, StreamId,
     SubsystemParams, WfqQueue,
 };
+
+const CASES: usize = 64;
 
 fn req(id: u64, stream: u32, offset: u64, len: u64) -> IoRequest {
     IoRequest {
@@ -20,14 +22,15 @@ fn req(id: u64, stream: u32, offset: u64, len: u64) -> IoRequest {
     }
 }
 
-proptest! {
-    /// WFQ conserves requests (everything enqueued dequeues exactly once)
-    /// for arbitrary interleavings and weights.
-    #[test]
-    fn wfq_conserves(
-        items in proptest::collection::vec((0u32..5, 1u64..1_000_000), 1..200),
-        weights in proptest::collection::vec(1u32..1000, 5),
-    ) {
+/// WFQ conserves requests (everything enqueued dequeues exactly once)
+/// for arbitrary interleavings and weights.
+#[test]
+fn wfq_conserves() {
+    for seed in gen::seeds(0x57_0001, CASES) {
+        let mut rng = SimRng::new(seed);
+        let items =
+            gen::vec_between(&mut rng, 1, 200, |r| (r.below(5) as u32, 1 + r.below(999_999)));
+        let weights = gen::vec_of(&mut rng, 5, |r| 1 + r.below(999) as u32);
         let mut q = WfqQueue::new();
         for (i, w) in weights.iter().enumerate() {
             q.set_weight(StreamId(i as u32), *w);
@@ -35,19 +38,24 @@ proptest! {
         for (i, &(stream, len)) in items.iter().enumerate() {
             q.enqueue(req(i as u64, stream, i as u64 * (1 << 22), len));
         }
-        prop_assert_eq!(q.len(), items.len());
+        assert_eq!(q.len(), items.len(), "seed {seed}");
         let mut ids = std::collections::HashSet::new();
         while let Some(r) = q.dequeue() {
-            prop_assert!(ids.insert(r.id));
+            assert!(ids.insert(r.id), "duplicate dequeue (seed {seed})");
         }
-        prop_assert_eq!(ids.len(), items.len());
-        prop_assert!(q.is_empty());
+        assert_eq!(ids.len(), items.len(), "seed {seed}");
+        assert!(q.is_empty(), "seed {seed}");
     }
+}
 
-    /// Long-run WFQ service ratio approaches the weight ratio when both
-    /// streams stay backlogged.
-    #[test]
-    fn wfq_fairness_tracks_weights(w1 in 1u32..16, w2 in 1u32..16) {
+/// Long-run WFQ service ratio approaches the weight ratio when both
+/// streams stay backlogged.
+#[test]
+fn wfq_fairness_tracks_weights() {
+    for seed in gen::seeds(0x57_0002, CASES) {
+        let mut rng = SimRng::new(seed);
+        let w1 = 1 + rng.below(15) as u32;
+        let w2 = 1 + rng.below(15) as u32;
         let mut q = WfqQueue::new();
         q.set_weight(StreamId(1), w1 * 100);
         q.set_weight(StreamId(2), w2 * 100);
@@ -65,42 +73,51 @@ proptest! {
         }
         let expect_ratio = w1 as f64 / w2 as f64;
         let got_ratio = got[1] as f64 / got[2].max(1) as f64;
-        prop_assert!(
+        assert!(
             (got_ratio / expect_ratio - 1.0).abs() < 0.25,
-            "w {w1}:{w2} expect {expect_ratio} got {got_ratio}"
+            "w {w1}:{w2} expect {expect_ratio} got {got_ratio} (seed {seed})"
         );
     }
+}
 
-    /// RAID0 span/member math: spans never exceed width, members rotate
-    /// by stripe unit.
-    #[test]
-    fn raid_address_math(offset in 0u64..(1 << 40), len in 1u64..(1 << 24), disks in 1usize..16) {
+/// RAID0 span/member math: spans never exceed width, members rotate
+/// by stripe unit.
+#[test]
+fn raid_address_math() {
+    for seed in gen::seeds(0x57_0003, CASES) {
+        let mut rng = SimRng::new(seed);
+        let offset = rng.below(1 << 40);
+        let len = 1 + rng.below((1 << 24) - 1);
+        let disks = 1 + rng.below(15) as usize;
         let mut p = SsdParams::intel520();
         p.noise_sigma = 0.0;
         let members = (0..disks).map(|_| SsdModel::new(p)).collect();
         let arr = Raid0::new(members, 64 * 1024);
         let span = arr.span(offset, len);
-        prop_assert!(span >= 1 && span <= disks);
+        assert!(span >= 1 && span <= disks, "seed {seed}");
         let m = arr.member_for(offset);
-        prop_assert!(m < disks);
+        assert!(m < disks, "seed {seed}");
         // Next stripe unit lands on the next member (mod width).
         let m2 = arr.member_for(offset + 64 * 1024);
-        prop_assert_eq!(m2, (m + 1) % disks);
+        assert_eq!(m2, (m + 1) % disks, "seed {seed}");
     }
+}
 
-    /// The subsystem completes every submitted request exactly once, in
-    /// non-decreasing completion-time order.
-    #[test]
-    fn subsystem_conserves_requests(
-        items in proptest::collection::vec((0u32..6, 1u64..(1 << 20)), 1..150),
-        seed in any::<u64>(),
-    ) {
+/// The subsystem completes every submitted request exactly once, in
+/// non-decreasing completion-time order.
+#[test]
+fn subsystem_conserves_requests() {
+    for seed in gen::seeds(0x57_0004, CASES) {
+        let mut rng = SimRng::new(seed);
+        let items =
+            gen::vec_between(&mut rng, 1, 150, |r| (r.below(6) as u32, 1 + r.below((1 << 20) - 1)));
+        let sub_seed = rng.next_u64();
         let mut p = SsdParams::intel520();
         p.noise_sigma = 0.1;
         let mut sub = StorageSubsystem::new(
             Box::new(SsdModel::new(p)),
             SubsystemParams::default(),
-            SimRng::new(seed),
+            SimRng::new(sub_seed),
         );
         for (i, &(stream, len)) in items.iter().enumerate() {
             sub.submit(req(i as u64, stream, i as u64 * (1 << 22), len), SimTime::ZERO);
@@ -109,20 +126,20 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut guard = 0;
         while let Some(t) = sub.next_completion() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "seed {seed}");
             last = t;
             done += sub.complete_due(t).len();
             guard += 1;
-            prop_assert!(guard < 10_000, "no forward progress");
+            assert!(guard < 10_000, "no forward progress (seed {seed})");
         }
         // Merging can combine submissions, so completions <= submissions,
         // but bytes are conserved.
-        prop_assert!(done <= items.len());
-        prop_assert_eq!(done + sub.merged_count() as usize, items.len());
+        assert!(done <= items.len(), "seed {seed}");
+        assert_eq!(done + sub.merged_count() as usize, items.len(), "seed {seed}");
         let (rbytes, _) = sub.monitor().byte_counts();
         let expect: u64 = items.iter().map(|&(_, len)| len).sum();
-        prop_assert_eq!(rbytes, expect);
-        prop_assert_eq!(sub.in_flight(), 0);
-        prop_assert_eq!(sub.queue_depth(), 0);
+        assert_eq!(rbytes, expect, "seed {seed}");
+        assert_eq!(sub.in_flight(), 0, "seed {seed}");
+        assert_eq!(sub.queue_depth(), 0, "seed {seed}");
     }
 }

@@ -1,20 +1,23 @@
-//! Property-based tests at the workload layer: recorders and parameter
-//! plumbing hold their invariants for arbitrary inputs.
+//! Randomized tests at the workload layer: recorders and parameter
+//! plumbing hold their invariants for arbitrary inputs. Driven by the
+//! in-tree generators (`iorch_simcore::gen`) with a fixed seed sweep — no
+//! external property-test crate.
 
-use proptest::prelude::*;
-
-use iorch_simcore::{SimDuration, SimTime};
+use iorch_simcore::{gen, SimDuration, SimRng, SimTime};
 use iorch_workloads::recorder;
 use iorch_workloads::YcsbParams;
 
-proptest! {
-    /// Recorder warm-up filtering: only samples at/after `record_after`
-    /// count, and byte totals equal the sum of counted samples.
-    #[test]
-    fn recorder_counts_exactly_post_warmup(
-        warmup_ms in 0u64..1000,
-        samples in proptest::collection::vec((0u64..2000, 1u64..10_000), 1..100),
-    ) {
+const CASES: usize = 64;
+
+/// Recorder warm-up filtering: only samples at/after `record_after`
+/// count, and byte totals equal the sum of counted samples.
+#[test]
+fn recorder_counts_exactly_post_warmup() {
+    for seed in gen::seeds(0x70_0001, CASES) {
+        let mut rng = SimRng::new(seed);
+        let warmup_ms = rng.below(1000);
+        let samples =
+            gen::vec_between(&mut rng, 1, 100, |r| (r.below(2000), 1 + r.below(9_999)));
         let rec = recorder(SimTime::from_millis(warmup_ms));
         let mut expect_ops = 0u64;
         let mut expect_bytes = 0u64;
@@ -30,27 +33,38 @@ proptest! {
             }
         }
         let r = rec.borrow();
-        prop_assert_eq!(r.ops, expect_ops);
-        prop_assert_eq!(r.bytes, expect_bytes);
-        prop_assert_eq!(r.hist.count(), expect_ops);
+        assert_eq!(r.ops, expect_ops, "seed {seed}");
+        assert_eq!(r.bytes, expect_bytes, "seed {seed}");
+        assert_eq!(r.hist.count(), expect_ops, "seed {seed}");
     }
+}
 
-    /// Throughput is bytes divided by the measured window, never negative
-    /// or infinite for a positive window.
-    #[test]
-    fn throughput_well_formed(bytes in 1u64..1_000_000_000, window_ms in 1u64..100_000) {
+/// Throughput is bytes divided by the measured window, never negative
+/// or infinite for a positive window.
+#[test]
+fn throughput_well_formed() {
+    for seed in gen::seeds(0x70_0002, CASES) {
+        let mut rng = SimRng::new(seed);
+        let bytes = 1 + rng.below(999_999_999);
+        let window_ms = 1 + rng.below(99_999);
         let rec = recorder(SimTime::ZERO);
-        rec.borrow_mut().record(SimTime::from_millis(1), SimDuration::from_micros(5), bytes);
+        rec.borrow_mut()
+            .record(SimTime::from_millis(1), SimDuration::from_micros(5), bytes);
         let now = SimTime::from_millis(window_ms);
         let bps = rec.borrow().throughput_bps(now);
         let expect = bytes as f64 / (window_ms as f64 / 1000.0);
-        prop_assert!((bps - expect).abs() / expect < 1e-9);
+        assert!((bps - expect).abs() / expect < 1e-9, "seed {seed}");
     }
+}
 
-    /// YCSB burst shaping conserves the configured mean rate over a cycle
-    /// for any rate and burst length below the period.
-    #[test]
-    fn burst_params_conserve_rate(rate in 10.0f64..10_000.0, burst_ms in 1u64..900) {
+/// YCSB burst shaping conserves the configured mean rate over a cycle
+/// for any rate and burst length below the period.
+#[test]
+fn burst_params_conserve_rate() {
+    for seed in gen::seeds(0x70_0003, CASES) {
+        let mut rng = SimRng::new(seed);
+        let rate = gen::f64_in(&mut rng, 10.0, 10_000.0);
+        let burst_ms = 1 + rng.below(899);
         let p = YcsbParams::ycsb1(rate, 1).with_burst(SimDuration::from_millis(burst_ms));
         let b = p.burst.unwrap();
         // Integrate the piecewise rate over one cycle.
@@ -60,7 +74,9 @@ proptest! {
         let per_cycle = rate * b.period.as_secs_f64();
         let off = (per_cycle - peak * b.burst_len.as_secs_f64()).max(0.0);
         let total = in_burst.min(per_cycle) + off;
-        prop_assert!((total - per_cycle).abs() / per_cycle < 0.05,
-            "cycle integral {total} vs {per_cycle}");
+        assert!(
+            (total - per_cycle).abs() / per_cycle < 0.05,
+            "cycle integral {total} vs {per_cycle} (seed {seed})"
+        );
     }
 }

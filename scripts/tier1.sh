@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build + the full test suite.
+# This is the gate every PR must keep green (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo test -q --offline --workspace
+echo "tier1 OK"
