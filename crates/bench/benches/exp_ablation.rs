@@ -8,7 +8,7 @@
 
 use std::rc::Rc;
 
-use iorch_bench::{bursty_run, cosched_run, RunCfg};
+use iorch_bench::{bursty_run, RunCfg};
 use iorch_hypervisor::{Cluster, VmSpec};
 use iorch_metrics::{fmt_pct, fmt_us, Table};
 use iorch_simcore::{SimDuration, SimTime, Simulation};
@@ -40,7 +40,16 @@ fn bursty_with_cfg(mk: impl FnOnce(IOrchestraConfig) -> IOrchestraConfig, rate: 
     spawn_ycsb(
         cl,
         s,
-        &[VmRef { machine: idx, dom: a }, VmRef { machine: idx, dom: b }],
+        &[
+            VmRef {
+                machine: idx,
+                dom: a,
+            },
+            VmRef {
+                machine: idx,
+                dom: b,
+            },
+        ],
         None,
         p,
         Rc::clone(&rec),
@@ -58,7 +67,12 @@ fn main() {
         "Ablation — congestion wake interleave (YCSB1 bursty p99.9, us)",
         &["interleave", "p99.9 (us)"],
     );
-    for (label, max_ms) in [("none (thundering herd)", 1u64), ("0-25 ms", 25), ("0-99 ms (paper)", 99), ("0-400 ms", 400)] {
+    for (label, max_ms) in [
+        ("none (thundering herd)", 1u64),
+        ("0-25 ms", 25),
+        ("0-99 ms (paper)", 99),
+        ("0-400 ms", 400),
+    ] {
         let v = bursty_with_cfg(
             |mut c| {
                 c.wake_interleave_max_ms = max_ms;
@@ -120,7 +134,12 @@ fn main() {
         "Ablation — DRR round length (quantum = BW_max * share * round)",
         &["round", "IOrchestra MB/s"],
     );
-    for (label, us) in [("100 us", 100u64), ("1 ms (default)", 1000), ("10 ms", 10_000), ("100 ms", 100_000)] {
+    for (label, us) in [
+        ("100 us", 100u64),
+        ("1 ms (default)", 1000),
+        ("10 ms", 10_000),
+        ("100 ms", 100_000),
+    ] {
         let mut sim = Simulation::new(Cluster::new());
         let (cl, s) = sim.parts_mut();
         let idx = cl.add_machine(iorch_hypervisor::MachineConfig::paper_testbed(

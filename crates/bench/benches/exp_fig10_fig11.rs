@@ -81,9 +81,7 @@ fn main() {
         ]);
     }
     print!("{}", b.render());
-    println!(
-        "paper shape: IOrchestra's completed-VM gain grows with λ to ~6.6%; SDC lags.\n"
-    );
+    println!("paper shape: IOrchestra's completed-VM gain grows with λ to ~6.6%; SDC lags.\n");
     print!("{}", c.render());
     println!(
         "paper shape: baseline lowest at small λ (no spinning core); at high λ baseline \

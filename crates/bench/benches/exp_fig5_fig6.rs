@@ -29,22 +29,41 @@ fn main() {
     // Fig. 5: store latency CDFs at 3000 req/s.
     print!(
         "{}",
-        cdf_table("Fig. 5a — YCSB1 latency CDF @3000 req/s", &base.ycsb1, &iorch.ycsb1).render()
+        cdf_table(
+            "Fig. 5a — YCSB1 latency CDF @3000 req/s",
+            &base.ycsb1,
+            &iorch.ycsb1
+        )
+        .render()
     );
     print!(
         "{}",
-        cdf_table("Fig. 5b — YCSB2 latency CDF @3000 req/s", &base.ycsb2, &iorch.ycsb2).render()
+        cdf_table(
+            "Fig. 5b — YCSB2 latency CDF @3000 req/s",
+            &base.ycsb2,
+            &iorch.ycsb2
+        )
+        .render()
     );
 
     // Fig. 6: Olio per-tier CDFs.
     print!(
         "{}",
-        cdf_table("Fig. 6a — Olio web tier latency CDF", &base.olio_web, &iorch.olio_web).render()
+        cdf_table(
+            "Fig. 6a — Olio web tier latency CDF",
+            &base.olio_web,
+            &iorch.olio_web
+        )
+        .render()
     );
     print!(
         "{}",
-        cdf_table("Fig. 6b — Olio database tier latency CDF", &base.olio_db, &iorch.olio_db)
-            .render()
+        cdf_table(
+            "Fig. 6b — Olio database tier latency CDF",
+            &base.olio_db,
+            &iorch.olio_db
+        )
+        .render()
     );
     print!(
         "{}",

@@ -13,8 +13,14 @@ fn main() {
         .with_warmup(SimDuration::from_secs(1))
         .with_measure(SimDuration::from_secs(3));
     for (app, title) in [
-        (ScaleApp::Blast, "Fig. 7a — mpiBLAST normalized mean I/O latency"),
-        (ScaleApp::Ycsb1, "Fig. 7b — YCSB1 normalized mean I/O latency"),
+        (
+            ScaleApp::Blast,
+            "Fig. 7a — mpiBLAST normalized mean I/O latency",
+        ),
+        (
+            ScaleApp::Ycsb1,
+            "Fig. 7b — YCSB1 normalized mean I/O latency",
+        ),
     ] {
         let mut t = Table::new(title, &["machines", "IOrchestra", "SDC", "DIF"]);
         for &n in &machines {

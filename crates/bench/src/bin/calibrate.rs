@@ -29,12 +29,21 @@ fn main() {
     if which == "all" || which == "fig4" {
         let mut kinds: Vec<SystemKind> = SystemKind::headline().to_vec();
         if which == "fig4" {
-            kinds.push(SystemKind::IOrchestraWith(iorchestra::FunctionSet::flush_only()));
-            kinds.push(SystemKind::IOrchestraWith(iorchestra::FunctionSet::congestion_only()));
-            kinds.push(SystemKind::IOrchestraWith(iorchestra::FunctionSet::cosched_only()));
+            kinds.push(SystemKind::IOrchestraWith(
+                iorchestra::FunctionSet::flush_only(),
+            ));
+            kinds.push(SystemKind::IOrchestraWith(
+                iorchestra::FunctionSet::congestion_only(),
+            ));
+            kinds.push(SystemKind::IOrchestraWith(
+                iorchestra::FunctionSet::cosched_only(),
+            ));
         }
         for kind in kinds {
-            let seed: u64 = std::env::var("IORCH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+            let seed: u64 = std::env::var("IORCH_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(42);
             let cfg = RunCfg::new(seed);
             let out = fig4_run(kind, 150, 1500.0, 1500.0, cfg);
             println!(
@@ -97,7 +106,11 @@ fn main() {
         for kind in [SystemKind::Sdc, SystemKind::IOrchestra] {
             let cfg = RunCfg::new(42);
             let bps = cosched_run(kind, 6, cfg);
-            println!("[cosched:{:<10}] 60% io threads: {:.1} MB/s", kind.label(), bps / 1e6);
+            println!(
+                "[cosched:{:<10}] 60% io threads: {:.1} MB/s",
+                kind.label(),
+                bps / 1e6
+            );
         }
     }
 
@@ -116,7 +129,11 @@ fn main() {
     }
 
     if which == "all" || which == "arrivals" {
-        for kind in [SystemKind::Baseline, SystemKind::Sdc, SystemKind::IOrchestra] {
+        for kind in [
+            SystemKind::Baseline,
+            SystemKind::Sdc,
+            SystemKind::IOrchestra,
+        ] {
             let cfg = RunCfg::new(42).with_measure(SimDuration::from_secs(20));
             let out = arrivals_run(kind, 12.0, cfg);
             println!(

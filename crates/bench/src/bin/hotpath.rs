@@ -28,7 +28,8 @@ fn setup_new(doms: u32) -> (XenStore, Vec<DomainKeys>) {
     let mut ks = Vec::new();
     for d in 1..=doms {
         let dom = DomainId(d);
-        s.mkdir(DOM0, &XenStore::domain_path(dom), Perms::private_to(dom)).unwrap();
+        s.mkdir(DOM0, XenStore::domain_path(dom), Perms::private_to(dom))
+            .unwrap();
         let k = DomainKeys::new(dom);
         s.write(dom, &k.has_dirty_pages, val::zero()).unwrap();
         s.write(dom, &k.nr_dirty, val::zero()).unwrap();
@@ -42,8 +43,10 @@ fn setup_legacy(doms: u32) -> LegacyStore {
     let mut s = LegacyStore::new();
     for d in 1..=doms {
         let dom = DomainId(d);
-        s.mkdir(DOM0, &LegacyStore::domain_path(dom), Perms::private_to(dom)).unwrap();
-        s.write(dom, &keys::has_dirty_pages(dom), "0".to_string()).unwrap();
+        s.mkdir(DOM0, &LegacyStore::domain_path(dom), Perms::private_to(dom))
+            .unwrap();
+        s.write(dom, &keys::has_dirty_pages(dom), "0".to_string())
+            .unwrap();
         s.write(dom, &keys::nr_dirty(dom), "0".to_string()).unwrap();
     }
     s.take_events();
@@ -92,7 +95,11 @@ fn bench_store_write(t: &Timer) -> Pair {
         s.write(dom, &keys::nr_dirty(dom), n.to_string()).unwrap();
     });
     s.take_events();
-    Pair { name: "store_write", current, baseline }
+    Pair {
+        name: "store_write",
+        current,
+        baseline,
+    }
 }
 
 /// Store read: the manager-side poll. Current borrows through `read_ref`
@@ -107,11 +114,16 @@ fn bench_store_read(t: &Timer) -> Pair {
     });
 
     let mut s = setup_legacy(1);
-    s.write(dom, &keys::nr_dirty(dom), "42".to_string()).unwrap();
+    s.write(dom, &keys::nr_dirty(dom), "42".to_string())
+        .unwrap();
     let baseline = t.time("store_read/seed", || {
         s.read(DOM0, &keys::nr_dirty(dom)).unwrap().len()
     });
-    Pair { name: "store_read", current, baseline }
+    Pair {
+        name: "store_read",
+        current,
+        baseline,
+    }
 }
 
 /// Watch fan-out: a write under a watched subtree delivering to 8
@@ -142,7 +154,11 @@ fn bench_watch_fanout(t: &Timer) -> Pair {
         s.write(dom, &keys::nr_dirty(dom), n.to_string()).unwrap();
         s.take_events().len()
     });
-    Pair { name: "watch_fanout", current, baseline }
+    Pair {
+        name: "watch_fanout",
+        current,
+        baseline,
+    }
 }
 
 /// One control-plane tick over 16 domains: republish `nr` for each (the
@@ -166,17 +182,25 @@ fn bench_control_tick(t: &Timer) -> Pair {
 
     let mut s = setup_legacy(DOMS);
     for d in 1..=DOMS {
-        s.watch(DOM0, format!("{}/virt-dev", LegacyStore::domain_path(DomainId(d))));
+        s.watch(
+            DOM0,
+            format!("{}/virt-dev", LegacyStore::domain_path(DomainId(d))),
+        );
     }
     s.take_events();
     let baseline = t.time("control_tick/seed", || {
         for d in 1..=DOMS {
             let dom = DomainId(d);
-            s.write(dom, &keys::nr_dirty(dom), 7u64.to_string()).unwrap();
+            s.write(dom, &keys::nr_dirty(dom), 7u64.to_string())
+                .unwrap();
         }
         s.take_events().len()
     });
-    Pair { name: "control_tick", current, baseline }
+    Pair {
+        name: "control_tick",
+        current,
+        baseline,
+    }
 }
 
 /// Scheduler churn: schedule-then-cancel timeout patterns, the shape that
@@ -188,9 +212,7 @@ fn bench_scheduler_churn(t: &Timer) -> Sample {
         let sched = sim.scheduler_mut();
         let mut tokens = Vec::with_capacity(64);
         for i in 0..64u64 {
-            tokens.push(
-                sched.schedule_in(SimDuration::from_micros(i + 1), move |w, _| *w += 1),
-            );
+            tokens.push(sched.schedule_in(SimDuration::from_micros(i + 1), move |w, _| *w += 1));
         }
         for tok in tokens.iter().step_by(2) {
             sched.cancel(*tok);
@@ -234,7 +256,11 @@ fn bench_watch_scaling(t: &Timer) -> (Sample, Sample, Pair) {
     let many = run(t, 256, "watch_scaling/current_256");
     // The 256-spectator case against the seed's linear scan, for context.
     let seed_many = run_legacy(t, 256, "watch_scaling/seed_256");
-    let pair = Pair { name: "write_256_spectators", current: many.clone(), baseline: seed_many };
+    let pair = Pair {
+        name: "write_256_spectators",
+        current: many.clone(),
+        baseline: seed_many,
+    };
     (one, many, pair)
 }
 
@@ -304,7 +330,9 @@ fn main() {
         }
     }
     if ratio > 1.5 {
-        failed.push(format!("watch_scaling: 256-watcher ratio {ratio:.2}x > 1.5x"));
+        failed.push(format!(
+            "watch_scaling: 256-watcher ratio {ratio:.2}x > 1.5x"
+        ));
     }
     if failed.is_empty() {
         println!("GATE PASS");

@@ -165,32 +165,39 @@ pub fn motivation_run(collaborative: bool, cfg: RunCfg) -> MotivationOut {
             .unwrap();
         let rec2 = Rc::clone(&rec);
         let mut prng = iorch_simcore::SimRng::new(cfg.seed ^ 0x9999 ^ v);
-        s.schedule_every(SimDuration::from_micros(5000), move |cl: &mut Cluster, s| {
-            let offset = prng.below((1 << 30) - (64 << 10));
-            let started = s.now();
-            let r3 = Rc::clone(&rec2);
-            cl.submit_op(
-                s,
-                idx,
-                dom,
-                3,
-                FileOp::Read {
-                    file: probe_file,
-                    offset,
-                    len: 64 << 10,
-                },
-                Some(Box::new(move |_, s, _| {
-                    let now = s.now();
-                    r3.borrow_mut()
-                        .record(now, now.saturating_since(started), 64 << 10);
-                })),
-            );
-            !rec2.borrow().stopped
-        });
+        s.schedule_every(
+            SimDuration::from_micros(5000),
+            move |cl: &mut Cluster, s| {
+                let offset = prng.below((1 << 30) - (64 << 10));
+                let started = s.now();
+                let r3 = Rc::clone(&rec2);
+                cl.submit_op(
+                    s,
+                    idx,
+                    dom,
+                    3,
+                    FileOp::Read {
+                        file: probe_file,
+                        offset,
+                        len: 64 << 10,
+                    },
+                    Some(Box::new(move |_, s, _| {
+                        let now = s.now();
+                        r3.borrow_mut()
+                            .record(now, now.saturating_since(started), 64 << 10);
+                    })),
+                );
+                !rec2.borrow().stopped
+            },
+        );
     }
     let outcome = sim.run_until(cfg.horizon());
     if std::env::var("IORCH_PROBE").is_ok() {
-        eprintln!("  [motivation probe] outcome={outcome:?} now={} ops={}", sim.now(), rec.borrow().ops);
+        eprintln!(
+            "  [motivation probe] outcome={outcome:?} now={} ops={}",
+            sim.now(),
+            rec.borrow().ops
+        );
         let m = sim.world().machine(idx);
         for dom in m.domain_ids() {
             let k = &m.domain(dom).unwrap().kernel;
@@ -339,7 +346,10 @@ pub enum ScaleApp {
 /// of the measured app.
 pub fn scaleout_run(kind: SystemKind, machines: usize, app: ScaleApp, cfg: RunCfg) -> SimDuration {
     let mut sim = Simulation::new(Cluster::new());
-    let net = Rc::new(RefCell::new(Network::new(machines + 1, NetParams::default())));
+    let net = Rc::new(RefCell::new(Network::new(
+        machines + 1,
+        NetParams::default(),
+    )));
     let master_net = NodeId(machines);
     let mut blast_vms = Vec::new();
     let mut ycsb_vms = Vec::new();
@@ -350,9 +360,18 @@ pub fn scaleout_run(kind: SystemKind, machines: usize, app: ScaleApp, cfg: RunCf
         let b = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
         let y = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
         let c = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(10), |_| {});
-        blast_vms.push(VmRef { machine: idx, dom: b });
-        ycsb_vms.push(VmRef { machine: idx, dom: y });
-        let cvm = VmRef { machine: idx, dom: c };
+        blast_vms.push(VmRef {
+            machine: idx,
+            dom: b,
+        });
+        ycsb_vms.push(VmRef {
+            machine: idx,
+            dom: y,
+        });
+        let cvm = VmRef {
+            machine: idx,
+            dom: c,
+        };
         let rec = recorder(cfg.record_after());
         spawn_cloud9(
             cl,
@@ -689,7 +708,12 @@ mod tests {
 
     #[test]
     fn ycsb_bursty_smoke() {
-        let h = bursty_run(SystemKind::Baseline, 300.0, SimDuration::from_millis(50), tiny());
+        let h = bursty_run(
+            SystemKind::Baseline,
+            300.0,
+            SimDuration::from_millis(50),
+            tiny(),
+        );
         assert!(h.count() > 0, "bursty run must record ops");
     }
 

@@ -2,14 +2,26 @@
 //!
 //! "IOrchestra can be configured to identify malicious VMs by enabling
 //! anomaly detection in the management module" (paper §3). The concrete
-//! threat in a shared store is a guest hammering its keys to spam the
-//! management module with watch events; the detector flags domains whose
-//! store write *rate* exceeds a budget over a sliding window.
+//! threats in a shared store are a guest hammering its keys to spam the
+//! management module with watch events, and a guest probing other domains'
+//! subtrees (permission violations). The detector flags domains whose
+//! store write *rate* — or denied-write rate — exceeds a budget over a
+//! sliding window.
+//!
+//! The window is a true sliding count, implemented as a ring of
+//! [`BUCKETS`] sub-windows: a burst that straddles a window boundary still
+//! trips the flag, because expiring one sub-window only forgets the oldest
+//! eighth of the history, not all of it (the old tumbling implementation
+//! reset the whole count on the first write after expiry).
 
 use std::collections::BTreeMap;
 
 use iorch_hypervisor::DomainId;
 use iorch_simcore::{SimDuration, SimTime};
+
+/// Sub-windows per sliding window. More buckets = finer expiry
+/// granularity; 8 keeps the state a single cache line per counter.
+const BUCKETS: usize = 8;
 
 /// Detector configuration.
 #[derive(Clone, Copy, Debug)]
@@ -18,6 +30,10 @@ pub struct AnomalyParams {
     pub window: SimDuration,
     /// Writes per window that trip the detector.
     pub max_writes_per_window: u64,
+    /// Denied write-type store operations (permission violations) per
+    /// window that trip the detector. Much lower than the write budget:
+    /// legitimate guests produce essentially none.
+    pub max_denied_per_window: u64,
 }
 
 impl Default for AnomalyParams {
@@ -27,14 +43,59 @@ impl Default for AnomalyParams {
             // Legitimate traffic is a handful of edge-triggered updates;
             // hundreds per second is abuse.
             max_writes_per_window: 200,
+            max_denied_per_window: 8,
         }
+    }
+}
+
+/// A sliding event count over a ring of sub-windows. `total` is the number
+/// of events in roughly the last `BUCKETS` sub-windows; advancing time
+/// expires only the sub-windows that actually aged out.
+#[derive(Clone, Debug, Default)]
+struct SlidingCount {
+    /// Start of the sub-window at `head`.
+    head_start: SimTime,
+    head: usize,
+    buckets: [u64; BUCKETS],
+    total: u64,
+}
+
+impl SlidingCount {
+    fn advance(&mut self, now: SimTime, sub_ns: u64) {
+        let elapsed = now.saturating_since(self.head_start).as_nanos();
+        let steps = elapsed / sub_ns;
+        if steps == 0 {
+            return;
+        }
+        if steps >= BUCKETS as u64 {
+            // Everything in the ring has aged out.
+            *self = SlidingCount {
+                head_start: now,
+                ..SlidingCount::default()
+            };
+            return;
+        }
+        for _ in 0..steps {
+            self.head = (self.head + 1) % BUCKETS;
+            self.total -= self.buckets[self.head];
+            self.buckets[self.head] = 0;
+        }
+        self.head_start += SimDuration::from_nanos(sub_ns) * steps;
+    }
+
+    /// Add `n` events at `now`; returns the sliding total.
+    fn add(&mut self, n: u64, now: SimTime, sub_ns: u64) -> u64 {
+        self.advance(now, sub_ns);
+        self.buckets[self.head] += n;
+        self.total += n;
+        self.total
     }
 }
 
 #[derive(Clone, Debug, Default)]
 struct DomState {
-    window_start: SimTime,
-    in_window: u64,
+    writes: SlidingCount,
+    denied: SlidingCount,
     flagged: bool,
 }
 
@@ -42,6 +103,8 @@ struct DomState {
 #[derive(Clone, Debug)]
 pub struct AnomalyDetector {
     params: AnomalyParams,
+    /// Sub-window width in nanoseconds (window / BUCKETS, at least 1).
+    sub_ns: u64,
     doms: BTreeMap<DomainId, DomState>,
 }
 
@@ -49,6 +112,7 @@ impl AnomalyDetector {
     /// New detector.
     pub fn new(params: AnomalyParams) -> Self {
         AnomalyDetector {
+            sub_ns: (params.window.as_nanos() / BUCKETS as u64).max(1),
             params,
             doms: BTreeMap::new(),
         }
@@ -64,12 +128,17 @@ impl AnomalyDetector {
     /// observed on a monitoring tick). Returns the flag state.
     pub fn on_writes(&mut self, dom: DomainId, n: u64, now: SimTime) -> bool {
         let st = self.doms.entry(dom).or_default();
-        if now.saturating_since(st.window_start) > self.params.window {
-            st.window_start = now;
-            st.in_window = 0;
+        if st.writes.add(n, now, self.sub_ns) > self.params.max_writes_per_window {
+            st.flagged = true;
         }
-        st.in_window += n;
-        if st.in_window > self.params.max_writes_per_window {
+        st.flagged
+    }
+
+    /// Record `n` denied write-type store operations (permission
+    /// violations) by `dom` at `now`. Returns the flag state.
+    pub fn on_denied(&mut self, dom: DomainId, n: u64, now: SimTime) -> bool {
+        let st = self.doms.entry(dom).or_default();
+        if st.denied.add(n, now, self.sub_ns) > self.params.max_denied_per_window {
             st.flagged = true;
         }
         st.flagged
@@ -89,11 +158,10 @@ impl AnomalyDetector {
             .collect()
     }
 
-    /// Clear a domain's flag (operator intervention).
+    /// Clear a domain's flag and history (operator intervention).
     pub fn clear(&mut self, dom: DomainId) {
         if let Some(s) = self.doms.get_mut(&dom) {
-            s.flagged = false;
-            s.in_window = 0;
+            *s = DomState::default();
         }
     }
 
@@ -115,6 +183,7 @@ mod tests {
         AnomalyDetector::new(AnomalyParams {
             window: SimDuration::from_millis(100),
             max_writes_per_window: 5,
+            max_denied_per_window: 3,
         })
     }
 
@@ -137,6 +206,59 @@ mod tests {
         }
         assert!(flagged);
         assert_eq!(det.flagged(), vec![DomainId(2)]);
+    }
+
+    #[test]
+    fn burst_straddling_window_boundary_is_caught() {
+        // The tumbling implementation reset the count on the first write
+        // more than a window after the window start, so 4 writes at t=99
+        // plus 4 writes at t=101+100=201... could escape. Reproduce the
+        // exact escape: a few writes early, then a burst split across the
+        // first window's boundary.
+        let mut det = small();
+        // 3 writes late in the first window.
+        for _ in 0..3 {
+            assert!(!det.on_write(DomainId(1), t(95)));
+        }
+        // 3 more just past the boundary: 6 writes inside t in [95, 105] —
+        // far over the 5-per-100ms budget. A tumbling window would have
+        // reset to 0 at t=101 and seen only 3.
+        det.on_write(DomainId(1), t(101));
+        det.on_write(DomainId(1), t(101));
+        let flagged = det.on_write(DomainId(1), t(101));
+        assert!(flagged, "boundary-straddling burst must be flagged");
+    }
+
+    #[test]
+    fn count_decays_gradually_not_all_at_once() {
+        let mut det = small();
+        // 5 writes at t=0 (exactly at budget, not over).
+        for _ in 0..5 {
+            assert!(!det.on_write(DomainId(1), t(0)));
+        }
+        // A full window later they have all aged out: 5 more are again
+        // exactly at budget.
+        for _ in 0..5 {
+            assert!(!det.on_write(DomainId(1), t(150)));
+        }
+        // But only half a window after *those*, the history remains: one
+        // more write tips the sliding total over.
+        assert!(det.on_write(DomainId(1), t(200)));
+    }
+
+    #[test]
+    fn denied_budget_is_separate_and_tighter() {
+        let mut det = small();
+        // Writes within budget do not flag…
+        for _ in 0..5 {
+            assert!(!det.on_write(DomainId(1), t(0)));
+        }
+        // …but 4 denials (> 3) do, independently of the write count.
+        for _ in 0..3 {
+            assert!(!det.on_denied(DomainId(1), 1, t(1)));
+        }
+        assert!(det.on_denied(DomainId(1), 1, t(1)));
+        assert!(det.is_flagged(DomainId(1)));
     }
 
     #[test]

@@ -42,6 +42,47 @@ pub fn socket_weight(dom: DomainId, socket: usize) -> String {
     format!("{}/virt-dev/weight/{}", XenStore::domain_path(dom), socket)
 }
 
+/// `/iorchestra/health/<id>` — root of the management module's published
+/// per-domain health counters (dom0-owned, world-readable).
+pub fn health_base(dom: DomainId) -> String {
+    format!("/iorchestra/health/{}", dom.0)
+}
+
+/// `…/flush_timeouts` — `flush_now` commands that timed out unacked.
+pub fn health_flush_timeouts(dom: DomainId) -> String {
+    format!("{}/flush_timeouts", health_base(dom))
+}
+
+/// `…/quarantined` — `"1"` while the domain is quarantined (anomalous or
+/// persistently unresponsive), `"0"` otherwise.
+pub fn health_quarantined(dom: DomainId) -> String {
+    format!("{}/quarantined", health_base(dom))
+}
+
+/// `…/store_denied` — denied store operations attributed to the domain.
+pub fn health_store_denied(dom: DomainId) -> String {
+    format!("{}/store_denied", health_base(dom))
+}
+
+/// `/iorchestra/control/<id>/clear` — operator command channel: dom0
+/// writes `"1"` to clear a domain's quarantine and restore collaboration.
+/// Lives outside `/local` so a guest cannot write it itself.
+pub fn clear_quarantine(dom: DomainId) -> String {
+    format!("/iorchestra/control/{}/clear", dom.0)
+}
+
+/// Root of the operator command subtree (the management module watches
+/// this prefix).
+pub const CONTROL_ROOT: &str = "/iorchestra/control";
+
+/// Extract the domain id from an operator command path
+/// `/iorchestra/control/<id>/…`.
+pub fn control_dom_of_path(path: &str) -> Option<DomainId> {
+    let rest = path.strip_prefix("/iorchestra/control/")?;
+    let id_str = rest.split('/').next()?;
+    id_str.parse().ok().map(DomainId)
+}
+
 /// Extract the domain id from a store path under `/local/domain/<id>/…`.
 pub fn domain_of_path(path: &str) -> Option<DomainId> {
     let rest = path.strip_prefix("/local/domain/")?;
@@ -81,6 +122,12 @@ pub struct DomainKeys {
     pub congested: StorePath,
     /// `…/virt-dev/release_request` (Algorithm 2).
     pub release_request: StorePath,
+    /// `/iorchestra/health/<id>/flush_timeouts` (robustness counters).
+    pub health_flush_timeouts: StorePath,
+    /// `/iorchestra/health/<id>/quarantined`.
+    pub health_quarantined: StorePath,
+    /// `/iorchestra/health/<id>/store_denied`.
+    pub health_store_denied: StorePath,
     /// `…/virt-dev/weight/<socket>`, grown on demand (§3.3).
     socket_weights: Vec<StorePath>,
 }
@@ -99,6 +146,9 @@ impl DomainKeys {
             flush_now: parse(flush_now(dom)),
             congested: parse(congested(dom)),
             release_request: parse(release_request(dom)),
+            health_flush_timeouts: parse(health_flush_timeouts(dom)),
+            health_quarantined: parse(health_quarantined(dom)),
+            health_store_denied: parse(health_store_denied(dom)),
             socket_weights: Vec::new(),
         }
     }
@@ -127,7 +177,11 @@ pub mod val {
 
     fn small_table() -> &'static [Arc<str>] {
         static TABLE: OnceLock<Vec<Arc<str>>> = OnceLock::new();
-        TABLE.get_or_init(|| (0..SMALL).map(|n| Arc::from(n.to_string().as_str())).collect())
+        TABLE.get_or_init(|| {
+            (0..SMALL)
+                .map(|n| Arc::from(n.to_string().as_str()))
+                .collect()
+        })
     }
 
     /// `"0"` — the dominant flag value.
@@ -179,6 +233,27 @@ mod tests {
         assert_eq!(domain_of_path("/local/domain/12"), Some(DomainId(12)));
         assert_eq!(domain_of_path("/other/12"), None);
         assert_eq!(domain_of_path("/local/domain/xyz/a"), None);
+    }
+
+    #[test]
+    fn health_and_control_paths() {
+        let d = DomainId(9);
+        assert_eq!(
+            health_flush_timeouts(d),
+            "/iorchestra/health/9/flush_timeouts"
+        );
+        assert_eq!(health_quarantined(d), "/iorchestra/health/9/quarantined");
+        assert_eq!(health_store_denied(d), "/iorchestra/health/9/store_denied");
+        assert_eq!(clear_quarantine(d), "/iorchestra/control/9/clear");
+        assert_eq!(
+            control_dom_of_path("/iorchestra/control/9/clear"),
+            Some(DomainId(9))
+        );
+        assert_eq!(control_dom_of_path("/local/domain/9/virt-dev/nr"), None);
+        let k = DomainKeys::new(d);
+        assert_eq!(k.health_flush_timeouts.as_str(), health_flush_timeouts(d));
+        assert_eq!(k.health_quarantined.as_str(), health_quarantined(d));
+        assert_eq!(k.health_store_denied.as_str(), health_store_denied(d));
     }
 
     #[test]

@@ -201,11 +201,20 @@ mod tests {
         let p = NetBufParams::default();
         let mut policy = NetBufPolicy::new();
         // No rejections, low delay: nothing to do at any utilization.
-        assert_eq!(policy.decide(&p, obs(256 << 10, 0, 1), 0.3), TxDecision::Keep);
-        assert_eq!(policy.decide(&p, obs(256 << 10, 0, 1), 0.95), TxDecision::Keep);
+        assert_eq!(
+            policy.decide(&p, obs(256 << 10, 0, 1), 0.3),
+            TxDecision::Keep
+        );
+        assert_eq!(
+            policy.decide(&p, obs(256 << 10, 0, 1), 0.95),
+            TxDecision::Keep
+        );
         // Rejections but the link is already saturated: growing the buffer
         // would only add bloat.
-        assert_eq!(policy.decide(&p, obs(256 << 10, 9, 1), 0.95), TxDecision::Keep);
+        assert_eq!(
+            policy.decide(&p, obs(256 << 10, 9, 1), 0.95),
+            TxDecision::Keep
+        );
         assert_eq!(policy.stats(), (0, 0));
     }
 

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use iorch_guestos::KernelSignal;
 use iorch_hypervisor::{
-    ControlPlane, Cluster, DomainId, Machine, Sched, StorePath, WatchEvent, DOM0,
+    Cluster, ControlPlane, DomainId, Machine, Sched, StorePath, WatchEvent, DOM0,
 };
 use iorch_simcore::{SimDuration, SimRng, SimTime};
 
@@ -104,7 +104,13 @@ impl ControlPlane for BaselinePlane {
         self.label
     }
 
-    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+    fn on_kernel_signal(
+        &mut self,
+        m: &mut Machine,
+        _s: &mut Sched,
+        dom: DomainId,
+        sig: KernelSignal,
+    ) {
         if sig == KernelSignal::CongestionQuery {
             m.cp_enter_congestion(dom);
         }
@@ -146,7 +152,13 @@ impl ControlPlane for DifPlane {
         Some(self.tick)
     }
 
-    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+    fn on_kernel_signal(
+        &mut self,
+        m: &mut Machine,
+        _s: &mut Sched,
+        dom: DomainId,
+        sig: KernelSignal,
+    ) {
         if sig == KernelSignal::CongestionQuery {
             m.cp_enter_congestion(dom);
         }
@@ -158,10 +170,7 @@ impl ControlPlane for DifPlane {
             // Idleness is broadcast: every VM with dirty pages flushes now.
             // (The simultaneous flush is DIF's weakness vs. Algorithm 1.)
             for dom in m.domain_ids() {
-                let dirty = m
-                    .domain(dom)
-                    .map(|d| d.kernel.dirty_pages())
-                    .unwrap_or(0);
+                let dirty = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
                 if dirty > 0 {
                     m.cp_remote_sync(s, dom);
                 }
@@ -192,6 +201,14 @@ pub struct IOrchestraConfig {
     pub drr_round: SimDuration,
     /// Anomaly-detector settings.
     pub anomaly: AnomalyParams,
+    /// How long a `flush_now` command may stay unacked before the
+    /// management module gives the slot to the next-dirtiest domain.
+    pub flush_ack_timeout: SimDuration,
+    /// Base retry backoff after a flush timeout (doubles per consecutive
+    /// timeout, capped at 64×).
+    pub flush_retry_backoff: SimDuration,
+    /// Consecutive flush timeouts after which a domain is quarantined.
+    pub flush_max_retries: u32,
     /// RNG seed for the wake interleave.
     pub seed: u64,
 }
@@ -207,6 +224,10 @@ impl IOrchestraConfig {
             weight_change_threshold: 0.5,
             drr_round: SimDuration::from_millis(1),
             anomaly: AnomalyParams::default(),
+            // Three ticks: a healthy guest acks a flush well within one.
+            flush_ack_timeout: SimDuration::from_millis(300),
+            flush_retry_backoff: SimDuration::from_secs(1),
+            flush_max_retries: 3,
             seed,
         }
     }
@@ -226,7 +247,23 @@ pub struct IOrchestraPlane {
     monitor: MonitoringModule,
     anomaly: AnomalyDetector,
     write_count_base: BTreeMap<DomainId, u64>,
-    flush_in_progress: BTreeSet<DomainId>,
+    denied_base: BTreeMap<DomainId, u64>,
+    /// In-flight `flush_now` commands and their ack deadlines.
+    flush_in_progress: BTreeMap<DomainId, SimTime>,
+    /// Domains in retry backoff after flush timeouts.
+    flush_backoff_until: BTreeMap<DomainId, SimTime>,
+    /// Consecutive unacked flushes per domain (reset on ack).
+    flush_fail_streak: BTreeMap<DomainId, u32>,
+    /// Cumulative flush timeouts per domain (health counter).
+    flush_timeouts_by_dom: BTreeMap<DomainId, u64>,
+    /// Quarantined domains: their store events and monitoring keys are
+    /// ignored and they get Baseline behaviour until an operator clears
+    /// them through the `/iorchestra/control` channel.
+    quarantined: BTreeSet<DomainId>,
+    /// Last health tuple published per domain (flush_timeouts,
+    /// quarantined, store_denied) — the store is only touched on change,
+    /// so a healthy steady-state tick publishes nothing.
+    health_published: BTreeMap<DomainId, (u64, bool, u64)>,
     /// VMs whose congestion was confirmed (host really congested), woken
     /// FIFO when the host is relieved.
     congested_fifo: Vec<DomainId>,
@@ -252,6 +289,10 @@ pub struct PlaneStats {
     pub staggered_wakeups: u64,
     /// Weight pushes to I/O cores.
     pub weight_pushes: u64,
+    /// `flush_now` commands that expired unacked.
+    pub flush_timeouts: u64,
+    /// Domains quarantined (anomalous or persistently unresponsive).
+    pub quarantines: u64,
 }
 
 impl IOrchestraPlane {
@@ -262,7 +303,13 @@ impl IOrchestraPlane {
             monitor: MonitoringModule::new(),
             anomaly: AnomalyDetector::new(cfg.anomaly),
             write_count_base: BTreeMap::new(),
-            flush_in_progress: BTreeSet::new(),
+            denied_base: BTreeMap::new(),
+            flush_in_progress: BTreeMap::new(),
+            flush_backoff_until: BTreeMap::new(),
+            flush_fail_streak: BTreeMap::new(),
+            flush_timeouts_by_dom: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            health_published: BTreeMap::new(),
             congested_fifo: Vec::new(),
             last_route_weights: BTreeMap::new(),
             last_weight_push: SimTime::ZERO,
@@ -283,6 +330,33 @@ impl IOrchestraPlane {
         self.anomaly.flagged()
     }
 
+    /// Currently quarantined domains.
+    pub fn quarantined_domains(&self) -> Vec<DomainId> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Quarantine a domain: drop it from every collaborative queue and
+    /// revert it to Baseline behaviour (graceful degradation) until an
+    /// operator clears it.
+    fn quarantine(&mut self, dom: DomainId) {
+        if self.quarantined.insert(dom) {
+            self.stats.quarantines += 1;
+            self.congested_fifo.retain(|&d| d != dom);
+            self.flush_in_progress.remove(&dom);
+            self.flush_backoff_until.remove(&dom);
+        }
+    }
+
+    /// Operator clear (a dom0 write of `"1"` to
+    /// `/iorchestra/control/<id>/clear`): forgive history and restore
+    /// collaboration.
+    fn clear_quarantine(&mut self, dom: DomainId) {
+        self.quarantined.remove(&dom);
+        self.anomaly.clear(dom);
+        self.flush_fail_streak.remove(&dom);
+        self.flush_backoff_until.remove(&dom);
+    }
+
     fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
         // The guest driver writes through its own credentials — permission
         // violations would surface here.
@@ -297,8 +371,13 @@ impl IOrchestraPlane {
         let _ = m.store.write_if_changed(dom, path, v);
     }
 
-    fn keys_for(domain_keys: &mut BTreeMap<DomainId, DomainKeys>, dom: DomainId) -> &mut DomainKeys {
-        domain_keys.entry(dom).or_insert_with(|| DomainKeys::new(dom))
+    fn keys_for(
+        domain_keys: &mut BTreeMap<DomainId, DomainKeys>,
+        dom: DomainId,
+    ) -> &mut DomainKeys {
+        domain_keys
+            .entry(dom)
+            .or_insert_with(|| DomainKeys::new(dom))
     }
 
     fn run_flush_policy(&mut self, m: &mut Machine, s: &mut Sched) {
@@ -310,9 +389,16 @@ impl IOrchestraPlane {
         if m.storage.in_flight() > 8 || m.storage.queue_depth() > 0 {
             return;
         }
+        let now = s.now();
         let mut best: Option<(u64, DomainId)> = None;
         for dom in m.domain_ids() {
-            if self.flush_in_progress.contains(&dom) {
+            // Skip domains with a flush in flight, in post-timeout backoff,
+            // or quarantined — the argmax over the rest IS the fallback to
+            // the next-dirtiest domain.
+            if self.flush_in_progress.contains_key(&dom)
+                || self.quarantined.contains(&dom)
+                || self.flush_backoff_until.get(&dom).is_some_and(|&t| now < t)
+            {
                 continue;
             }
             let k = Self::keys_for(&mut self.domain_keys, dom);
@@ -330,17 +416,78 @@ impl IOrchestraPlane {
                 .ok()
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(0);
-            if best.map_or(true, |(bn, _)| nr > bn) {
+            if best.is_none_or(|(bn, _)| nr > bn) {
                 best = Some((nr, dom));
             }
         }
         if let Some((_, dom)) = best {
-            self.flush_in_progress.insert(dom);
+            self.flush_in_progress
+                .insert(dom, now + self.cfg.flush_ack_timeout);
             self.stats.flushes_triggered += 1;
             let k = Self::keys_for(&mut self.domain_keys, dom);
             let _ = m.store.write(DOM0, &k.flush_now, val::one());
         }
-        let _ = s;
+    }
+
+    /// Expire `flush_now` ack deadlines: an unresponsive guest loses its
+    /// slot (the next policy run picks the next-dirtiest domain), backs
+    /// off exponentially, and is quarantined after
+    /// `flush_max_retries` consecutive timeouts.
+    fn expire_flush_deadlines(&mut self, now: SimTime) {
+        let expired: Vec<DomainId> = self
+            .flush_in_progress
+            .iter()
+            .filter(|&(_, &deadline)| now >= deadline)
+            .map(|(&d, _)| d)
+            .collect();
+        for dom in expired {
+            self.flush_in_progress.remove(&dom);
+            self.stats.flush_timeouts += 1;
+            *self.flush_timeouts_by_dom.entry(dom).or_insert(0) += 1;
+            let streak = self.flush_fail_streak.entry(dom).or_insert(0);
+            *streak += 1;
+            if *streak >= self.cfg.flush_max_retries {
+                self.quarantine(dom);
+            } else {
+                let shift = (*streak - 1).min(6);
+                self.flush_backoff_until
+                    .insert(dom, now + self.cfg.flush_retry_backoff * (1u64 << shift));
+            }
+        }
+    }
+
+    /// Publish per-domain health counters under `/iorchestra/health/<id>`.
+    /// Pure change-detection in plane memory: a steady-state tick performs
+    /// zero store operations.
+    fn publish_health(&mut self, m: &mut Machine) {
+        for dom in m.domain_ids() {
+            let tuple = (
+                self.flush_timeouts_by_dom.get(&dom).copied().unwrap_or(0),
+                self.quarantined.contains(&dom),
+                m.store.denied_count(dom),
+            );
+            if self.health_published.get(&dom) == Some(&tuple) {
+                continue;
+            }
+            let prev = self.health_published.insert(dom, tuple);
+            let k = Self::keys_for(&mut self.domain_keys, dom);
+            let (timeouts, quarantined, denied) = tuple;
+            if prev.map(|p| p.0) != Some(timeouts) {
+                let _ = m
+                    .store
+                    .write(DOM0, &k.health_flush_timeouts, val::uint(timeouts));
+            }
+            if prev.map(|p| p.1) != Some(quarantined) {
+                let _ = m
+                    .store
+                    .write(DOM0, &k.health_quarantined, val::flag(quarantined));
+            }
+            if prev.map(|p| p.2) != Some(denied) {
+                let _ = m
+                    .store
+                    .write(DOM0, &k.health_store_denied, val::uint(denied));
+            }
+        }
     }
 
     fn run_congestion_relief(&mut self, m: &mut Machine, s: &mut Sched) {
@@ -352,9 +499,8 @@ impl IOrchestraPlane {
         let idx = m.idx;
         let mut offset = SimDuration::ZERO;
         for dom in std::mem::take(&mut self.congested_fifo) {
-            offset += SimDuration::from_millis(
-                self.rng.range(0, self.cfg.wake_interleave_max_ms.max(1)),
-            );
+            offset +=
+                SimDuration::from_millis(self.rng.range(0, self.cfg.wake_interleave_max_ms.max(1)));
             self.stats.staggered_wakeups += 1;
             let congested_key = Self::keys_for(&mut self.domain_keys, dom).congested.clone();
             s.schedule_in(offset, move |cl: &mut Cluster, s| {
@@ -383,6 +529,9 @@ impl IOrchestraPlane {
             now.saturating_since(self.last_weight_push) >= self.cfg.weight_update_interval;
         let mut pushed = false;
         for dom in dom_ids {
+            if self.quarantined.contains(&dom) {
+                continue;
+            }
             let Some(d) = m.domain(dom) else { continue };
             // Process weight per socket: each VCPU carries weight 1 (the
             // guest publishes per-process weights; with one I/O thread per
@@ -419,9 +568,7 @@ impl IOrchestraPlane {
             let stale = self
                 .last_route_weights
                 .get(&dom)
-                .map_or(true, |prev| {
-                    ratio_changed(prev, &route, self.cfg.weight_change_threshold)
-                });
+                .is_none_or(|prev| ratio_changed(prev, &route, self.cfg.weight_change_threshold));
             if !(stale || interval_due) {
                 continue;
             }
@@ -433,7 +580,9 @@ impl IOrchestraPlane {
             // directly).
             let k = Self::keys_for(&mut self.domain_keys, dom);
             for (sk, w) in route.iter().enumerate() {
-                let _ = m.store.write(DOM0, k.socket_weight(sk), format!("{:.4}", w));
+                let _ = m
+                    .store
+                    .write(DOM0, k.socket_weight(sk), format!("{:.4}", w));
             }
             m.cp_set_route_weights(dom, route);
             // Quanta per socket: Q_i = BW_max · S^{VMi}_{SKT}.
@@ -464,6 +613,7 @@ impl ControlPlane for IOrchestraPlane {
     fn on_domain_created(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId) {
         if !self.manager_watch_registered {
             m.store.watch(DOM0, "/local");
+            m.store.watch(DOM0, keys::CONTROL_ROOT);
             self.manager_watch_registered = true;
         }
         // Guest-driver registration: defaults + a watch on its own subtree.
@@ -478,14 +628,35 @@ impl ControlPlane for IOrchestraPlane {
 
     fn on_domain_destroyed(&mut self, _m: &mut Machine, _s: &mut Sched, dom: DomainId) {
         self.flush_in_progress.remove(&dom);
+        self.flush_backoff_until.remove(&dom);
+        self.flush_fail_streak.remove(&dom);
+        self.flush_timeouts_by_dom.remove(&dom);
+        self.quarantined.remove(&dom);
+        self.health_published.remove(&dom);
         self.congested_fifo.retain(|&d| d != dom);
         self.last_route_weights.remove(&dom);
         self.write_count_base.remove(&dom);
+        self.denied_base.remove(&dom);
         self.domain_keys.remove(&dom);
         self.anomaly.remove(dom);
     }
 
-    fn on_kernel_signal(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+    fn on_kernel_signal(
+        &mut self,
+        m: &mut Machine,
+        s: &mut Sched,
+        dom: DomainId,
+        sig: KernelSignal,
+    ) {
+        if self.quarantined.contains(&dom) {
+            // Graceful degradation: a quarantined domain gets stock
+            // Baseline behaviour — congestion means sleeping, and nothing
+            // it does touches the store or the collaborative queues.
+            if sig == KernelSignal::CongestionQuery {
+                m.cp_enter_congestion(dom);
+            }
+            return;
+        }
         match sig {
             KernelSignal::DirtyStatusChanged(has) => {
                 if self.cfg.functions.flush {
@@ -527,9 +698,25 @@ impl ControlPlane for IOrchestraPlane {
     }
 
     fn on_store_event(&mut self, m: &mut Machine, s: &mut Sched, ev: WatchEvent) {
+        // Operator command channel (outside /local, so only dom0 can write
+        // it — a quarantined guest cannot clear itself).
+        if let Some(dom) = keys::control_dom_of_path(&ev.path) {
+            if ev.owner == DOM0
+                && keys::is_key(&ev.path, "clear")
+                && ev.value.as_deref() == Some("1")
+            {
+                self.clear_quarantine(dom);
+            }
+            return;
+        }
         let Some(dom) = keys::domain_of_path(&ev.path) else {
             return;
         };
+        if self.quarantined.contains(&dom) {
+            // The management module ignores a quarantined domain's keys
+            // entirely — its watch-event spam costs one hash probe here.
+            return;
+        }
         if ev.owner == DOM0 {
             // Management-module side.
             if keys::is_key(&ev.path, "congested") && ev.value.as_deref() == Some("1") {
@@ -546,11 +733,15 @@ impl ControlPlane for IOrchestraPlane {
                 } else {
                     // False trigger: release the request queue.
                     self.stats.releases_granted += 1;
-                        let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let k = Self::keys_for(&mut self.domain_keys, dom);
                     let _ = m.store.write(DOM0, &k.release_request, val::one());
                 }
             } else if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("0") {
+                // The guest acked (wrote flush_now back to 0): the flush
+                // completed, so the domain is in good standing again.
                 self.flush_in_progress.remove(&dom);
+                self.flush_fail_streak.remove(&dom);
+                self.flush_backoff_until.remove(&dom);
             }
         } else if ev.owner == dom {
             // Guest-driver side (registered callback functions).
@@ -569,19 +760,40 @@ impl ControlPlane for IOrchestraPlane {
     fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
         let now = s.now();
         let report = self.monitor.sample(m, now);
-        // Anomaly detection on store-write rates.
+        // Anomaly detection on store-write and denied-operation rates.
+        // Bases advance for every domain (so an operator clear only counts
+        // *new* traffic), but only unquarantined domains feed the detector.
         for dom in m.domain_ids() {
             let count = m.store.write_count(dom);
             let base = self.write_count_base.insert(dom, count).unwrap_or(0);
             let delta = count.saturating_sub(base);
+            let denied = m.store.denied_count(dom);
+            let denied_base = self.denied_base.insert(dom, denied).unwrap_or(0);
+            let denied_delta = denied.saturating_sub(denied_base);
+            if self.quarantined.contains(&dom) {
+                continue;
+            }
             if delta > 0 {
                 self.anomaly.on_writes(dom, delta, now);
             }
+            if denied_delta > 0 {
+                self.anomaly.on_denied(dom, denied_delta, now);
+            }
         }
+        // Consequence of a flag: quarantine (Baseline behaviour, keys
+        // ignored) until an operator clears it.
+        for dom in self.anomaly.flagged() {
+            self.quarantine(dom);
+        }
+        // Unacked flush commands lose their slot, with backoff/quarantine.
+        self.expire_flush_deadlines(now);
         // Guest drivers republish their dirty-page counts each period so
         // the argmax in Algorithm 1 works from fresh numbers.
         if self.cfg.functions.flush {
             for dom in m.domain_ids() {
+                if self.quarantined.contains(&dom) {
+                    continue;
+                }
                 let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
                 if nr > 0 {
                     let k = Self::keys_for(&mut self.domain_keys, dom);
@@ -598,6 +810,7 @@ impl ControlPlane for IOrchestraPlane {
         if self.cfg.functions.cosched {
             self.run_cosched(m, s, now);
         }
+        self.publish_health(m);
     }
 }
 
@@ -609,7 +822,9 @@ mod tests {
     fn function_set_presets() {
         assert!(FunctionSet::all().flush && FunctionSet::all().cosched);
         assert!(FunctionSet::flush_only().flush && !FunctionSet::flush_only().congestion);
-        assert!(FunctionSet::congestion_only().congestion && !FunctionSet::congestion_only().cosched);
+        assert!(
+            FunctionSet::congestion_only().congestion && !FunctionSet::congestion_only().cosched
+        );
         assert!(FunctionSet::cosched_only().cosched && !FunctionSet::cosched_only().flush);
     }
 
@@ -618,7 +833,10 @@ mod tests {
         assert_eq!(BaselinePlane::baseline().name(), "baseline");
         assert_eq!(BaselinePlane::sdc().name(), "sdc");
         assert_eq!(DifPlane::new().name(), "dif");
-        assert_eq!(IOrchestraPlane::new(IOrchestraConfig::new(1)).name(), "iorchestra");
+        assert_eq!(
+            IOrchestraPlane::new(IOrchestraConfig::new(1)).name(),
+            "iorchestra"
+        );
     }
 
     #[test]

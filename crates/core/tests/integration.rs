@@ -1,8 +1,6 @@
 //! Policy-level integration tests: the IOrchestra plane's store
 //! choreography, statistics and per-function toggles observed directly.
 
-use std::rc::Rc;
-
 use iorch_guestos::FileOp;
 use iorch_hypervisor::{Cluster, IoPathMode, MachineConfig, VmSpec, DOM0};
 use iorch_simcore::{SimDuration, SimTime, Simulation};
@@ -59,18 +57,18 @@ fn dirty_publication_flows_to_store() {
     // flush it) the store must show has_dirty_pages=1 and a fresh nr.
     sim.run_until(SimTime::from_millis(5));
     let m = sim.world().machine(idx);
-    assert_eq!(m.store.read(DOM0, &keys::has_dirty_pages(dom)).unwrap(), "1");
+    assert_eq!(m.store.read(DOM0, keys::has_dirty_pages(dom)).unwrap(), "1");
     let nr: u64 = m
         .store
-        .read(DOM0, &keys::nr_dirty(dom))
+        .read(DOM0, keys::nr_dirty(dom))
         .unwrap()
         .parse()
         .unwrap();
     assert!(nr >= 1024, "nr={nr}"); // 4 MiB = 1024 pages
-    // Eventually the device idles and Algorithm 1 flushes it.
+                                    // Eventually the device idles and Algorithm 1 flushes it.
     sim.run_until(SimTime::from_secs(3));
     let m = sim.world().machine(idx);
-    assert_eq!(m.store.read(DOM0, &keys::has_dirty_pages(dom)).unwrap(), "0");
+    assert_eq!(m.store.read(DOM0, keys::has_dirty_pages(dom)).unwrap(), "0");
 }
 
 #[test]
@@ -80,7 +78,8 @@ fn plane_stats_count_activations() {
     let mut sim = Simulation::new(Cluster::new());
     let (cl, s) = sim.parts_mut();
     let idx = cl.add_machine(MachineConfig::paper_testbed(3, IoPathMode::Paravirt));
-    let plane = IOrchestraPlane::new(IOrchestraConfig::new(3).with_functions(FunctionSet::flush_only()));
+    let plane =
+        IOrchestraPlane::new(IOrchestraConfig::new(3).with_functions(FunctionSet::flush_only()));
     cl.install_control(s, idx, Box::new(plane));
     let dom = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(10), |g| {
         g.wb.periodic_interval = SimDuration::from_secs(60);
@@ -109,7 +108,7 @@ fn plane_stats_count_activations() {
     sim.run_until(SimTime::from_secs(4));
     // The flush round trip completed: dirty drained and flush_now reset.
     let m = sim.world().machine(idx);
-    assert_eq!(m.store.read(DOM0, &keys::flush_now(dom)).unwrap(), "0");
+    assert_eq!(m.store.read(DOM0, keys::flush_now(dom)).unwrap(), "0");
     assert_eq!(m.domain(dom).unwrap().kernel.dirty_pages(), 0);
     let (_, wbytes) = m.storage.monitor().byte_counts();
     assert!(wbytes >= 16 << 20);
@@ -125,12 +124,18 @@ fn cosched_programs_weights_for_cross_socket_vm() {
     sim.run_until(SimTime::from_secs(3));
     let m = sim.world().machine(idx);
     // The management module published per-socket weights to the store.
-    let w0 = m.store.read(DOM0, &keys::socket_weight(dom, 0));
-    let w1 = m.store.read(DOM0, &keys::socket_weight(dom, 1));
-    assert!(w0.is_ok() && w1.is_ok(), "weights not published: {w0:?} {w1:?}");
+    let w0 = m.store.read(DOM0, keys::socket_weight(dom, 0));
+    let w1 = m.store.read(DOM0, keys::socket_weight(dom, 1));
+    assert!(
+        w0.is_ok() && w1.is_ok(),
+        "weights not published: {w0:?} {w1:?}"
+    );
     let w0: f64 = w0.unwrap().parse().unwrap();
     let w1: f64 = w1.unwrap().parse().unwrap();
-    assert!((w0 + w1 - 1.0).abs() < 0.01, "weights must sum to 1: {w0} {w1}");
+    assert!(
+        (w0 + w1 - 1.0).abs() < 0.01,
+        "weights must sum to 1: {w0} {w1}"
+    );
     assert!(w0 > 0.0 && w1 > 0.0, "a cross-socket VM uses both sockets");
 }
 
@@ -167,7 +172,7 @@ fn dif_and_baseline_planes_never_touch_the_store() {
         sim.run_until(SimTime::from_secs(2));
         let m = sim.world().machine(idx);
         // Neither comparison system uses the IOrchestra keys.
-        assert!(m.store.read(DOM0, &keys::flush_now(dom)).is_err());
-        assert!(m.store.read(DOM0, &keys::congested(dom)).is_err());
+        assert!(m.store.read(DOM0, keys::flush_now(dom)).is_err());
+        assert!(m.store.read(DOM0, keys::congested(dom)).is_err());
     }
 }

@@ -3,7 +3,7 @@
 //! a fixed seed sweep — no external property-test crate.
 
 use iorch_hypervisor::DomainId;
-use iorch_simcore::{gen, SimDuration, SimRng, SimTime};
+use iorch_simcore::{gen, SimDuration, SimTime};
 use iorchestra::anomaly::{AnomalyDetector, AnomalyParams};
 use iorchestra::formulas::{
     drr_quantum, inverse_latency_weights, ratio_changed, socket_io_share, socket_process_weight,
@@ -15,9 +15,8 @@ const CASES: usize = 64;
 /// ordering is inverse to the latencies.
 #[test]
 fn weights_are_a_distribution() {
-    for seed in gen::seeds(0xC0_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let lats = gen::vec_between(&mut rng, 1, 8, |r| gen::f64_in(r, 0.0, 1e6));
+    gen::for_each_seed(0xC0_0001, CASES, |seed, rng| {
+        let lats = gen::vec_between(rng, 1, 8, |r| gen::f64_in(r, 0.0, 1e6));
         let w = inverse_latency_weights(&lats);
         assert_eq!(w.len(), lats.len(), "seed {seed}");
         let sum: f64 = w.iter().sum();
@@ -30,30 +29,28 @@ fn weights_are_a_distribution() {
                 }
             }
         }
-    }
+    });
 }
 
 /// Socket shares partition the VM share exactly.
 #[test]
 fn shares_partition_vm_share() {
-    for seed in gen::seeds(0xC0_0002, CASES) {
-        let mut rng = SimRng::new(seed);
-        let weights = gen::vec_between(&mut rng, 1, 16, |r| gen::f64_in(r, 0.01, 100.0));
-        let socks = gen::vec_of(&mut rng, weights.len(), |r| r.below(4) as usize);
-        let vm_share = gen::f64_in(&mut rng, 0.01, 1.0);
+    gen::for_each_seed(0xC0_0002, CASES, |seed, rng| {
+        let weights = gen::vec_between(rng, 1, 16, |r| gen::f64_in(r, 0.01, 100.0));
+        let socks = gen::vec_of(rng, weights.len(), |r| r.below(4) as usize);
+        let vm_share = gen::f64_in(rng, 0.01, 1.0);
         let total: f64 = weights.iter().sum();
         let sum: f64 = (0..4)
             .map(|sk| socket_io_share(socket_process_weight(&weights, &socks, sk), total, vm_share))
             .sum();
         assert!((sum - vm_share).abs() < 1e-9, "seed {seed}");
-    }
+    });
 }
 
 /// Quanta are monotone in share and bandwidth and never below the floor.
 #[test]
 fn quantum_monotone() {
-    for seed in gen::seeds(0xC0_0003, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0xC0_0003, CASES, |seed, rng| {
         let bw = 1 + rng.below(10_000_000_000);
         let s1 = rng.f64();
         let s2 = rng.f64();
@@ -64,35 +61,34 @@ fn quantum_monotone() {
         if s1 < s2 {
             assert!(q1 <= q2, "seed {seed}");
         }
-    }
+    });
 }
 
 /// ratio_changed is reflexive-false (same weights never "change") and
 /// shape mismatches always change.
 #[test]
 fn ratio_change_properties() {
-    for seed in gen::seeds(0xC0_0004, CASES) {
-        let mut rng = SimRng::new(seed);
-        let w = gen::vec_between(&mut rng, 1, 6, |r| gen::f64_in(r, 0.01, 10.0));
-        let thr = gen::f64_in(&mut rng, 0.01, 2.0);
+    gen::for_each_seed(0xC0_0004, CASES, |seed, rng| {
+        let w = gen::vec_between(rng, 1, 6, |r| gen::f64_in(r, 0.01, 10.0));
+        let thr = gen::f64_in(rng, 0.01, 2.0);
         assert!(!ratio_changed(&w, &w, thr), "seed {seed}");
         let mut longer = w.clone();
         longer.push(1.0);
         assert!(ratio_changed(&w, &longer, thr), "seed {seed}");
-    }
+    });
 }
 
 /// The anomaly detector never flags a domain whose rate stays within
 /// budget, and always flags one that exceeds it in a single window.
 #[test]
 fn detector_threshold_exact() {
-    for seed in gen::seeds(0xC0_0005, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0xC0_0005, CASES, |seed, rng| {
         let budget = 1 + rng.below(99);
         let overshoot = 1 + rng.below(99);
         let params = AnomalyParams {
             window: SimDuration::from_millis(100),
             max_writes_per_window: budget,
+            ..AnomalyParams::default()
         };
         let mut det = AnomalyDetector::new(params);
         // Exactly at budget: never flagged.
@@ -110,5 +106,5 @@ fn detector_threshold_exact() {
             flagged = det2.on_write(DomainId(2), SimTime::from_millis(50));
         }
         assert!(flagged, "seed {seed}");
-    }
+    });
 }

@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use iorch_simcore::{SimTime};
+use iorch_simcore::SimTime;
 use iorch_storage::{IoKind, IoRequest, RequestId, RequestIdAlloc, StreamId};
 
 use crate::pagecache::{chunks_of, ChunkIdx, PageCache, CHUNK_PAGES, CHUNK_SIZE, PAGE_SIZE};
@@ -193,6 +193,23 @@ pub struct KernelStats {
     pub throttled_writes: u64,
 }
 
+/// Fault-injection misbehaviour modes for a guest driver (all off by
+/// default). Set by the hypervisor's fault installer on a clock schedule;
+/// the flags model a buggy or adversarial paravirtual driver rather than a
+/// different kernel, so all other guest behaviour is unchanged.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Misbehavior {
+    /// Ignore `flush_now` commands: [`GuestKernel::remote_sync`] does
+    /// nothing and never emits [`KernelSignal::RemoteSyncCompleted`].
+    pub ignore_flush_now: bool,
+    /// Ignore `release_request` grants: [`GuestKernel::grant_bypass`] does
+    /// nothing, so the guest stays asleep until queue hysteresis clears.
+    pub ignore_release_request: bool,
+    /// The guest's store-facing driver is hammering the system store with
+    /// junk writes (enacted by the hypervisor, which owns the store).
+    pub hammer_store: bool,
+}
+
 /// The simulated guest kernel.
 pub struct GuestKernel {
     cfg: GuestConfig,
@@ -219,6 +236,7 @@ pub struct GuestKernel {
     /// (None when no timer is needed).
     throttle_timer_at: Option<SimTime>,
     had_dirty: bool,
+    misbehavior: Misbehavior,
     out: KernelOutputs,
     stats: KernelStats,
 }
@@ -243,6 +261,7 @@ impl GuestKernel {
             blocked_wake_at: None,
             throttle_timer_at: None,
             had_dirty: false,
+            misbehavior: Misbehavior::default(),
             out: KernelOutputs::default(),
             stats: KernelStats::default(),
             cfg,
@@ -262,6 +281,16 @@ impl GuestKernel {
     /// Cumulative statistics.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Current misbehaviour modes (fault injection).
+    pub fn misbehavior(&self) -> Misbehavior {
+        self.misbehavior
+    }
+
+    /// Set misbehaviour modes (fault injection).
+    pub fn set_misbehavior(&mut self, m: Misbehavior) {
+        self.misbehavior = m;
     }
 
     /// Dirty pages (`bdi_writeback.nr` analogue).
@@ -416,7 +445,8 @@ impl GuestKernel {
         if sequential && ra_allowed && self.cfg.readahead_chunks > 0 {
             let file_size = self.vfs.size_of(file).unwrap_or(0);
             let next = offset + len;
-            let ra_len = (self.cfg.readahead_chunks * CHUNK_SIZE).min(file_size.saturating_sub(next));
+            let ra_len =
+                (self.cfg.readahead_chunks * CHUNK_SIZE).min(file_size.saturating_sub(next));
             if ra_len > 0 {
                 if let Ok(ra_off) = self.vfs.translate(file, next, ra_len) {
                     for c in chunks_of(ra_off, ra_len) {
@@ -513,6 +543,11 @@ impl GuestKernel {
     /// IOrchestra `flush_now`: trigger `sync()` remotely (paper Alg. 1).
     /// Emits [`KernelSignal::RemoteSyncCompleted`] when the data is on disk.
     pub fn remote_sync(&mut self, now: SimTime) {
+        if self.misbehavior.ignore_flush_now {
+            // Fault injection: the driver drops the command on the floor —
+            // no writeback, and crucially no completion ack.
+            return;
+        }
         let taken = self.wb.on_sync(&mut self.cache);
         if taken.is_empty() {
             self.out.signals.push(KernelSignal::RemoteSyncCompleted);
@@ -568,7 +603,7 @@ impl GuestKernel {
 
     fn submit_block(&mut self, kind: IoKind, offset: u64, len: u64, owner: ReqOwner, now: SimTime) {
         let req = IoRequest {
-            id: self.ids.next(),
+            id: self.ids.alloc(),
             kind,
             stream: self.cfg.stream,
             offset,
@@ -650,6 +685,11 @@ impl GuestKernel {
     /// Collaborative response: the host is not congested; unplug and keep
     /// submitting (paper Alg. 2's `release_request`).
     pub fn grant_bypass(&mut self, now: SimTime) {
+        if self.misbehavior.ignore_release_request {
+            // Fault injection: the driver never acts on the grant; the
+            // guest stays asleep until normal queue hysteresis wakes it.
+            return;
+        }
         self.queue.grant_bypass();
         self.housekeeping(now);
     }
@@ -682,8 +722,7 @@ impl GuestKernel {
         if !self.blocked.is_empty() && !self.queue.is_congested() {
             match self.blocked_wake_at {
                 None => {
-                    self.blocked_wake_at =
-                        Some(now + self.cfg.queue.wake_delay);
+                    self.blocked_wake_at = Some(now + self.cfg.queue.wake_delay);
                 }
                 Some(wake_at) if now >= wake_at => {
                     self.blocked_wake_at = None;
@@ -1053,7 +1092,7 @@ mod tests {
         k.on_timer(t(300));
         assert_eq!(k.dirty_pages(), 0);
         let out = k.take_outputs();
-        assert!(!out.to_ring.is_empty() || k.queue_congested() == false);
+        assert!(!out.to_ring.is_empty() || !k.queue_congested());
     }
 
     #[test]
@@ -1064,7 +1103,10 @@ mod tests {
         c.wb.dirty_ratio = 0.5;
         let mut k = GuestKernel::new(c, t(0));
         // Initially only the periodic flusher.
-        assert_eq!(k.next_deadline(), SimTime::ZERO + k.wb.params().periodic_interval);
+        assert_eq!(
+            k.next_deadline(),
+            SimTime::ZERO + k.wb.params().periodic_interval
+        );
         let f = k.create_file(10 << 20).unwrap();
         // Synchronous reads unplug immediately and leave no plug deadline…
         k.start_op(
@@ -1076,7 +1118,10 @@ mod tests {
             t(0),
         );
         k.take_outputs();
-        assert_eq!(k.next_deadline(), SimTime::ZERO + k.wb.params().periodic_interval);
+        assert_eq!(
+            k.next_deadline(),
+            SimTime::ZERO + k.wb.params().periodic_interval
+        );
         // …but background writeback requests wait out the 3 ms plug timer.
         k.start_op(
             FileOp::Write {

@@ -62,7 +62,10 @@ pub struct PageCache {
 impl PageCache {
     /// Cache with room for `capacity_pages` 4 KiB pages.
     pub fn new(capacity_pages: u64) -> Self {
-        assert!(capacity_pages >= CHUNK_PAGES, "cache smaller than one chunk");
+        assert!(
+            capacity_pages >= CHUNK_PAGES,
+            "cache smaller than one chunk"
+        );
         PageCache {
             capacity_pages,
             chunks: HashMap::new(),
@@ -239,7 +242,9 @@ impl PageCache {
         let mut taken = Vec::new();
         while taken.len() < max_chunks {
             let candidate = self.dirty_order.keys().next().copied();
-            let Some((dirtied_at, idx)) = candidate else { break };
+            let Some((dirtied_at, idx)) = candidate else {
+                break;
+            };
             if let Some(limit) = expired_before {
                 if dirtied_at >= limit {
                     break;

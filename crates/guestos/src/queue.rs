@@ -293,7 +293,10 @@ mod tests {
         let mut q = GuestQueue::new(GuestQueueParams::default());
         fill(&mut q, 111, 0);
         assert!(q.poll_events().is_empty());
-        assert_eq!(q.submit(req(200, 500 << 20), SimTime::ZERO), Submit::Accepted);
+        assert_eq!(
+            q.submit(req(200, 500 << 20), SimTime::ZERO),
+            Submit::Accepted
+        );
         assert_eq!(q.poll_events(), vec![QueueEvent::CongestionWouldEnter]);
     }
 
@@ -304,7 +307,10 @@ mod tests {
         q.poll_events();
         q.enter_congestion();
         assert!(q.is_congested());
-        assert_eq!(q.submit(req(300, 600 << 20), SimTime::ZERO), Submit::Blocked);
+        assert_eq!(
+            q.submit(req(300, 600 << 20), SimTime::ZERO),
+            Submit::Blocked
+        );
         // Complete down to 104 allocated: still congested (off is *below* 104).
         q.on_complete(8);
         assert!(q.is_congested());
@@ -312,7 +318,10 @@ mod tests {
         q.on_complete(1);
         assert!(!q.is_congested());
         assert_eq!(q.poll_events(), vec![QueueEvent::Uncongested]);
-        assert_eq!(q.submit(req(301, 700 << 20), SimTime::ZERO), Submit::Accepted);
+        assert_eq!(
+            q.submit(req(301, 700 << 20), SimTime::ZERO),
+            Submit::Accepted
+        );
         assert_eq!(q.congestion_entries(), 1);
     }
 
@@ -341,7 +350,10 @@ mod tests {
         fill(&mut q, 112, 0);
         q.grant_bypass();
         fill(&mut q, 512 - 112, 1000);
-        assert_eq!(q.submit(req(9999, 999 << 20), SimTime::ZERO), Submit::Blocked);
+        assert_eq!(
+            q.submit(req(9999, 999 << 20), SimTime::ZERO),
+            Submit::Blocked
+        );
     }
 
     #[test]
@@ -359,7 +371,9 @@ mod tests {
         q.submit(req(0, 0), SimTime::ZERO);
         q.submit(req(1, 10 << 20), SimTime::ZERO);
         // Too early, not enough requests.
-        assert!(q.take_dispatchable(SimTime::from_millis(1), false).is_empty());
+        assert!(q
+            .take_dispatchable(SimTime::from_millis(1), false)
+            .is_empty());
         // Deadline (3 ms) reached.
         let batch = q.take_dispatchable(SimTime::from_millis(3), false);
         assert_eq!(batch.len(), 2);

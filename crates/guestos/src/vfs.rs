@@ -112,7 +112,10 @@ impl Vfs {
 
     /// File size in bytes.
     pub fn size_of(&self, id: FileId) -> Result<u64, VfsError> {
-        self.files.get(&id).map(|m| m.size).ok_or(VfsError::NotFound)
+        self.files
+            .get(&id)
+            .map(|m| m.size)
+            .ok_or(VfsError::NotFound)
     }
 
     /// Translate a file-relative range to a virtual-disk byte offset.

@@ -7,7 +7,7 @@ use iorch_guestos::{
     coalesce_chunks, congestion_off_threshold, congestion_on_threshold, GuestQueue,
     GuestQueueParams, PageCache, Submit, Vfs, CHUNK_PAGES,
 };
-use iorch_simcore::{gen, SimRng, SimTime};
+use iorch_simcore::{gen, SimTime};
 use iorch_storage::{IoKind, IoRequest, RequestId, StreamId};
 
 const CASES: usize = 64;
@@ -17,9 +17,8 @@ const CASES: usize = 64;
 /// chunk is still resident (nothing lost).
 #[test]
 fn dirty_accounting_conservation() {
-    for seed in gen::seeds(0x60_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let ops = gen::vec_between(&mut rng, 1, 300, |r| (r.below(200), r.chance(0.5)));
+    gen::for_each_seed(0x60_0001, CASES, |seed, rng| {
+        let ops = gen::vec_between(rng, 1, 300, |r| (r.below(200), r.chance(0.5)));
         let mut pc = PageCache::new(100_000 * CHUNK_PAGES);
         for (i, &(chunk, write)) in ops.iter().enumerate() {
             if write {
@@ -42,15 +41,14 @@ fn dirty_accounting_conservation() {
         for &(chunk, _) in &ops {
             assert!(pc.contains(chunk), "seed {seed}");
         }
-    }
+    });
 }
 
 /// take_dirty_batch returns oldest-first without duplicates.
 #[test]
 fn dirty_batch_oldest_first() {
-    for seed in gen::seeds(0x60_0002, CASES) {
-        let mut rng = SimRng::new(seed);
-        let chunks = gen::vec_between(&mut rng, 1, 200, |r| r.below(1000));
+    gen::for_each_seed(0x60_0002, CASES, |seed, rng| {
+        let chunks = gen::vec_between(rng, 1, 200, |r| r.below(1000));
         let mut pc = PageCache::new(1_000_000 * CHUNK_PAGES);
         let mut first_seen = std::collections::HashMap::new();
         for (i, &c) in chunks.iter().enumerate() {
@@ -66,17 +64,16 @@ fn dirty_batch_oldest_first() {
         for w in batch.windows(2) {
             assert!(first_seen[&w[0]] <= first_seen[&w[1]], "seed {seed}");
         }
-    }
+    });
 }
 
 /// Congestion hysteresis: the flag can only be on when allocation ever
 /// crossed 7/8, and it always clears below 13/16.
 #[test]
 fn congestion_hysteresis() {
-    for seed in gen::seeds(0x60_0003, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x60_0003, CASES, |seed, rng| {
         let nr = 16 + rng.below(512 - 16) as usize;
-        let submit_batches = gen::vec_between(&mut rng, 1, 40, |r| 1 + r.below(39) as usize);
+        let submit_batches = gen::vec_between(rng, 1, 40, |r| 1 + r.below(39) as usize);
         let params = GuestQueueParams {
             nr_requests: nr,
             max_merged_len: 0,
@@ -108,7 +105,10 @@ fn congestion_hysteresis() {
                 }
             }
             if q.is_congested() {
-                assert!(q.allocated() >= off, "congested below off threshold (seed {seed})");
+                assert!(
+                    q.allocated() >= off,
+                    "congested below off threshold (seed {seed})"
+                );
             }
             // Drain a few and verify clearing.
             if round % 2 == 1 {
@@ -118,15 +118,14 @@ fn congestion_hysteresis() {
                 assert_eq!(q.allocated(), 0, "seed {seed}");
             }
         }
-    }
+    });
 }
 
 /// VFS: allocations never overlap and deletes make space reusable.
 #[test]
 fn vfs_no_overlap() {
-    for seed in gen::seeds(0x60_0004, CASES) {
-        let mut rng = SimRng::new(seed);
-        let sizes = gen::vec_between(&mut rng, 1, 50, |r| 1 + r.below(9_999));
+    gen::for_each_seed(0x60_0004, CASES, |seed, rng| {
+        let sizes = gen::vec_between(rng, 1, 50, |r| 1 + r.below(9_999));
         let total: u64 = sizes.iter().sum();
         let mut vfs = Vfs::new(total * 2);
         let mut files = Vec::new();
@@ -150,16 +149,15 @@ fn vfs_no_overlap() {
             vfs.delete(f).unwrap();
         }
         assert!(vfs.create(total * 2).is_ok(), "seed {seed}");
-    }
+    });
 }
 
 /// Coalescing covers exactly the input chunk set with run lengths within
 /// the cap.
 #[test]
 fn coalesce_exact_cover() {
-    for seed in gen::seeds(0x60_0005, CASES) {
-        let mut rng = SimRng::new(seed);
-        let chunks = gen::vec_between(&mut rng, 0, 200, |r| r.below(500));
+    gen::for_each_seed(0x60_0005, CASES, |seed, rng| {
+        let chunks = gen::vec_between(rng, 0, 200, |r| r.below(500));
         let cap = 1 + rng.below(31) as usize;
         let runs = coalesce_chunks(chunks.clone(), cap);
         let mut covered = std::collections::BTreeSet::new();
@@ -171,5 +169,5 @@ fn coalesce_exact_cover() {
         }
         let expect: std::collections::BTreeSet<u64> = chunks.into_iter().collect();
         assert_eq!(covered, expect, "seed {seed}");
-    }
+    });
 }

@@ -66,9 +66,7 @@ impl CpuAccounting {
             return 0.0;
         }
         let busy: f64 = (0..self.cores.len())
-            .map(|i| {
-                (self.core_busy(CoreId(i), now).as_secs_f64() / elapsed).min(1.0)
-            })
+            .map(|i| (self.core_busy(CoreId(i), now).as_secs_f64() / elapsed).min(1.0))
             .sum();
         busy / self.cores.len() as f64
     }
@@ -92,7 +90,10 @@ mod tests {
         let mut cpu = CpuAccounting::new(2, t(0));
         cpu.record_busy(CoreId(0), SimDuration::from_millis(50));
         cpu.record_busy(CoreId(0), SimDuration::from_millis(25));
-        assert_eq!(cpu.core_busy(CoreId(0), t(100)), SimDuration::from_millis(75));
+        assert_eq!(
+            cpu.core_busy(CoreId(0), t(100)),
+            SimDuration::from_millis(75)
+        );
         assert_eq!(cpu.core_busy(CoreId(1), t(100)), SimDuration::ZERO);
         // (0.75 + 0) / 2 cores
         assert!((cpu.utilization(t(100)) - 0.375).abs() < 1e-9);

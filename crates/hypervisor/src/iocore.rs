@@ -286,10 +286,7 @@ mod tests {
             core.enqueue(DomainId(1), req(i, 4096), false, SimTime::ZERO);
         }
         let order = drain(&mut core, SimTime::ZERO);
-        assert_eq!(
-            order,
-            (0..5).map(|i| (DomainId(1), i)).collect::<Vec<_>>()
-        );
+        assert_eq!(order, (0..5).map(|i| (DomainId(1), i)).collect::<Vec<_>>());
     }
 
     #[test]
@@ -355,7 +352,10 @@ mod tests {
         // The big request is eventually served.
         assert!(order.contains(&(DomainId(1), 0)));
         // And VM2 was not starved before it: some VM2 requests precede it.
-        let big_pos = order.iter().position(|&(d, i)| d == DomainId(1) && i == 0).unwrap();
+        let big_pos = order
+            .iter()
+            .position(|&(d, i)| d == DomainId(1) && i == 0)
+            .unwrap();
         assert!(big_pos > 0, "big request should wait for banked credit");
     }
 

@@ -19,6 +19,7 @@
 
 mod cpu;
 mod domain;
+mod faults;
 mod iocore;
 mod machine;
 mod numa;

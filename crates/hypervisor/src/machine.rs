@@ -14,11 +14,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use iorch_guestos::{
-    CompletedOp, FileOp, GuestConfig, GuestKernel, KernelSignal, OpClass, OpId,
-};
+use iorch_guestos::{CompletedOp, FileOp, GuestConfig, GuestKernel, KernelSignal, OpClass, OpId};
 use iorch_metrics::LatencyHistogram;
-use iorch_simcore::{Scheduler, SimDuration, SimRng, SimTime};
+use iorch_simcore::{FaultPlan, Scheduler, SimDuration, SimRng, SimTime};
 use iorch_storage::{IoRequest, StorageSubsystem, StreamId};
 
 use crate::cpu::CpuAccounting;
@@ -152,7 +150,13 @@ pub trait ControlPlane {
     /// A domain is being destroyed.
     fn on_domain_destroyed(&mut self, _m: &mut Machine, _s: &mut Sched, _dom: DomainId) {}
     /// A guest kernel raised a signal (congestion query, dirty status, …).
-    fn on_kernel_signal(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId, sig: KernelSignal);
+    fn on_kernel_signal(
+        &mut self,
+        m: &mut Machine,
+        s: &mut Sched,
+        dom: DomainId,
+        sig: KernelSignal,
+    );
     /// A system-store watch fired (delivered after XenBus latency).
     fn on_store_event(&mut self, _m: &mut Machine, _s: &mut Sched, _ev: WatchEvent) {}
     /// Periodic monitoring tick.
@@ -230,6 +234,9 @@ pub struct Machine {
     /// submits an op whose completion is synchronous (pure cache hit) must
     /// not recurse — the outer drain loop picks the new result up.
     draining: bool,
+    /// Installed fault plan (watch-delivery faults); `None` in normal runs,
+    /// so the event path pays only this `Option` check.
+    faults: Option<FaultPlan>,
 }
 
 /// The simulation world: machines (plus whatever workload state event
@@ -264,12 +271,7 @@ impl Cluster {
     }
 
     /// Install the policy layer on a machine and start its periodic tick.
-    pub fn install_control(
-        &mut self,
-        s: &mut Sched,
-        idx: usize,
-        control: Box<dyn ControlPlane>,
-    ) {
+    pub fn install_control(&mut self, s: &mut Sched, idx: usize, control: Box<dyn ControlPlane>) {
         let period = control.tick_period();
         self.machines[idx].control = Some(control);
         if let Some(p) = period {
@@ -371,7 +373,12 @@ impl Cluster {
     /// Run a deferred control-plane-style action against a machine (e.g. a
     /// staggered wakeup scheduled by a policy), with store events, kernel
     /// signals and op results processed afterwards.
-    pub fn cp_action(&mut self, s: &mut Sched, idx: usize, f: impl FnOnce(&mut Machine, &mut Sched)) {
+    pub fn cp_action(
+        &mut self,
+        s: &mut Sched,
+        idx: usize,
+        f: impl FnOnce(&mut Machine, &mut Sched),
+    ) {
         let m = &mut self.machines[idx];
         f(m, s);
         m.flush_store_events(s);
@@ -404,7 +411,9 @@ impl Cluster {
     fn backend_wake(cl: &mut Cluster, idx: usize, s: &mut Sched, dom: DomainId) {
         let m = &mut cl.machines[idx];
         let now = s.now();
-        let Some(d) = m.domains.get_mut(&dom) else { return };
+        let Some(d) = m.domains.get_mut(&dom) else {
+            return;
+        };
         let batch = d.ring.drain(usize::MAX);
         let mut submit_times = Vec::with_capacity(batch.len());
         let mut total_cpu = SimDuration::ZERO;
@@ -453,7 +462,13 @@ impl Cluster {
         m.ensure_device_event(s);
     }
 
-    fn deliver_completion(cl: &mut Cluster, idx: usize, s: &mut Sched, dom: DomainId, req: IoRequest) {
+    fn deliver_completion(
+        cl: &mut Cluster,
+        idx: usize,
+        s: &mut Sched,
+        dom: DomainId,
+        req: IoRequest,
+    ) {
         let now = s.now();
         let m = &mut cl.machines[idx];
         if let Some(d) = m.domains.get_mut(&dom) {
@@ -470,7 +485,9 @@ impl Cluster {
     fn kernel_timer(cl: &mut Cluster, idx: usize, s: &mut Sched, dom: DomainId) {
         let now = s.now();
         let m = &mut cl.machines[idx];
-        let Some(d) = m.domains.get_mut(&dom) else { return };
+        let Some(d) = m.domains.get_mut(&dom) else {
+            return;
+        };
         d.timer_at = SimTime::MAX;
         d.kernel.on_timer(now);
         m.process_domain_outputs(s, dom);
@@ -520,7 +537,7 @@ impl Machine {
         Machine {
             idx,
             store: XenStore::new(),
-            storage: iorch_storage::paper_testbed_storage(cfg.seed ^ 0x5707_a6e),
+            storage: iorch_storage::paper_testbed_storage(cfg.seed ^ 0x0570_7a6e),
             topology,
             cpu,
             iocores,
@@ -538,6 +555,7 @@ impl Machine {
             io_bytes: BTreeMap::new(),
             ops_completed: BTreeMap::new(),
             draining: false,
+            faults: None,
             cfg,
         }
     }
@@ -545,6 +563,13 @@ impl Machine {
     /// The installed control plane's name (for reports).
     pub fn control_name(&self) -> &'static str {
         self.control.as_ref().map_or("none", |c| c.name())
+    }
+
+    /// Install the machine-level half of a fault plan (watch-event delay).
+    /// Use [`Cluster::install_faults`] to install a whole plan across all
+    /// layers.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
     }
 
     /// Iterate live domain ids.
@@ -609,10 +634,12 @@ impl Machine {
         let kernel = GuestKernel::new(gcfg, s.now());
         // Store bootstrap, as Xen tools would do it.
         let path = XenStore::domain_path(id);
-        let _ = self.store.mkdir(crate::xenstore::DOM0, &path, Perms::private_to(id));
         let _ = self
             .store
-            .write(id, &format!("{path}/virt-dev/has_dirty_pages"), "0");
+            .mkdir(crate::xenstore::DOM0, &path, Perms::private_to(id));
+        let _ = self
+            .store
+            .write(id, format!("{path}/virt-dev/has_dirty_pages"), "0");
         self.stream_to_dom.insert(stream, id);
         let vcpus = spec.vcpus as usize;
         self.domains.insert(
@@ -647,7 +674,7 @@ impl Machine {
             }
             let _ = self
                 .store
-                .remove(crate::xenstore::DOM0, &XenStore::domain_path(dom));
+                .remove(crate::xenstore::DOM0, XenStore::domain_path(dom));
         }
     }
 
@@ -862,7 +889,10 @@ impl Machine {
             return;
         }
         let idx = self.idx;
-        let delay = self.cfg.timing.xenbus_latency;
+        let mut delay = self.cfg.timing.xenbus_latency;
+        if let Some(plan) = &self.faults {
+            delay += plan.watch_delay(s.now());
+        }
         for ev in self.store.take_events() {
             s.schedule_in(delay, move |cl: &mut Cluster, s| {
                 Cluster::store_delivery(cl, idx, s, ev);
@@ -1006,7 +1036,13 @@ mod tests {
         sim.run_until(SimTime::from_millis(100));
         assert!(slot.borrow().is_some());
         // The polling core must have processed the request(s).
-        let total: u64 = sim.world().machine(idx).iocores.iter().map(|c| c.processed_count()).sum();
+        let total: u64 = sim
+            .world()
+            .machine(idx)
+            .iocores
+            .iter()
+            .map(|c| c.processed_count())
+            .sum();
         assert!(total >= 1);
     }
 
@@ -1091,7 +1127,14 @@ mod tests {
         let f2 = Rc::clone(&finish);
         // Two 10ms work items contending for one core: the second one
         // finishes around 20ms (FIFO core sharing).
-        cl.run_cpu(s, idx, dom1, 0, SimDuration::from_millis(10), Box::new(|_, _| {}));
+        cl.run_cpu(
+            s,
+            idx,
+            dom1,
+            0,
+            SimDuration::from_millis(10),
+            Box::new(|_, _| {}),
+        );
         cl.run_cpu(
             s,
             idx,
@@ -1168,7 +1211,10 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         let m = sim.world().machine(idx);
         let k = m.domain(dom).unwrap();
-        assert!(k.kernel.congestion_entries() >= 1, "stock behaviour engaged");
+        assert!(
+            k.kernel.congestion_entries() >= 1,
+            "stock behaviour engaged"
+        );
         assert_eq!(m.ops_completed(dom), 200);
     }
 

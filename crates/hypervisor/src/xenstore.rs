@@ -374,6 +374,11 @@ pub struct XenStore {
     txns: BTreeMap<u64, Vec<(DomainId, StorePath, Arc<str>)>>,
     next_txn: u64,
     write_counts: BTreeMap<DomainId, u64>,
+    /// Per-domain count of denied write-type operations (write /
+    /// write_if_changed / remove / mkdir returning `PermissionDenied`) —
+    /// the anomaly detector's "permission violation" signal. Bumped only
+    /// on the error path, so the hot path never touches it.
+    denied_counts: BTreeMap<DomainId, u64>,
 }
 
 impl Default for XenStore {
@@ -399,7 +404,13 @@ impl XenStore {
             txns: BTreeMap::new(),
             next_txn: 0,
             write_counts: BTreeMap::new(),
+            denied_counts: BTreeMap::new(),
         }
+    }
+
+    #[cold]
+    fn note_denied(&mut self, caller: DomainId) {
+        *self.denied_counts.entry(caller).or_insert(0) += 1;
     }
 
     fn lookup<'a>(&'a self, path: &str) -> Option<&'a Node> {
@@ -501,7 +512,15 @@ impl XenStore {
             return Err(StoreError::BadPath);
         }
         let value = {
-            let node = Self::walk_create(&mut self.root, caller, path_str)?;
+            let node = match Self::walk_create(&mut self.root, caller, path_str) {
+                Ok(node) => node,
+                Err(e) => {
+                    if matches!(e, StoreError::PermissionDenied) {
+                        self.note_denied(caller);
+                    }
+                    return Err(e);
+                }
+            };
             let value = value.into_value();
             node.value = Some(Arc::clone(&value));
             value
@@ -529,6 +548,7 @@ impl XenStore {
         }
         if let Some(node) = self.lookup(path_str) {
             if !node.perms.can_write(caller) {
+                self.note_denied(caller);
                 return Err(StoreError::PermissionDenied);
             }
             if node.value.as_deref() == Some(value.value_str()) {
@@ -551,6 +571,7 @@ impl XenStore {
         }
         let node = self.lookup(path_str).ok_or(StoreError::NotFound)?;
         if !node.perms.can_write(caller) {
+            self.note_denied(caller);
             return Err(StoreError::PermissionDenied);
         }
         let (parent_path, leaf) = path_str.rsplit_once('/').unwrap();
@@ -625,7 +646,15 @@ impl XenStore {
         if path == "/" {
             return Err(StoreError::BadPath);
         }
-        let node = Self::walk_create(&mut self.root, caller, path)?;
+        let node = match Self::walk_create(&mut self.root, caller, path) {
+            Ok(node) => node,
+            Err(e) => {
+                if matches!(e, StoreError::PermissionDenied) {
+                    self.note_denied(caller);
+                }
+                return Err(e);
+            }
+        };
         node.perms = perms;
         Ok(())
     }
@@ -749,7 +778,10 @@ impl XenStore {
         path: P,
         value: V,
     ) -> Result<(), StoreError> {
-        let buf = self.txns.get_mut(&txn.0).ok_or(StoreError::BadTransaction)?;
+        let buf = self
+            .txns
+            .get_mut(&txn.0)
+            .ok_or(StoreError::BadTransaction)?;
         // Intern here so a malformed path is representable until commit
         // rejects it; StorePath::parse would eagerly reject, but the seed
         // deferred all validation to commit, so buffer the raw string.
@@ -817,6 +849,12 @@ impl XenStore {
         self.write_counts.get(&dom).copied().unwrap_or(0)
     }
 
+    /// Denied write-type operations by a domain (permission violations) —
+    /// the anomaly detector's misbehaving-writer signal.
+    pub fn denied_count(&self, dom: DomainId) -> u64 {
+        self.denied_counts.get(&dom).copied().unwrap_or(0)
+    }
+
     /// Conventional per-domain subtree root, as in Xen.
     pub fn domain_path(dom: DomainId) -> String {
         format!("/local/domain/{}", dom.0)
@@ -865,7 +903,8 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let mut s = store_with_domain(d(1));
-        s.write(d(1), "/local/domain/1/virt-dev/flush_now", "1").unwrap();
+        s.write(d(1), "/local/domain/1/virt-dev/flush_now", "1")
+            .unwrap();
         assert_eq!(
             s.read(d(1), "/local/domain/1/virt-dev/flush_now").unwrap(),
             "1"
@@ -882,7 +921,8 @@ mod tests {
     #[test]
     fn cross_domain_access_denied() {
         let mut s = store_with_domain(d(1));
-        s.mkdir(DOM0, "/local/domain/2", Perms::private_to(d(2))).unwrap();
+        s.mkdir(DOM0, "/local/domain/2", Perms::private_to(d(2)))
+            .unwrap();
         s.write(d(1), "/local/domain/1/nr", "100").unwrap();
         // Domain 2 can neither read nor write domain 1's subtree.
         assert_eq!(
@@ -1008,8 +1048,10 @@ mod tests {
     #[test]
     fn remove_fires_event_per_deleted_node() {
         let mut s = store_with_domain(d(1));
-        s.write(d(1), "/local/domain/1/virt-dev/weight/0", "0.5").unwrap();
-        s.write(d(1), "/local/domain/1/virt-dev/weight/1", "0.5").unwrap();
+        s.write(d(1), "/local/domain/1/virt-dev/weight/0", "0.5")
+            .unwrap();
+        s.write(d(1), "/local/domain/1/virt-dev/weight/1", "0.5")
+            .unwrap();
         s.take_events();
         // The guest watches its own weight subtree; deleting the parent
         // must tell it about every vanished node.
@@ -1043,7 +1085,8 @@ mod tests {
     fn watch_fires_on_subtree_write() {
         let mut s = store_with_domain(d(1));
         let w = s.watch(DOM0, "/local/domain/1");
-        s.write(d(1), "/local/domain/1/has_dirty_pages", "1").unwrap();
+        s.write(d(1), "/local/domain/1/has_dirty_pages", "1")
+            .unwrap();
         let evs = s.take_events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].watch, w);
@@ -1139,13 +1182,17 @@ mod tests {
     #[test]
     fn transaction_rolls_back_on_denied_write() {
         let mut s = store_with_domain(d(1));
-        s.mkdir(DOM0, "/local/domain/2", Perms::private_to(d(2))).unwrap();
+        s.mkdir(DOM0, "/local/domain/2", Perms::private_to(d(2)))
+            .unwrap();
         let t = s.txn_begin();
         s.txn_write(t, d(1), "/local/domain/1/ok", "1").unwrap();
         s.txn_write(t, d(1), "/local/domain/2/evil", "1").unwrap();
         assert_eq!(s.txn_commit(t), Err(StoreError::PermissionDenied));
         // Nothing applied.
-        assert_eq!(s.read(d(1), "/local/domain/1/ok"), Err(StoreError::NotFound));
+        assert_eq!(
+            s.read(d(1), "/local/domain/1/ok"),
+            Err(StoreError::NotFound)
+        );
     }
 
     #[test]
@@ -1181,6 +1228,35 @@ mod tests {
     }
 
     #[test]
+    fn denied_counts_tracked_per_domain() {
+        let mut s = store_with_domain(d(1));
+        s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        // Dom 2 violating dom 1's subtree is denied and counted, through
+        // every write-type entry point.
+        assert_eq!(
+            s.write(d(2), "/local/domain/1/x", "evil"),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(
+            s.write_if_changed(d(2), "/local/domain/1/x", "evil"),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(
+            s.remove(d(2), "/local/domain/1/x"),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(
+            s.mkdir(d(2), "/local/domain/1/sub", Perms::private_to(d(2))),
+            Err(StoreError::PermissionDenied)
+        );
+        assert_eq!(s.denied_count(d(2)), 4);
+        // The victim's counters are untouched, and so is its data.
+        assert_eq!(s.denied_count(d(1)), 0);
+        assert_eq!(s.write_count(d(2)), 0);
+        assert_eq!(s.read(d(1), "/local/domain/1/x").unwrap(), "v");
+    }
+
+    #[test]
     fn set_perms_owner_only() {
         let mut s = store_with_domain(d(1));
         s.write(d(1), "/local/domain/1/x", "v").unwrap();
@@ -1202,11 +1278,8 @@ mod tests {
         let mut s = XenStore::new();
         s.write(DOM0, "/b", "2").unwrap();
         s.write(DOM0, "/a/x", "1").unwrap();
-        let rows: Vec<(String, Option<String>)> = s
-            .dump()
-            .into_iter()
-            .map(|(p, v, _)| (p, v))
-            .collect();
+        let rows: Vec<(String, Option<String>)> =
+            s.dump().into_iter().map(|(p, v, _)| (p, v)).collect();
         assert_eq!(
             rows,
             vec![

@@ -227,12 +227,7 @@ impl XenStore {
     }
 
     /// Create a directory node with explicit permissions.
-    pub fn mkdir(
-        &mut self,
-        caller: DomainId,
-        path: &str,
-        perms: Perms,
-    ) -> Result<(), StoreError> {
+    pub fn mkdir(&mut self, caller: DomainId, path: &str, perms: Perms) -> Result<(), StoreError> {
         let segs = split_path(path)?;
         if segs.is_empty() {
             return Err(StoreError::BadPath);
@@ -327,7 +322,10 @@ impl XenStore {
         path: impl Into<String>,
         value: impl Into<String>,
     ) -> Result<(), StoreError> {
-        let buf = self.txns.get_mut(&txn.0).ok_or(StoreError::BadTransaction)?;
+        let buf = self
+            .txns
+            .get_mut(&txn.0)
+            .ok_or(StoreError::BadTransaction)?;
         buf.push((caller, path.into(), value.into()));
         Ok(())
     }

@@ -6,8 +6,8 @@ use std::rc::Rc;
 
 use iorch_guestos::{FileOp, KernelSignal};
 use iorch_hypervisor::{
-    Cluster, ControlPlane, DomainId, IoPathMode, Machine, MachineConfig, Sched, VmSpec,
-    WatchEvent, DOM0,
+    Cluster, ControlPlane, DomainId, IoPathMode, Machine, MachineConfig, Sched, VmSpec, WatchEvent,
+    DOM0,
 };
 use iorch_simcore::{SimDuration, SimTime, Simulation};
 
@@ -26,7 +26,13 @@ impl ControlPlane for Recorder {
     fn tick_period(&self) -> Option<SimDuration> {
         Some(SimDuration::from_millis(50))
     }
-    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+    fn on_kernel_signal(
+        &mut self,
+        m: &mut Machine,
+        _s: &mut Sched,
+        dom: DomainId,
+        sig: KernelSignal,
+    ) {
         self.signals.borrow_mut().push((dom, sig));
         if sig == KernelSignal::CongestionQuery {
             m.cp_enter_congestion(dom);
@@ -86,7 +92,10 @@ fn control_plane_receives_signals_events_and_ticks() {
         "dirty signal must reach the control plane"
     );
     assert!(
-        events.borrow().iter().any(|e| &*e.path == "/local/domain/1/test"),
+        events
+            .borrow()
+            .iter()
+            .any(|e| &*e.path == "/local/domain/1/test"),
         "watch event must be delivered"
     );
     assert!(*ticks.borrow() >= 15, "ticks={}", *ticks.borrow());

@@ -39,62 +39,62 @@ fn path(rng: &mut SimRng) -> String {
 /// Printable-ASCII value, 0..=24 chars.
 fn value(rng: &mut SimRng) -> String {
     let len = rng.below(25);
-    (0..len).map(|_| (b' ' + rng.below(95) as u8) as char).collect()
+    (0..len)
+        .map(|_| (b' ' + rng.below(95) as u8) as char)
+        .collect()
 }
 
 /// Write-then-read roundtrips for the owner; other domains are denied
 /// unless the path is under their subtree.
 #[test]
 fn store_roundtrip_and_isolation() {
-    for seed in gen::seeds(0xA9_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let p = path(&mut rng);
-        let v = value(&mut rng);
+    gen::for_each_seed(0xA9_0001, CASES, |seed, rng| {
+        let p = path(rng);
+        let v = value(rng);
         let mut store = XenStore::new();
         let own = DomainId(3);
         let other = DomainId(4);
         let full = format!("/local/domain/3{p}");
-        store.mkdir(DOM0, "/local/domain/3", Perms::private_to(own)).unwrap();
+        store
+            .mkdir(DOM0, "/local/domain/3", Perms::private_to(own))
+            .unwrap();
         store.write(own, &full, v.clone()).unwrap();
         assert_eq!(store.read(own, &full).unwrap(), v, "seed {seed}");
         assert_eq!(store.read(DOM0, &full).unwrap(), v, "seed {seed}");
         assert!(store.read(other, &full).is_err(), "seed {seed}");
         assert!(store.write(other, &full, "x").is_err(), "seed {seed}");
-    }
+    });
 }
 
 /// Watches fire exactly for writes at or below the prefix.
 #[test]
 fn watch_prefix_semantics() {
-    for seed in gen::seeds(0xA9_0002, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0xA9_0002, CASES, |seed, rng| {
         // A small alphabet makes prefix/target relationships common.
         let alphabet = ["a", "ab", "b", "cd"];
-        let prefix = gen::path_from_alphabet(&mut rng, &alphabet, 3);
-        let target = gen::path_from_alphabet(&mut rng, &alphabet, 3);
+        let prefix = gen::path_from_alphabet(rng, &alphabet, 3);
+        let target = gen::path_from_alphabet(rng, &alphabet, 3);
         let mut store = XenStore::new();
         store.watch(DOM0, prefix.clone());
         store.write(DOM0, &target, "v").unwrap();
         let events = store.take_events();
         let should_fire = target == prefix
-            || (target.starts_with(&prefix)
-                && target.as_bytes().get(prefix.len()) == Some(&b'/'));
+            || (target.starts_with(&prefix) && target.as_bytes().get(prefix.len()) == Some(&b'/'));
         assert_eq!(
             !events.is_empty(),
             should_fire,
             "prefix={prefix} target={target} (seed {seed})"
         );
-    }
+    });
 }
 
 /// DRR conserves requests: everything enqueued is eventually finished
 /// exactly once, regardless of quanta.
 #[test]
 fn drr_conserves_requests() {
-    for seed in gen::seeds(0xA9_0003, CASES) {
-        let mut rng = SimRng::new(seed);
-        let sizes = gen::vec_between(&mut rng, 1, 60, |r| 1 + r.below(2_000_000));
-        let quanta = gen::vec_of(&mut rng, 3, |r| 4096 + r.below(4_000_000 - 4096));
+    gen::for_each_seed(0xA9_0003, CASES, |seed, rng| {
+        let sizes = gen::vec_between(rng, 1, 60, |r| 1 + r.below(2_000_000));
+        let quanta = gen::vec_of(rng, 3, |r| 4096 + r.below(4_000_000 - 4096));
         let mut core = IoCore::new(0, CoreId(0), IoCoreParams::default());
         for (d, q) in quanta.iter().enumerate() {
             core.set_quantum(DomainId(d as u32), *q);
@@ -125,16 +125,15 @@ fn drr_conserves_requests() {
         }
         assert_eq!(seen.len(), sizes.len(), "seed {seed}");
         assert_eq!(core.backlog(), 0, "seed {seed}");
-    }
+    });
 }
 
 /// Placement: every VCPU gets a core, reserved cores are never used, and
 /// unplace restores all load.
 #[test]
 fn placement_respects_reservations() {
-    for seed in gen::seeds(0xA9_0004, CASES) {
-        let mut rng = SimRng::new(seed);
-        let vms = gen::vec_between(&mut rng, 1, 5, |r| 1 + r.below(11) as u32);
+    gen::for_each_seed(0xA9_0004, CASES, |seed, rng| {
+        let vms = gen::vec_between(rng, 1, 5, |r| 1 + r.below(11) as u32);
         let reserve_first = rng.chance(0.5);
         let mut topo = NumaTopology::paper_testbed();
         if reserve_first {
@@ -156,16 +155,15 @@ fn placement_respects_reservations() {
         for c in 0..topo.cores() {
             assert_eq!(topo.core_load(CoreId(c)), 0, "seed {seed}");
         }
-    }
+    });
 }
 
 /// Store remove deletes whole subtrees and watches see the removal.
 #[test]
 fn remove_subtree_clean() {
-    for seed in gen::seeds(0xA9_0005, CASES) {
-        let mut rng = SimRng::new(seed);
-        let p1 = seg(&mut rng);
-        let p2 = seg(&mut rng);
+    gen::for_each_seed(0xA9_0005, CASES, |seed, rng| {
+        let p1 = seg(rng);
+        let p2 = seg(rng);
         let mut store = XenStore::new();
         let parent = format!("/{p1}");
         let child = format!("/{p1}/{p2}");
@@ -176,5 +174,5 @@ fn remove_subtree_clean() {
         assert!(store.read(DOM0, &child).is_err(), "seed {seed}");
         let evs = store.take_events();
         assert!(evs.iter().any(|e| e.value.is_none()), "seed {seed}");
-    }
+    });
 }

@@ -22,7 +22,14 @@ type Ev = (u64, u32, String, Option<String>);
 fn new_events(s: &mut XenStore) -> Vec<Ev> {
     s.take_events()
         .into_iter()
-        .map(|e| (e.watch.0, e.owner.0, e.path.to_string(), e.value.map(|v| v.to_string())))
+        .map(|e| {
+            (
+                e.watch.0,
+                e.owner.0,
+                e.path.to_string(),
+                e.value.map(|v| v.to_string()),
+            )
+        })
         .collect()
 }
 
@@ -86,7 +93,11 @@ fn random_ops_match_seed_implementation() {
             } else if roll < 60 {
                 // Both stores hand out sequential ids; unwatch the same one.
                 let id = iorch_hypervisor::WatchId(1 + rng.below(8));
-                assert_eq!(new.unwatch(id), old.unwatch(id), "unwatch diverged (seed {seed})");
+                assert_eq!(
+                    new.unwatch(id),
+                    old.unwatch(id),
+                    "unwatch diverged (seed {seed})"
+                );
             } else if roll < 68 {
                 let p = rand_path(&mut rng);
                 let rn = new.remove(DOM0, p.as_str());
@@ -139,7 +150,11 @@ fn random_ops_match_seed_implementation() {
                 let perms = rand_perms(&mut rng);
                 let rn = new.set_perms(DOM0, p.as_str(), perms);
                 let ro = old.set_perms(DOM0, &p, perms);
-                assert_eq!(rn.is_ok(), ro.is_ok(), "set_perms({p}) diverged (seed {seed})");
+                assert_eq!(
+                    rn.is_ok(),
+                    ro.is_ok(),
+                    "set_perms({p}) diverged (seed {seed})"
+                );
             } else {
                 // Transaction: identical buffered writes, commit or abort.
                 let tn = new.txn_begin();
@@ -167,7 +182,11 @@ fn random_ops_match_seed_implementation() {
                 legacy_events(&mut old),
                 "event streams diverged (seed {seed} step {step})"
             );
-            assert_eq!(new.dump(), old.dump(), "trees diverged (seed {seed} step {step})");
+            assert_eq!(
+                new.dump(),
+                old.dump(),
+                "trees diverged (seed {seed} step {step})"
+            );
         }
         for d in 0..3 {
             assert_eq!(
@@ -185,23 +204,27 @@ fn random_ops_match_seed_implementation() {
 fn remove_divergence_is_exactly_the_bugfix() {
     let mut new = XenStore::new();
     let mut old = LegacyStore::new();
-    for s in [&mut new] {
-        s.write(DOM0, "/a/b/c", "1").unwrap();
-        s.write(DOM0, "/a/b/d", "2").unwrap();
-        s.watch(DOM0, "/a");
-        s.take_events();
-        s.remove(DOM0, "/a").unwrap();
-    }
-    for s in [&mut old] {
-        s.write(DOM0, "/a/b/c", "1").unwrap();
-        s.write(DOM0, "/a/b/d", "2").unwrap();
-        s.watch(DOM0, "/a");
-        s.take_events();
-        s.remove(DOM0, "/a").unwrap();
-    }
-    let en: Vec<String> = new.take_events().iter().map(|e| e.path.to_string()).collect();
+    new.write(DOM0, "/a/b/c", "1").unwrap();
+    new.write(DOM0, "/a/b/d", "2").unwrap();
+    new.watch(DOM0, "/a");
+    new.take_events();
+    new.remove(DOM0, "/a").unwrap();
+    old.write(DOM0, "/a/b/c", "1").unwrap();
+    old.write(DOM0, "/a/b/d", "2").unwrap();
+    old.watch(DOM0, "/a");
+    old.take_events();
+    old.remove(DOM0, "/a").unwrap();
+    let en: Vec<String> = new
+        .take_events()
+        .iter()
+        .map(|e| e.path.to_string())
+        .collect();
     let eo: Vec<String> = old.take_events().iter().map(|e| e.path.clone()).collect();
-    assert_eq!(eo, vec!["/a"], "seed behaviour changed — legacy module was edited");
+    assert_eq!(
+        eo,
+        vec!["/a"],
+        "seed behaviour changed — legacy module was edited"
+    );
     assert_eq!(en, vec!["/a", "/a/b", "/a/b/c", "/a/b/d"]);
 }
 
@@ -210,7 +233,8 @@ fn remove_divergence_is_exactly_the_bugfix() {
 fn failed_commit_is_invisible() {
     let mut s = XenStore::new();
     let d1 = DomainId(1);
-    s.mkdir(DOM0, "/local/domain/1", Perms::private_to(d1)).unwrap();
+    s.mkdir(DOM0, "/local/domain/1", Perms::private_to(d1))
+        .unwrap();
     s.write(d1, "/local/domain/1/x", "keep").unwrap();
     s.watch(DOM0, "/");
     s.take_events();

@@ -127,7 +127,7 @@ mod tests {
         let mut g = TimeWeightedGauge::new(ms(0), 0.0);
         g.set(ms(100), 1.0); // 0 for 100ms
         g.set(ms(300), 0.5); // 1 for 200ms
-        // then 0.5 for 100ms -> (0*0.1 + 1*0.2 + 0.5*0.1) / 0.4 = 0.625
+                             // then 0.5 for 100ms -> (0*0.1 + 1*0.2 + 0.5*0.1) / 0.4 = 0.625
         let avg = g.average(ms(400));
         assert!((avg - 0.625).abs() < 1e-9, "avg={avg}");
         assert_eq!(g.current(), 0.5);

@@ -35,7 +35,7 @@ impl WindowedRate {
     /// decreasing (they come off the simulation clock).
     pub fn record(&mut self, now: SimTime, amount: u64) {
         debug_assert!(
-            self.events.back().map_or(true, |&(t, _)| t <= now),
+            self.events.back().is_none_or(|&(t, _)| t <= now),
             "timestamps must be monotone"
         );
         self.events.push_back((now, amount));

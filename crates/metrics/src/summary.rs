@@ -211,11 +211,7 @@ mod tests {
         assert!(s.contains("== demo =="));
         assert!(s.contains("latency"));
         // Both rows render with consistent pipe counts.
-        let pipes: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.matches('|').count())
-            .collect();
+        let pipes: Vec<usize> = s.lines().skip(1).map(|l| l.matches('|').count()).collect();
         assert!(pipes.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());

@@ -3,7 +3,7 @@
 //! external property-test crate.
 
 use iorch_metrics::{cdf, LatencyHistogram, TimeWeightedGauge, WindowedRate};
-use iorch_simcore::{gen, SimDuration, SimRng, SimTime};
+use iorch_simcore::{gen, SimDuration, SimTime};
 
 const CASES: usize = 64;
 
@@ -18,9 +18,8 @@ fn hist_of(values: &[u64]) -> LatencyHistogram {
 /// Percentiles are monotone in p and bracketed by min/max.
 #[test]
 fn percentiles_monotone() {
-    for seed in gen::seeds(0x3E_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let values = gen::vec_between(&mut rng, 1, 500, |r| r.below(u64::MAX / 2));
+    gen::for_each_seed(0x3E_0001, CASES, |seed, rng| {
+        let values = gen::vec_between(rng, 1, 500, |r| r.below(u64::MAX / 2));
         let h = hist_of(&values);
         let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0];
         let mut prev = SimDuration::ZERO;
@@ -30,18 +29,17 @@ fn percentiles_monotone() {
             assert!(v >= h.min() && v <= h.max(), "seed {seed}");
             prev = v;
         }
-    }
+    });
 }
 
 /// Merging is equivalent to recording the union; merge order is
 /// irrelevant.
 #[test]
 fn merge_associative() {
-    for seed in gen::seeds(0x3E_0002, CASES) {
-        let mut rng = SimRng::new(seed);
-        let a = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000_000));
-        let b = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000_000));
-        let c = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000_000));
+    gen::for_each_seed(0x3E_0002, CASES, |seed, rng| {
+        let a = gen::vec_between(rng, 1, 200, |r| r.below(1_000_000_000));
+        let b = gen::vec_between(rng, 1, 200, |r| r.below(1_000_000_000));
+        let c = gen::vec_between(rng, 1, 200, |r| r.below(1_000_000_000));
         let mut all = a.clone();
         all.extend(&b);
         all.extend(&c);
@@ -63,16 +61,15 @@ fn merge_associative() {
             assert_eq!(m1.percentile(p), direct.percentile(p), "seed {seed}");
             assert_eq!(m2.percentile(p), direct.percentile(p), "seed {seed}");
         }
-    }
+    });
 }
 
 /// The mean is exact (not bucketed) and percentile(50) is within the
 /// histogram's relative error of the true median.
 #[test]
 fn median_within_bucket_error() {
-    for seed in gen::seeds(0x3E_0003, CASES) {
-        let mut rng = SimRng::new(seed);
-        let values = gen::vec_between(&mut rng, 10, 500, |r| 1 + r.below(1_000_000_000));
+    gen::for_each_seed(0x3E_0003, CASES, |seed, rng| {
+        let values = gen::vec_between(rng, 10, 500, |r| 1 + r.below(1_000_000_000));
         let h = hist_of(&values);
         let mut sorted = values.clone();
         sorted.sort_unstable();
@@ -88,15 +85,14 @@ fn median_within_bucket_error() {
             got >= lower && got <= upper,
             "median {got} not in [{lower}, {upper}] (seed {seed})"
         );
-    }
+    });
 }
 
 /// CDF is monotone and ends at 1.
 #[test]
 fn cdf_monotone() {
-    for seed in gen::seeds(0x3E_0004, CASES) {
-        let mut rng = SimRng::new(seed);
-        let values = gen::vec_between(&mut rng, 1, 300, |r| r.below(u64::MAX / 2));
+    gen::for_each_seed(0x3E_0004, CASES, |seed, rng| {
+        let values = gen::vec_between(rng, 1, 300, |r| r.below(u64::MAX / 2));
         let h = hist_of(&values);
         let points = cdf(&h);
         assert!(!points.is_empty(), "seed {seed}");
@@ -108,16 +104,15 @@ fn cdf_monotone() {
             (points.last().unwrap().fraction - 1.0).abs() < 1e-9,
             "seed {seed}"
         );
-    }
+    });
 }
 
 /// A windowed rate never reports more than the lifetime total, and the
 /// window sum equals the sum of in-window events.
 #[test]
 fn windowed_rate_conservation() {
-    for seed in gen::seeds(0x3E_0005, CASES) {
-        let mut rng = SimRng::new(seed);
-        let events = gen::vec_between(&mut rng, 1, 100, |r| (r.below(10_000), 1 + r.below(999)));
+    gen::for_each_seed(0x3E_0005, CASES, |seed, rng| {
+        let events = gen::vec_between(rng, 1, 100, |r| (r.below(10_000), 1 + r.below(999)));
         let window_ms = 1 + rng.below(999);
         let mut sorted = events.clone();
         sorted.sort_by_key(|e| e.0);
@@ -134,16 +129,16 @@ fn windowed_rate_conservation() {
             .sum();
         assert_eq!(r.sum_in_window(now), expect, "seed {seed}");
         assert!(r.sum_in_window(now) <= r.lifetime_sum(), "seed {seed}");
-    }
+    });
 }
 
 /// Time-weighted average is bounded by the min and max of the values.
 #[test]
 fn gauge_average_bounded() {
-    for seed in gen::seeds(0x3E_0006, CASES) {
-        let mut rng = SimRng::new(seed);
-        let updates =
-            gen::vec_between(&mut rng, 1, 50, |r| (1 + r.below(9_999), gen::f64_in(r, 0.0, 100.0)));
+    gen::for_each_seed(0x3E_0006, CASES, |seed, rng| {
+        let updates = gen::vec_between(rng, 1, 50, |r| {
+            (1 + r.below(9_999), gen::f64_in(r, 0.0, 100.0))
+        });
         let mut sorted = updates.clone();
         sorted.sort_by_key(|u| u.0);
         let mut g = TimeWeightedGauge::new(SimTime::ZERO, sorted[0].1);
@@ -160,5 +155,5 @@ fn gauge_average_bounded() {
             avg >= lo - 1e-9 && avg <= hi + 1e-9,
             "avg {avg} not in [{lo}, {hi}] (seed {seed})"
         );
-    }
+    });
 }

@@ -3,7 +3,7 @@
 //! seed sweep — no external property-test crate.
 
 use iorch_netsim::{NetParams, Network, NodeId};
-use iorch_simcore::{gen, SimRng, SimTime};
+use iorch_simcore::{gen, SimTime};
 
 const CASES: usize = 64;
 
@@ -11,9 +11,8 @@ const CASES: usize = 64;
 /// receiver are FIFO.
 #[test]
 fn causality_and_fifo() {
-    for seed in gen::seeds(0x4E_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let msgs = gen::vec_between(&mut rng, 1, 60, |r| {
+    gen::for_each_seed(0x4E_0001, CASES, |seed, rng| {
+        let msgs = gen::vec_between(rng, 1, 60, |r| {
             (
                 r.below(10_000),
                 r.below(4) as usize,
@@ -38,15 +37,14 @@ fn causality_and_fifo() {
                 last_delivery.insert(key, delivered);
             }
         }
-    }
+    });
 }
 
 /// Byte counters are conserved per sender.
 #[test]
 fn byte_conservation() {
-    for seed in gen::seeds(0x4E_0002, CASES) {
-        let mut rng = SimRng::new(seed);
-        let lens = gen::vec_between(&mut rng, 1, 50, |r| 1 + r.below(99_999));
+    gen::for_each_seed(0x4E_0002, CASES, |seed, rng| {
+        let lens = gen::vec_between(rng, 1, 50, |r| 1 + r.below(99_999));
         let mut net = Network::new(2, NetParams::default());
         let mut total = 0u64;
         for (i, &len) in lens.iter().enumerate() {
@@ -56,15 +54,14 @@ fn byte_conservation() {
         assert_eq!(net.bytes_sent(NodeId(0)), total, "seed {seed}");
         assert_eq!(net.msgs_sent(NodeId(0)), lens.len() as u64, "seed {seed}");
         assert_eq!(net.bytes_sent(NodeId(1)), 0, "seed {seed}");
-    }
+    });
 }
 
 /// Bigger messages never arrive sooner than smaller ones sent at the same
 /// instant on an idle link pair.
 #[test]
 fn monotone_in_size() {
-    for seed in gen::seeds(0x4E_0003, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x4E_0003, CASES, |seed, rng| {
         let a = 1 + rng.below(10_000_000);
         let b = 1 + rng.below(10_000_000);
         let t1 = {
@@ -76,5 +73,5 @@ fn monotone_in_size() {
             net.transfer_time(NodeId(0), NodeId(1), a.max(b), SimTime::ZERO)
         };
         assert!(t2 >= t1, "seed {seed}");
-    }
+    });
 }

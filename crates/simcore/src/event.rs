@@ -119,7 +119,11 @@ impl<M> Scheduler<M> {
         at: SimTime,
         cb: impl FnOnce(&mut M, &mut Scheduler<M>) + 'static,
     ) -> EventToken {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -413,7 +417,10 @@ mod tests {
             if round % 2 == 0 {
                 assert!(s.cancel(tok));
             }
-            while s.peek_next_time().map_or(false, |t| t <= SimTime::from_millis(round)) {
+            while s
+                .peek_next_time()
+                .is_some_and(|t| t <= SimTime::from_millis(round))
+            {
                 let (_, cb) = s.pop_next().unwrap();
                 cb(&mut world, &mut s);
             }

@@ -1,0 +1,260 @@
+//! Deterministic, clock-scheduled fault-injection plans.
+//!
+//! A [`FaultPlan`] is a list of [`FaultEvent`]s — *what* goes wrong and
+//! *when* (a [`FaultWindow`] on the simulation clock). The plan itself is
+//! pure data: the layers above hook it into their models (device service
+//! times in `iorch-storage`, store traffic and watch delivery in
+//! `iorch-hypervisor`, guest-driver misbehaviour in `iorch-guestos`), so a
+//! run with a given `(seed, plan)` pair is bit-for-bit reproducible, and a
+//! component with no plan installed pays only an `Option` check.
+//!
+//! The fault vocabulary covers the failure matrix of DESIGN.md §6:
+//! degraded and stalled devices, a malicious store writer (hammering its
+//! own keys or violating another domain's permissions), delayed watch
+//! delivery, and guests that ignore the collaborative protocol.
+//!
+//! This crate sits below the hypervisor, so domains are named by their raw
+//! `u32` id here; the hypervisor-side installer maps them onto `DomainId`.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A half-open window `[from, until)` on the simulation clock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultWindow {
+    /// First instant at which the fault is active.
+    pub from: SimTime,
+    /// First instant at which the fault is no longer active.
+    pub until: SimTime,
+}
+
+impl FaultWindow {
+    /// Window active during `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        assert!(from <= until, "fault window ends before it starts");
+        FaultWindow { from, until }
+    }
+
+    /// Window active for the whole run.
+    pub fn always() -> Self {
+        FaultWindow {
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        }
+    }
+
+    /// Is the window active at `t`?
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// What goes wrong while a window is active.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultKind {
+    /// Device service times are multiplied by `factor` (> 1 = slower).
+    /// Models a degraded performance state (worn flash, thermal throttle).
+    DeviceSlowdown {
+        /// Service-time multiplier.
+        factor: f64,
+    },
+    /// The device stops servicing: work dispatched inside the window
+    /// completes no earlier than the window's end (firmware hiccup, path
+    /// failover).
+    DeviceStall,
+    /// Guest `dom`'s driver ignores `flush_now` commands — it never starts
+    /// the remote sync and never acks.
+    IgnoreFlushNow {
+        /// Raw domain id.
+        dom: u32,
+    },
+    /// Guest `dom`'s driver ignores `release_request` grants — it stays
+    /// asleep in congestion instead of bypassing.
+    IgnoreReleaseRequest {
+        /// Raw domain id.
+        dom: u32,
+    },
+    /// Guest `dom` hammers the system store with a junk write every
+    /// `period` (watch-event spam against the management module).
+    StoreHammer {
+        /// Raw domain id.
+        dom: u32,
+        /// Interval between writes.
+        period: SimDuration,
+    },
+    /// Guest `dom` attempts a write inside `victim`'s subtree every
+    /// `period` — a permission violation the store must deny.
+    StoreViolation {
+        /// Raw attacker domain id.
+        dom: u32,
+        /// Raw victim domain id.
+        victim: u32,
+        /// Interval between attempts.
+        period: SimDuration,
+    },
+    /// Watch-event delivery is delayed by `extra` on top of the modelled
+    /// XenBus latency.
+    WatchDelay {
+        /// Additional delivery latency.
+        extra: SimDuration,
+    },
+}
+
+/// One scheduled fault: a kind plus its active window.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultEvent {
+    /// When the fault is active.
+    pub window: FaultWindow,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add an event (builder style).
+    pub fn with(mut self, window: FaultWindow, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { window, kind });
+        self
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Does the plan schedule anything at all?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Combined device slowdown factor active at `now` (product of active
+    /// [`FaultKind::DeviceSlowdown`] windows; `1.0` when none).
+    pub fn device_slowdown(&self, now: SimTime) -> f64 {
+        let mut f = 1.0;
+        for ev in &self.events {
+            if let FaultKind::DeviceSlowdown { factor } = ev.kind {
+                if ev.window.contains(now) {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// If a [`FaultKind::DeviceStall`] window is active at `now`, the
+    /// latest instant any active stall ends (work completes no earlier).
+    pub fn device_stall_until(&self, now: SimTime) -> Option<SimTime> {
+        let mut until = None;
+        for ev in &self.events {
+            if matches!(ev.kind, FaultKind::DeviceStall) && ev.window.contains(now) {
+                until = Some(ev.window.until.max(until.unwrap_or(SimTime::ZERO)));
+            }
+        }
+        until
+    }
+
+    /// Extra watch-delivery latency active at `now` (sum of active
+    /// [`FaultKind::WatchDelay`] windows).
+    pub fn watch_delay(&self, now: SimTime) -> SimDuration {
+        let mut d = SimDuration::ZERO;
+        for ev in &self.events {
+            if let FaultKind::WatchDelay { extra } = ev.kind {
+                if ev.window.contains(now) {
+                    d += extra;
+                }
+            }
+        }
+        d
+    }
+
+    /// Does the plan affect device service times at any point?
+    pub fn has_device_faults(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev.kind,
+                FaultKind::DeviceSlowdown { .. } | FaultKind::DeviceStall
+            )
+        })
+    }
+
+    /// Does the plan delay watch delivery at any point?
+    pub fn has_watch_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|ev| matches!(ev.kind, FaultKind::WatchDelay { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = FaultWindow::new(t(10), t(20));
+        assert!(!w.contains(t(9)));
+        assert!(w.contains(t(10)));
+        assert!(w.contains(t(19)));
+        assert!(!w.contains(t(20)));
+        assert!(FaultWindow::always().contains(SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault window ends before it starts")]
+    fn rejects_inverted_window() {
+        FaultWindow::new(t(20), t(10));
+    }
+
+    #[test]
+    fn slowdown_factors_compose() {
+        let plan = FaultPlan::new()
+            .with(
+                FaultWindow::new(t(0), t(100)),
+                FaultKind::DeviceSlowdown { factor: 2.0 },
+            )
+            .with(
+                FaultWindow::new(t(50), t(100)),
+                FaultKind::DeviceSlowdown { factor: 3.0 },
+            );
+        assert_eq!(plan.device_slowdown(t(10)), 2.0);
+        assert_eq!(plan.device_slowdown(t(60)), 6.0);
+        assert_eq!(plan.device_slowdown(t(100)), 1.0);
+    }
+
+    #[test]
+    fn stall_reports_latest_end() {
+        let plan = FaultPlan::new()
+            .with(FaultWindow::new(t(0), t(50)), FaultKind::DeviceStall)
+            .with(FaultWindow::new(t(10), t(80)), FaultKind::DeviceStall);
+        assert_eq!(plan.device_stall_until(t(20)), Some(t(80)));
+        assert_eq!(plan.device_stall_until(t(60)), Some(t(80)));
+        assert_eq!(plan.device_stall_until(t(90)), None);
+    }
+
+    #[test]
+    fn watch_delays_sum() {
+        let plan = FaultPlan::new().with(
+            FaultWindow::new(t(0), t(10)),
+            FaultKind::WatchDelay {
+                extra: SimDuration::from_millis(5),
+            },
+        );
+        assert_eq!(plan.watch_delay(t(5)), SimDuration::from_millis(5));
+        assert_eq!(plan.watch_delay(t(15)), SimDuration::ZERO);
+        assert!(plan.has_watch_faults());
+        assert!(!plan.has_device_faults());
+    }
+}

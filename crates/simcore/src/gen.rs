@@ -24,10 +24,32 @@ pub fn seeds(base: u64, n: usize) -> impl Iterator<Item = u64> {
     })
 }
 
+/// Run `f` once per child seed of `base` (see [`seeds`]), handing it the
+/// seed and a fresh [`SimRng`] for it. If a case panics, the panic is
+/// re-raised after printing the base seed, case index, and failing child
+/// seed, so the case can be replayed in isolation with `SimRng::new(seed)`.
+pub fn for_each_seed(base: u64, n: usize, mut f: impl FnMut(u64, &mut SimRng)) {
+    for (i, seed) in seeds(base, n).enumerate() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = SimRng::new(seed);
+            f(seed, &mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "seed sweep failed: base={base:#x} case={i}/{n} seed={seed:#018x} \
+                 (replay with SimRng::new({seed:#018x}))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// A lowercase ASCII word with length in `min_len..=max_len`.
 pub fn ascii_word(rng: &mut SimRng, min_len: usize, max_len: usize) -> String {
     let len = rng.range(min_len as u64, max_len as u64) as usize;
-    (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect()
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
 }
 
 /// An absolute store-style path of `1..=max_depth` segments drawn from
@@ -79,6 +101,29 @@ mod tests {
         assert_eq!(uniq.len(), a.len(), "child seeds collide");
         let c: Vec<u64> = seeds(43, 16).collect();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn for_each_seed_visits_every_child_seed() {
+        let expected: Vec<u64> = seeds(42, 16).collect();
+        let mut visited = Vec::new();
+        for_each_seed(42, 16, |seed, rng| {
+            // The rng is seeded from the case's own seed.
+            assert_eq!(rng.next_u64(), SimRng::new(seed).next_u64());
+            visited.push(seed);
+        });
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn for_each_seed_propagates_panics() {
+        let failing: u64 = seeds(42, 16).nth(7).unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            for_each_seed(42, 16, |seed, _rng| {
+                assert_ne!(seed, failing, "boom");
+            });
+        });
+        assert!(caught.is_err(), "panic in case 7 must propagate");
     }
 
     #[test]

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod faults;
 pub mod gen;
 mod rng;
 mod sim;
 mod time;
 
 pub use event::{Callback, EventToken, PeriodicHandle, Scheduler};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultWindow};
 pub use rng::{SimRng, Zipfian};
 pub use sim::{RunOutcome, Simulation};
 pub use time::{SimDuration, SimTime};

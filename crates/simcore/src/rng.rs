@@ -51,10 +51,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -418,7 +415,7 @@ mod tests {
     fn zipfian_covers_tail() {
         let dist = Zipfian::new(100, 0.5);
         let mut rng = SimRng::new(12);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..200_000 {
             seen[dist.sample(&mut rng) as usize] = true;
         }

@@ -13,9 +13,8 @@ const CASES: usize = 64;
 /// they were scheduled in.
 #[test]
 fn events_fire_in_order() {
-    for seed in gen::seeds(0x51_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let times = gen::vec_between(&mut rng, 1, 200, |r| r.below(1_000_000));
+    gen::for_each_seed(0x51_0001, CASES, |seed, rng| {
+        let times = gen::vec_between(rng, 1, 200, |r| r.below(1_000_000));
         let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
         for (i, &t) in times.iter().enumerate() {
             sim.scheduler_mut().schedule_at(
@@ -31,19 +30,21 @@ fn events_fire_in_order() {
         for pair in fired.windows(2) {
             assert!(pair[0].0 <= pair[1].0, "time order violated (seed {seed})");
             if pair[0].0 == pair[1].0 {
-                assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated (seed {seed})");
+                assert!(
+                    pair[0].1 < pair[1].1,
+                    "FIFO tie-break violated (seed {seed})"
+                );
             }
         }
-    }
+    });
 }
 
 /// Cancelling an arbitrary subset prevents exactly that subset.
 #[test]
 fn cancellation_is_exact() {
-    for seed in gen::seeds(0x51_0002, CASES) {
-        let mut rng = SimRng::new(seed);
-        let times = gen::vec_between(&mut rng, 1, 100, |r| r.below(100_000));
-        let cancel_mask = gen::vec_of(&mut rng, times.len(), |r| r.chance(0.5));
+    gen::for_each_seed(0x51_0002, CASES, |seed, rng| {
+        let times = gen::vec_between(rng, 1, 100, |r| r.below(100_000));
+        let cancel_mask = gen::vec_of(rng, times.len(), |r| r.chance(0.5));
         let mut sim = Simulation::new(Vec::<usize>::new());
         let mut tokens = Vec::new();
         for (i, &t) in times.iter().enumerate() {
@@ -66,16 +67,15 @@ fn cancellation_is_exact() {
         fired.sort_unstable();
         expected.sort_unstable();
         assert_eq!(fired, expected, "seed {seed}");
-    }
+    });
 }
 
 /// run_until never executes events past the horizon, and a subsequent run
 /// executes exactly the remainder.
 #[test]
 fn horizon_split_is_exact() {
-    for seed in gen::seeds(0x51_0003, CASES) {
-        let mut rng = SimRng::new(seed);
-        let times = gen::vec_between(&mut rng, 1, 100, |r| r.below(1_000_000));
+    gen::for_each_seed(0x51_0003, CASES, |seed, rng| {
+        let times = gen::vec_between(rng, 1, 100, |r| r.below(1_000_000));
         let horizon = rng.below(1_000_000);
         let mut sim = Simulation::new(Vec::<u64>::new());
         for &t in &times {
@@ -90,13 +90,13 @@ fn horizon_split_is_exact() {
         assert_eq!(early, expect_early, "seed {seed}");
         sim.run_to_completion();
         assert_eq!(sim.world().len(), times.len(), "seed {seed}");
-    }
+    });
 }
 
 /// Identical seeds give identical streams; the stream is within range.
 #[test]
 fn rng_determinism() {
-    for seed in gen::seeds(0x51_0004, CASES) {
+    gen::for_each_seed(0x51_0004, CASES, |seed, _rng| {
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..100 {
@@ -106,14 +106,13 @@ fn rng_determinism() {
             let x = a.f64();
             assert!((0.0..1.0).contains(&x), "seed {seed}");
         }
-    }
+    });
 }
 
 /// below(n) stays in range for arbitrary n.
 #[test]
 fn rng_below_in_range() {
-    for seed in gen::seeds(0x51_0005, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x51_0005, CASES, |seed, rng| {
         // Cover tiny, mid-sized and near-max bounds.
         let n = match seed % 3 {
             0 => 1 + rng.below(16),
@@ -123,29 +122,27 @@ fn rng_below_in_range() {
         for _ in 0..50 {
             assert!(rng.below(n) < n, "seed {seed}, n {n}");
         }
-    }
+    });
 }
 
 /// Zipfian sampling stays within the item count and is deterministic per
 /// seed.
 #[test]
 fn zipf_in_range() {
-    for seed in gen::seeds(0x51_0006, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x51_0006, CASES, |seed, rng| {
         let n = 1 + rng.below(1_000_000);
-        let theta = gen::f64_in(&mut rng, 0.01, 0.999);
+        let theta = gen::f64_in(rng, 0.01, 0.999);
         let z = Zipfian::new(n, theta);
         for _ in 0..100 {
-            assert!(z.sample(&mut rng) < n, "seed {seed}, n {n}, theta {theta}");
+            assert!(z.sample(rng) < n, "seed {seed}, n {n}, theta {theta}");
         }
-    }
+    });
 }
 
 /// Duration arithmetic: (a + b) - b == a for non-overflowing values.
 #[test]
 fn duration_roundtrip() {
-    for seed in gen::seeds(0x51_0007, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x51_0007, CASES, |seed, rng| {
         let a = rng.below(1 << 62);
         let b = rng.below(1 << 62);
         let da = SimDuration::from_nanos(a);
@@ -153,5 +150,5 @@ fn duration_roundtrip() {
         assert_eq!((da + db) - db, da, "seed {seed}");
         let t = SimTime::from_nanos(a);
         assert_eq!((t + db) - db, t, "seed {seed}");
-    }
+    });
 }

@@ -103,8 +103,7 @@ impl DeviceModel for HddModel {
             // Uniform rotational delay in [0, one revolution).
             self.half_rotation().mul_f64(2.0 * rng.f64())
         };
-        let transfer =
-            SimDuration::from_secs_f64(req.len as f64 / self.params.bandwidth as f64);
+        let transfer = SimDuration::from_secs_f64(req.len as f64 / self.params.bandwidth as f64);
         self.head_pos = req.end().min(self.params.capacity);
         self.noise.apply(seek + rot + transfer, rng)
     }

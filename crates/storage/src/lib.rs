@@ -37,7 +37,9 @@ pub use wfq::{WfqQueue, DEFAULT_WEIGHT};
 /// Build the paper's testbed volume: RAID0 over eight Intel 520-class SSDs
 /// (960 GB, ~4 GB/s aggregate) wrapped in a ready-to-drive subsystem.
 pub fn paper_testbed_storage(seed: u64) -> StorageSubsystem {
-    let members = (0..8).map(|_| SsdModel::new(SsdParams::intel520())).collect();
+    let members = (0..8)
+        .map(|_| SsdModel::new(SsdParams::intel520()))
+        .collect();
     let raid = Raid0::new(members, 64 * 1024);
     StorageSubsystem::new(
         Box::new(raid),

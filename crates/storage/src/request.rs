@@ -73,7 +73,7 @@ impl RequestIdAlloc {
         Self::default()
     }
     /// Allocate the next id.
-    pub fn next(&mut self) -> RequestId {
+    pub fn alloc(&mut self) -> RequestId {
         let id = RequestId(self.next);
         self.next += 1;
         id
@@ -117,8 +117,8 @@ mod tests {
     #[test]
     fn id_alloc_is_sequential_and_unique() {
         let mut alloc = RequestIdAlloc::new();
-        let a = alloc.next();
-        let b = alloc.next();
+        let a = alloc.alloc();
+        let b = alloc.alloc();
         assert_ne!(a, b);
         assert_eq!(a, RequestId(0));
         assert_eq!(b, RequestId(1));

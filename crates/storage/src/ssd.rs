@@ -145,7 +145,10 @@ mod tests {
         let t = ssd.service_time(0, &req(IoKind::Read, len), &mut rng);
         let expect = len as f64 / (130.0 * 1024.0 * 1024.0);
         let got = t.as_secs_f64();
-        assert!((got - expect).abs() / expect < 0.01, "got={got} expect={expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "got={got} expect={expect}"
+        );
     }
 
     #[test]

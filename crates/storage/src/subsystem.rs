@@ -6,7 +6,7 @@
 //! where to schedule the next device event, and calls
 //! [`complete_due`](StorageSubsystem::complete_due) when that event fires.
 
-use iorch_simcore::{SimDuration, SimRng, SimTime};
+use iorch_simcore::{FaultPlan, SimDuration, SimRng, SimTime};
 
 use crate::device::DeviceModel;
 use crate::monitor::DeviceMonitor;
@@ -67,6 +67,7 @@ pub struct StorageSubsystem {
     rng: SimRng,
     merged: u64,
     submitted: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl StorageSubsystem {
@@ -84,7 +85,20 @@ impl StorageSubsystem {
             rng,
             merged: 0,
             submitted: 0,
+            faults: None,
         }
+    }
+
+    /// Install a fault plan; device-level faults (slowdown/stall windows)
+    /// apply to requests *dispatched* while a window is active. With no
+    /// plan installed the dispatch path pays only an `Option` check.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// Set a stream's fair-share weight (the cgroup blkio knob the
@@ -124,7 +138,16 @@ impl StorageSubsystem {
             let k = want.min(idle.len());
             let primary = idle[0];
             let service = self.device.service_time_k(primary, &req, k, &mut self.rng);
-            let done_at = now + service;
+            let mut done_at = now + service;
+            if let Some(plan) = &self.faults {
+                let factor = plan.device_slowdown(now);
+                if factor != 1.0 {
+                    done_at = now + service.mul_f64(factor);
+                }
+                if let Some(until) = plan.device_stall_until(now) {
+                    done_at = done_at.max(until);
+                }
+            }
             self.channels[primary] = Slot::Primary(InFlight { req, done_at });
             for &c in idle.iter().take(k).skip(1) {
                 self.channels[c] = Slot::Reserved(done_at);
@@ -265,7 +288,9 @@ mod tests {
         sub.submit(req(0, 1, 0, 4096), SimTime::ZERO);
         let done_at = sub.next_completion().unwrap();
         assert!(done_at > SimTime::ZERO);
-        assert!(sub.complete_due(done_at - SimDuration::from_nanos(1)).is_empty());
+        assert!(sub
+            .complete_due(done_at - SimDuration::from_nanos(1))
+            .is_empty());
         let done = sub.complete_due(done_at);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, RequestId(0));
@@ -278,7 +303,7 @@ mod tests {
         let mut sub = quiet_subsystem(4);
         for i in 0..4 {
             // Non-contiguous so no merging.
-            sub.submit(req(i, i as u32, i * 10 << 20, 4096), SimTime::ZERO);
+            sub.submit(req(i, i as u32, (i * 10) << 20, 4096), SimTime::ZERO);
         }
         assert_eq!(sub.in_flight(), 4);
         assert_eq!(sub.queue_depth(), 0);
@@ -292,7 +317,7 @@ mod tests {
     fn queue_backs_up_beyond_channels() {
         let mut sub = quiet_subsystem(2);
         for i in 0..10 {
-            sub.submit(req(i, i as u32, i * 10 << 20, 4096), SimTime::ZERO);
+            sub.submit(req(i, i as u32, (i * 10) << 20, 4096), SimTime::ZERO);
         }
         assert_eq!(sub.in_flight(), 2);
         assert_eq!(sub.queue_depth(), 8);
@@ -329,7 +354,7 @@ mod tests {
         let mut sub = quiet_subsystem(1);
         assert!(!sub.is_congested());
         for i in 0..70 {
-            sub.submit(req(i, i as u32, i * 10 << 20, 4096), SimTime::ZERO);
+            sub.submit(req(i, i as u32, (i * 10) << 20, 4096), SimTime::ZERO);
         }
         assert!(sub.is_congested());
     }
@@ -354,9 +379,67 @@ mod tests {
                 idx += 1;
             }
         }
-        let last_s1 = completions.iter().filter(|(_, s)| *s == 1).map(|(i, _)| *i).max().unwrap();
-        let last_s2 = completions.iter().filter(|(_, s)| *s == 2).map(|(i, _)| *i).max().unwrap();
+        let last_s1 = completions
+            .iter()
+            .filter(|(_, s)| *s == 1)
+            .map(|(i, _)| *i)
+            .max()
+            .unwrap();
+        let last_s2 = completions
+            .iter()
+            .filter(|(_, s)| *s == 2)
+            .map(|(i, _)| *i)
+            .max()
+            .unwrap();
         assert!(last_s1 < last_s2, "s1 backlog should clear first");
+    }
+
+    #[test]
+    fn slowdown_window_stretches_service_time() {
+        use iorch_simcore::{FaultKind, FaultWindow};
+        let mut clean = quiet_subsystem(1);
+        clean.submit(req(0, 1, 0, 4096), SimTime::ZERO);
+        let clean_done = clean.next_completion().unwrap();
+
+        let mut slow = quiet_subsystem(1);
+        slow.install_faults(FaultPlan::new().with(
+            FaultWindow::always(),
+            FaultKind::DeviceSlowdown { factor: 4.0 },
+        ));
+        slow.submit(req(0, 1, 0, 4096), SimTime::ZERO);
+        let slow_done = slow.next_completion().unwrap();
+        assert_eq!(
+            slow_done.saturating_since(SimTime::ZERO).as_nanos(),
+            4 * clean_done.saturating_since(SimTime::ZERO).as_nanos()
+        );
+
+        // Outside the window the device is back to nominal speed.
+        let mut windowed = quiet_subsystem(1);
+        windowed.install_faults(FaultPlan::new().with(
+            FaultWindow::new(SimTime::ZERO, SimTime::from_millis(1)),
+            FaultKind::DeviceSlowdown { factor: 4.0 },
+        ));
+        let late = SimTime::from_millis(5);
+        windowed.submit(req(0, 1, 0, 4096), late);
+        let windowed_done = windowed.next_completion().unwrap();
+        assert_eq!(windowed_done, late + (clean_done - SimTime::ZERO));
+    }
+
+    #[test]
+    fn stall_window_defers_completion_to_window_end() {
+        use iorch_simcore::{FaultKind, FaultWindow};
+        let stall_end = SimTime::from_millis(50);
+        let mut sub = quiet_subsystem(1);
+        sub.install_faults(FaultPlan::new().with(
+            FaultWindow::new(SimTime::ZERO, stall_end),
+            FaultKind::DeviceStall,
+        ));
+        sub.submit(req(0, 1, 0, 4096), SimTime::ZERO);
+        assert_eq!(sub.next_completion().unwrap(), stall_end);
+        assert_eq!(sub.complete_due(stall_end).len(), 1);
+        // Work dispatched after the window services normally.
+        sub.submit(req(1, 1, 10 << 20, 4096), stall_end);
+        assert!(sub.next_completion().unwrap() < stall_end + SimDuration::from_millis(1));
     }
 
     #[test]

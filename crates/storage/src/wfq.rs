@@ -64,11 +64,7 @@ impl WfqQueue {
     /// Enqueue a request under its stream's weight.
     pub fn enqueue(&mut self, req: IoRequest) {
         let weight = self.weight(req.stream) as f64;
-        let last = self
-            .last_finish
-            .get(&req.stream)
-            .copied()
-            .unwrap_or(0.0);
+        let last = self.last_finish.get(&req.stream).copied().unwrap_or(0.0);
         let start = last.max(self.virtual_time);
         let finish = start + req.len as f64 / weight;
         self.last_finish.insert(req.stream, finish);

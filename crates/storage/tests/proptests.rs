@@ -26,11 +26,9 @@ fn req(id: u64, stream: u32, offset: u64, len: u64) -> IoRequest {
 /// for arbitrary interleavings and weights.
 #[test]
 fn wfq_conserves() {
-    for seed in gen::seeds(0x57_0001, CASES) {
-        let mut rng = SimRng::new(seed);
-        let items =
-            gen::vec_between(&mut rng, 1, 200, |r| (r.below(5) as u32, 1 + r.below(999_999)));
-        let weights = gen::vec_of(&mut rng, 5, |r| 1 + r.below(999) as u32);
+    gen::for_each_seed(0x57_0001, CASES, |seed, rng| {
+        let items = gen::vec_between(rng, 1, 200, |r| (r.below(5) as u32, 1 + r.below(999_999)));
+        let weights = gen::vec_of(rng, 5, |r| 1 + r.below(999) as u32);
         let mut q = WfqQueue::new();
         for (i, w) in weights.iter().enumerate() {
             q.set_weight(StreamId(i as u32), *w);
@@ -45,15 +43,14 @@ fn wfq_conserves() {
         }
         assert_eq!(ids.len(), items.len(), "seed {seed}");
         assert!(q.is_empty(), "seed {seed}");
-    }
+    });
 }
 
 /// Long-run WFQ service ratio approaches the weight ratio when both
 /// streams stay backlogged.
 #[test]
 fn wfq_fairness_tracks_weights() {
-    for seed in gen::seeds(0x57_0002, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x57_0002, CASES, |seed, rng| {
         let w1 = 1 + rng.below(15) as u32;
         let w2 = 1 + rng.below(15) as u32;
         let mut q = WfqQueue::new();
@@ -77,15 +74,14 @@ fn wfq_fairness_tracks_weights() {
             (got_ratio / expect_ratio - 1.0).abs() < 0.25,
             "w {w1}:{w2} expect {expect_ratio} got {got_ratio} (seed {seed})"
         );
-    }
+    });
 }
 
 /// RAID0 span/member math: spans never exceed width, members rotate
 /// by stripe unit.
 #[test]
 fn raid_address_math() {
-    for seed in gen::seeds(0x57_0003, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x57_0003, CASES, |seed, rng| {
         let offset = rng.below(1 << 40);
         let len = 1 + rng.below((1 << 24) - 1);
         let disks = 1 + rng.below(15) as usize;
@@ -100,17 +96,17 @@ fn raid_address_math() {
         // Next stripe unit lands on the next member (mod width).
         let m2 = arr.member_for(offset + 64 * 1024);
         assert_eq!(m2, (m + 1) % disks, "seed {seed}");
-    }
+    });
 }
 
 /// The subsystem completes every submitted request exactly once, in
 /// non-decreasing completion-time order.
 #[test]
 fn subsystem_conserves_requests() {
-    for seed in gen::seeds(0x57_0004, CASES) {
-        let mut rng = SimRng::new(seed);
-        let items =
-            gen::vec_between(&mut rng, 1, 150, |r| (r.below(6) as u32, 1 + r.below((1 << 20) - 1)));
+    gen::for_each_seed(0x57_0004, CASES, |seed, rng| {
+        let items = gen::vec_between(rng, 1, 150, |r| {
+            (r.below(6) as u32, 1 + r.below((1 << 20) - 1))
+        });
         let sub_seed = rng.next_u64();
         let mut p = SsdParams::intel520();
         p.noise_sigma = 0.1;
@@ -120,7 +116,10 @@ fn subsystem_conserves_requests() {
             SimRng::new(sub_seed),
         );
         for (i, &(stream, len)) in items.iter().enumerate() {
-            sub.submit(req(i as u64, stream, i as u64 * (1 << 22), len), SimTime::ZERO);
+            sub.submit(
+                req(i as u64, stream, i as u64 * (1 << 22), len),
+                SimTime::ZERO,
+            );
         }
         let mut done = 0usize;
         let mut last = SimTime::ZERO;
@@ -135,11 +134,15 @@ fn subsystem_conserves_requests() {
         // Merging can combine submissions, so completions <= submissions,
         // but bytes are conserved.
         assert!(done <= items.len(), "seed {seed}");
-        assert_eq!(done + sub.merged_count() as usize, items.len(), "seed {seed}");
+        assert_eq!(
+            done + sub.merged_count() as usize,
+            items.len(),
+            "seed {seed}"
+        );
         let (rbytes, _) = sub.monitor().byte_counts();
         let expect: u64 = items.iter().map(|&(_, len)| len).sum();
         assert_eq!(rbytes, expect, "seed {seed}");
         assert_eq!(sub.in_flight(), 0, "seed {seed}");
         assert_eq!(sub.queue_depth(), 0, "seed {seed}");
-    }
+    });
 }

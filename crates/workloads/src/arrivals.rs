@@ -162,7 +162,9 @@ fn on_arrival(state: &Shared, cl: &mut Cluster, s: &mut Sched) {
     {
         let mut x = state.borrow_mut();
         let size = *x.rng.pick(&[2u32, 4, 6, 8, 10]);
-        let app = *x.rng.pick(&[ArrivalApp::Fs, ArrivalApp::Ycsb1, ArrivalApp::Cloud9]);
+        let app = *x
+            .rng
+            .pick(&[ArrivalApp::Fs, ArrivalApp::Ycsb1, ArrivalApp::Cloud9]);
         let spec = VmSpec::new(size, size as u64).with_disk_gb(12);
         x.stats.borrow_mut().arrived += 1;
         x.fifo.push_back(Pending { spec, app });

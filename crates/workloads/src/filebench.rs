@@ -526,9 +526,16 @@ fn vs_ingest(st: Rc<RefCell<VsState>>, cl: &mut Cluster, s: &mut Sched) {
                 SimDuration::from_secs_f64(x.p.ingest_chunk as f64 / 2e9)
             };
             let st3 = Rc::clone(&st2);
-            cl.run_cpu(s, vm.machine, vm.dom, 0, cpu, Box::new(move |cl, s| {
-                vs_ingest(st3, cl, s);
-            }));
+            cl.run_cpu(
+                s,
+                vm.machine,
+                vm.dom,
+                0,
+                cpu,
+                Box::new(move |cl, s| {
+                    vs_ingest(st3, cl, s);
+                }),
+            );
         })),
     );
 }

@@ -280,10 +280,11 @@ fn db_stage(
                         let now = s.now();
                         {
                             let x = st3.borrow();
-                            x.recs
-                                .db
-                                .borrow_mut()
-                                .record(now, now.saturating_since(db_start), 8 << 10);
+                            x.recs.db.borrow_mut().record(
+                                now,
+                                now.saturating_since(db_start),
+                                8 << 10,
+                            );
                         }
                         file_stage(st3, cl, s, client, arrival, now);
                     }

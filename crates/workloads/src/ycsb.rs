@@ -233,8 +233,7 @@ fn schedule_next_arrival(state: &Shared, s: &mut Sched) {
         // next cycle boundary, where the rate is resampled.
         if let Some(b) = y.p.burst {
             let period_ns = b.period.as_nanos().max(1);
-            let to_boundary =
-                SimDuration::from_nanos(period_ns - now.as_nanos() % period_ns);
+            let to_boundary = SimDuration::from_nanos(period_ns - now.as_nanos() % period_ns);
             if gap > to_boundary {
                 gap = to_boundary;
             }
@@ -290,7 +289,9 @@ fn issue_op(state: &Shared, cl: &mut Cluster, s: &mut Sched) {
         }
     };
     let run = move |cl: &mut Cluster, s: &mut Sched| {
-        run_on_owner(&st, cl, s, owner_idx, coord_idx, is_read, key, vcpu, arrival);
+        run_on_owner(
+            &st, cl, s, owner_idx, coord_idx, is_read, key, vcpu, arrival,
+        );
     };
     match hop {
         Some(at) => {
@@ -324,7 +325,9 @@ fn run_on_owner(
         vcpu,
         cpu,
         Box::new(move |cl, s| {
-            do_io(&st, cl, s, owner_idx, coord_idx, is_read, key, vcpu, arrival);
+            do_io(
+                &st, cl, s, owner_idx, coord_idx, is_read, key, vcpu, arrival,
+            );
         }),
     );
 }

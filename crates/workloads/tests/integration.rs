@@ -27,13 +27,25 @@ fn ycsb_respects_read_ratio() {
     let node = vm(&mut sim, idx, 2, 4, 20);
     let rec = recorder(SimTime::ZERO);
     let (cl, s) = sim.parts_mut();
-    spawn_ycsb(cl, s, &[node], None, YcsbParams::ycsb2(1000.0, 7), Rc::clone(&rec));
+    spawn_ycsb(
+        cl,
+        s,
+        &[node],
+        None,
+        YcsbParams::ycsb2(1000.0, 7),
+        Rc::clone(&rec),
+    );
     sim.run_until(SimTime::from_secs(3));
     let m = sim.world().machine(idx);
     let k = &m.domain(node.dom).unwrap().kernel;
     let stats = k.stats();
     // 95:5 read:write — the kernel sees mostly read ops.
-    assert!(stats.reads > 8 * stats.writes, "reads={} writes={}", stats.reads, stats.writes);
+    assert!(
+        stats.reads > 8 * stats.writes,
+        "reads={} writes={}",
+        stats.reads,
+        stats.writes
+    );
     assert!(rec.borrow().ops > 2000);
 }
 

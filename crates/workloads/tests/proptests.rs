@@ -3,7 +3,7 @@
 //! in-tree generators (`iorch_simcore::gen`) with a fixed seed sweep — no
 //! external property-test crate.
 
-use iorch_simcore::{gen, SimDuration, SimRng, SimTime};
+use iorch_simcore::{gen, SimDuration, SimTime};
 use iorch_workloads::recorder;
 use iorch_workloads::YcsbParams;
 
@@ -13,11 +13,9 @@ const CASES: usize = 64;
 /// count, and byte totals equal the sum of counted samples.
 #[test]
 fn recorder_counts_exactly_post_warmup() {
-    for seed in gen::seeds(0x70_0001, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x70_0001, CASES, |seed, rng| {
         let warmup_ms = rng.below(1000);
-        let samples =
-            gen::vec_between(&mut rng, 1, 100, |r| (r.below(2000), 1 + r.below(9_999)));
+        let samples = gen::vec_between(rng, 1, 100, |r| (r.below(2000), 1 + r.below(9_999)));
         let rec = recorder(SimTime::from_millis(warmup_ms));
         let mut expect_ops = 0u64;
         let mut expect_bytes = 0u64;
@@ -36,15 +34,14 @@ fn recorder_counts_exactly_post_warmup() {
         assert_eq!(r.ops, expect_ops, "seed {seed}");
         assert_eq!(r.bytes, expect_bytes, "seed {seed}");
         assert_eq!(r.hist.count(), expect_ops, "seed {seed}");
-    }
+    });
 }
 
 /// Throughput is bytes divided by the measured window, never negative
 /// or infinite for a positive window.
 #[test]
 fn throughput_well_formed() {
-    for seed in gen::seeds(0x70_0002, CASES) {
-        let mut rng = SimRng::new(seed);
+    gen::for_each_seed(0x70_0002, CASES, |seed, rng| {
         let bytes = 1 + rng.below(999_999_999);
         let window_ms = 1 + rng.below(99_999);
         let rec = recorder(SimTime::ZERO);
@@ -54,16 +51,15 @@ fn throughput_well_formed() {
         let bps = rec.borrow().throughput_bps(now);
         let expect = bytes as f64 / (window_ms as f64 / 1000.0);
         assert!((bps - expect).abs() / expect < 1e-9, "seed {seed}");
-    }
+    });
 }
 
 /// YCSB burst shaping conserves the configured mean rate over a cycle
 /// for any rate and burst length below the period.
 #[test]
 fn burst_params_conserve_rate() {
-    for seed in gen::seeds(0x70_0003, CASES) {
-        let mut rng = SimRng::new(seed);
-        let rate = gen::f64_in(&mut rng, 10.0, 10_000.0);
+    gen::for_each_seed(0x70_0003, CASES, |seed, rng| {
+        let rate = gen::f64_in(rng, 10.0, 10_000.0);
         let burst_ms = 1 + rng.below(899);
         let p = YcsbParams::ycsb1(rate, 1).with_burst(SimDuration::from_millis(burst_ms));
         let b = p.burst.unwrap();
@@ -78,5 +74,5 @@ fn burst_params_conserve_rate() {
             (total - per_cycle).abs() / per_cycle < 0.05,
             "cycle integral {total} vs {per_cycle} (seed {seed})"
         );
-    }
+    });
 }

@@ -52,7 +52,12 @@ fn main() {
             "  {:<12} {:>10} {:>10} {:>10}",
             "system", "mean(us)", "p99(us)", "p99.9(us)"
         );
-        for kind in [SystemKind::Baseline, SystemKind::Sdc, SystemKind::Dif, SystemKind::IOrchestra] {
+        for kind in [
+            SystemKind::Baseline,
+            SystemKind::Sdc,
+            SystemKind::Dif,
+            SystemKind::IOrchestra,
+        ] {
             let s = run(kind, 600.0, SimDuration::from_millis(burst_ms));
             println!(
                 "  {:<12} {:>10} {:>10} {:>10}",

@@ -36,7 +36,13 @@ impl ControlPlane for DirtyBudgetGovernor {
         Some(SimDuration::from_millis(100))
     }
 
-    fn on_kernel_signal(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId, sig: KernelSignal) {
+    fn on_kernel_signal(
+        &mut self,
+        m: &mut Machine,
+        _s: &mut Sched,
+        dom: DomainId,
+        sig: KernelSignal,
+    ) {
         // Keep stock congestion behaviour; this policy is flush-only.
         if sig == KernelSignal::CongestionQuery {
             m.cp_enter_congestion(dom);
@@ -102,9 +108,18 @@ fn main() {
     let (plain_bps, plain_writes) = run(false);
     let (gov_bps, gov_writes) = run(true);
     println!("4 file-server VMs in request waves, 8 simulated seconds\n");
-    println!("{:<24} {:>14} {:>18}", "policy", "FS MB/s", "device writes (MB)");
-    println!("{:<24} {:>14.1} {:>18}", "none (stock kernel)", plain_bps, plain_writes);
-    println!("{:<24} {:>14.1} {:>18}", "dirty-budget governor", gov_bps, gov_writes);
+    println!(
+        "{:<24} {:>14} {:>18}",
+        "policy", "FS MB/s", "device writes (MB)"
+    );
+    println!(
+        "{:<24} {:>14.1} {:>18}",
+        "none (stock kernel)", plain_bps, plain_writes
+    );
+    println!(
+        "{:<24} {:>14.1} {:>18}",
+        "dirty-budget governor", gov_bps, gov_writes
+    );
     println!(
         "\nThe governor drains dirty pages early through cp_remote_sync — the same \
          machine verb IOrchestra's Algorithm 1 uses — smoothing device traffic \

@@ -19,7 +19,11 @@ fn main() {
         "{:<12} {:>8} {:>8} {:>9} {:>10} {:>10}",
         "system", "arrived", "started", "completed", "cpu util", "io MB/s"
     );
-    for kind in [SystemKind::Baseline, SystemKind::Sdc, SystemKind::IOrchestra] {
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::Sdc,
+        SystemKind::IOrchestra,
+    ] {
         let mut sim = Simulation::new(Cluster::new());
         let (cl, s) = sim.parts_mut();
         let machine = kind.provision(cl, s, 42);

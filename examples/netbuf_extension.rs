@@ -19,8 +19,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use iorchestra_suite::core::netbuf::{NetBufParams, NetBufPolicy, TxDecision, TxObservation};
-use iorchestra_suite::netsim::{TxPush, TxQueue};
-use iorchestra_suite::simcore::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
+use iorchestra_suite::netsim::TxQueue;
+use iorchestra_suite::simcore::{Scheduler, SimDuration, SimTime, Simulation};
 
 const LINK_BW: u64 = 117 * 1024 * 1024; // GbE
 const PKT: u64 = 1500;
@@ -28,7 +28,6 @@ const SENDERS: usize = 4;
 
 struct World {
     queues: Vec<TxQueue>,
-    rng: SimRng,
     /// Whether each sender is currently in a burst phase.
     bursting: Vec<bool>,
     link_busy_until: SimTime,
@@ -73,7 +72,7 @@ fn drain_link(w: &mut World, s: &mut Scheduler<World>) {
             w.sent_pkts += 1;
             w.delays_us_sum += w.queues[i].avg_delay().as_micros_f64();
             w.delays_n += 1;
-            s.schedule_at(w.link_busy_until, |w, s| drain_link(w, s));
+            s.schedule_at(w.link_busy_until, drain_link);
             return;
         }
     }
@@ -82,7 +81,6 @@ fn drain_link(w: &mut World, s: &mut Scheduler<World>) {
 fn run(collaborative: bool, initial_buf: u64) -> (f64, f64, u64) {
     let world = World {
         queues: (0..SENDERS).map(|_| TxQueue::new(initial_buf)).collect(),
-        rng: SimRng::new(7),
         bursting: vec![false; SENDERS],
         link_busy_until: SimTime::ZERO,
         link_busy_time: SimDuration::ZERO,
@@ -143,7 +141,8 @@ fn run(collaborative: bool, initial_buf: u64) -> (f64, f64, u64) {
                 };
                 w.rejected_before[i] = rejected_now;
                 let d = pol.borrow_mut().decide(&params, obs, util);
-                if std::env::var("IORCH_TRACE").is_ok() && i == 0 && s.now() < SimTime::from_secs(2) {
+                if std::env::var("IORCH_TRACE").is_ok() && i == 0 && s.now() < SimTime::from_secs(2)
+                {
                     eprintln!(
                         "    t={} util={util:.2} cap={} delta={} delay={} -> {d:?}",
                         s.now(),
@@ -174,8 +173,7 @@ fn run(collaborative: bool, initial_buf: u64) -> (f64, f64, u64) {
     } else {
         w.delays_us_sum / w.delays_n as f64 / 1000.0
     };
-    let rejected: u64 =
-        w.queues.iter().map(|q| q.rejected()).sum::<u64>() - w.rejected_settling;
+    let rejected: u64 = w.queues.iter().map(|q| q.rejected()).sum::<u64>() - w.rejected_settling;
     (goodput, avg_delay_ms, rejected)
 }
 

@@ -23,10 +23,7 @@ fn run(kind: SystemKind) -> LatencySummary {
     // 2. Two data-node VMs (2 VCPUs, 4 GB) forming one key-value store.
     let a = cl.create_domain(s, machine, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
     let b = cl.create_domain(s, machine, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
-    let nodes = [
-        VmRef { machine, dom: a },
-        VmRef { machine, dom: b },
-    ];
+    let nodes = [VmRef { machine, dom: a }, VmRef { machine, dom: b }];
 
     // 3. An update-heavy YCSB client at 2000 requests/second. The recorder
     //    collects op latencies after a 1-second warm-up.

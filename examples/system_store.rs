@@ -18,10 +18,10 @@ fn main() {
 
     // dom0 provisions per-domain subtrees, private to each owner.
     store
-        .mkdir(DOM0, &XenStore::domain_path(vm1), Perms::private_to(vm1))
+        .mkdir(DOM0, XenStore::domain_path(vm1), Perms::private_to(vm1))
         .unwrap();
     store
-        .mkdir(DOM0, &XenStore::domain_path(vm2), Perms::private_to(vm2))
+        .mkdir(DOM0, XenStore::domain_path(vm2), Perms::private_to(vm2))
         .unwrap();
 
     // Guests publish their collaborative state under their own subtree.
@@ -51,18 +51,26 @@ fn main() {
     let events = store.take_events();
     println!("\nwatch events after dom0 set flush_now=1:");
     for ev in &events {
-        println!("  -> watch {:?} owner=dom{} path={} value={:?}", ev.watch, ev.owner.0, ev.path, ev.value);
+        println!(
+            "  -> watch {:?} owner=dom{} path={} value={:?}",
+            ev.watch, ev.owner.0, ev.path, ev.value
+        );
     }
     assert!(events.iter().any(|e| e.watch == vm1_watch));
 
     // Transactions apply atomically or not at all.
     let txn = store.txn_begin();
     store.txn_write(txn, vm2, "/local/domain/2/a", "1").unwrap();
-    store.txn_write(txn, vm2, "/local/domain/1/evil", "1").unwrap();
+    store
+        .txn_write(txn, vm2, "/local/domain/1/evil", "1")
+        .unwrap();
     let result = store.txn_commit(txn);
     println!("\ntransaction with a cross-domain write -> {result:?}");
     assert!(result.is_err());
-    assert_eq!(store.read(DOM0, "/local/domain/2/a"), Err(StoreError::NotFound));
+    assert_eq!(
+        store.read(DOM0, "/local/domain/2/a"),
+        Err(StoreError::NotFound)
+    );
 
     // Anomaly detection: a guest hammering the store gets flagged.
     let mut detector = AnomalyDetector::new(AnomalyParams::default());
@@ -79,5 +87,9 @@ fn main() {
     );
     assert!(detector.is_flagged(vm2));
     assert!(!detector.is_flagged(vm1));
-    println!("store write counts: vm1={} vm2={}", store.write_count(vm1), store.write_count(vm2));
+    println!(
+        "store write counts: vm1={} vm2={}",
+        store.write_count(vm1),
+        store.write_count(vm2)
+    );
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: offline release build + the full test suite.
+# Tier-1 verification: offline release build + the full test suite,
+# plus formatting and lint gates (rustfmt, clippy with -D warnings).
 # This is the gate every PR must keep green (see ROADMAP.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline
+cargo clippy --workspace --offline --all-targets -- -D warnings
 cargo test -q --offline
 cargo test -q --offline --workspace
 echo "tier1 OK"

@@ -61,7 +61,9 @@ fn flush_choreography_drains_dirty_pages() {
         "0"
     );
     assert_eq!(
-        m.store.read(DOM0, "/local/domain/1/virt-dev/flush_now").unwrap(),
+        m.store
+            .read(DOM0, "/local/domain/1/virt-dev/flush_now")
+            .unwrap(),
         "0"
     );
     assert_eq!(m.domain(dom).unwrap().kernel.dirty_pages(), 0);

@@ -5,10 +5,11 @@ use std::rc::Rc;
 
 use iorchestra_suite::core::{FunctionSet, SystemKind};
 use iorchestra_suite::hypervisor::{Cluster, VmSpec};
-use iorchestra_suite::simcore::{SimDuration, SimTime, Simulation};
+use iorchestra_suite::simcore::{
+    FaultKind, FaultPlan, FaultWindow, SimDuration, SimTime, Simulation,
+};
 use iorchestra_suite::workloads::{
-    recorder, spawn_fileserver, spawn_webserver, spawn_ycsb, FsParams, VmRef, WsParams,
-    YcsbParams,
+    recorder, spawn_fileserver, spawn_webserver, spawn_ycsb, FsParams, VmRef, WsParams, YcsbParams,
 };
 
 fn store_sim(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usize) {
@@ -19,15 +20,35 @@ fn store_sim(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usize) {
 }
 
 fn run_ycsb(kind: SystemKind, seed: u64) -> (u64, SimDuration, SimDuration) {
+    run_ycsb_with_faults(kind, seed, None)
+}
+
+fn run_ycsb_with_faults(
+    kind: SystemKind,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> (u64, SimDuration, SimDuration) {
     let (mut sim, idx) = store_sim(kind, seed);
     let (cl, s) = sim.parts_mut();
     let a = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
     let b = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
+    if let Some(plan) = plan {
+        cl.install_faults(s, idx, plan);
+    }
     let rec = recorder(SimTime::from_millis(500));
     spawn_ycsb(
         cl,
         s,
-        &[VmRef { machine: idx, dom: a }, VmRef { machine: idx, dom: b }],
+        &[
+            VmRef {
+                machine: idx,
+                dom: a,
+            },
+            VmRef {
+                machine: idx,
+                dom: b,
+            },
+        ],
         None,
         YcsbParams::ycsb1(1200.0, seed),
         Rc::clone(&rec),
@@ -60,6 +81,30 @@ fn same_seed_is_bit_reproducible() {
 }
 
 #[test]
+fn same_seed_and_fault_plan_is_bit_reproducible() {
+    // A fault-injected run is still a pure function of (seed, plan): the
+    // plan schedules everything at install time, so two identical runs
+    // give byte-identical summaries — and the faults really bite (the
+    // degraded run differs from the clean one).
+    let plan = || {
+        FaultPlan::new()
+            .with(
+                FaultWindow::new(SimTime::from_millis(400), SimTime::from_millis(900)),
+                FaultKind::DeviceSlowdown { factor: 3.0 },
+            )
+            .with(
+                FaultWindow::new(SimTime::from_millis(1200), SimTime::from_millis(1400)),
+                FaultKind::DeviceStall,
+            )
+    };
+    let a = run_ycsb_with_faults(SystemKind::IOrchestra, 77, Some(plan()));
+    let b = run_ycsb_with_faults(SystemKind::IOrchestra, 77, Some(plan()));
+    assert_eq!(a, b, "identical (seed, FaultPlan) must replay bit-for-bit");
+    let clean = run_ycsb(SystemKind::IOrchestra, 77);
+    assert_ne!(a, clean, "the fault plan must actually perturb the run");
+}
+
+#[test]
 fn different_seeds_differ() {
     let a = run_ycsb(SystemKind::Baseline, 1);
     let b = run_ycsb(SystemKind::Baseline, 2);
@@ -79,7 +124,10 @@ fn dedicated_core_reads_beat_paravirt_overhead() {
         spawn_ycsb(
             cl,
             s,
-            &[VmRef { machine: idx, dom: a }],
+            &[VmRef {
+                machine: idx,
+                dom: a,
+            }],
             None,
             YcsbParams::ycsb2(1500.0, 5),
             Rc::clone(&rec),
@@ -107,7 +155,10 @@ fn policy_toggles_change_behaviour() {
         g.wb.periodic_interval = SimDuration::from_secs(2);
         g.wb.dirty_expire = SimDuration::from_secs(10);
     });
-    let vm = VmRef { machine: idx, dom: a };
+    let vm = VmRef {
+        machine: idx,
+        dom: a,
+    };
     let rec = recorder(SimTime::ZERO);
     spawn_fileserver(
         cl,

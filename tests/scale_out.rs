@@ -8,13 +8,18 @@ use iorchestra_suite::core::SystemKind;
 use iorchestra_suite::hypervisor::{Cluster, VmSpec};
 use iorchestra_suite::netsim::{NetParams, Network, NodeId};
 use iorchestra_suite::simcore::{SimTime, Simulation};
-use iorchestra_suite::workloads::{recorder, spawn_blast, spawn_ycsb, BlastParams, VmRef, YcsbParams};
+use iorchestra_suite::workloads::{
+    recorder, spawn_blast, spawn_ycsb, BlastParams, VmRef, YcsbParams,
+};
 
 #[test]
 fn blast_runs_across_four_machines() {
     let mut sim = Simulation::new(Cluster::new());
     let machines = 4;
-    let net = Rc::new(RefCell::new(Network::new(machines + 1, NetParams::default())));
+    let net = Rc::new(RefCell::new(Network::new(
+        machines + 1,
+        NetParams::default(),
+    )));
     let mut workers = Vec::new();
     let mut ids = Vec::new();
     for m in 0..machines {
@@ -45,7 +50,9 @@ fn blast_runs_across_four_machines() {
     assert!(r.finished, "all three queries must complete");
     assert!(r.ops > 0);
     // Coordination traffic flowed: each worker reported per query.
-    let sent: u64 = (0..machines).map(|m| net.borrow().msgs_sent(NodeId(m))).sum();
+    let sent: u64 = (0..machines)
+        .map(|m| net.borrow().msgs_sent(NodeId(m)))
+        .sum();
     assert!(sent >= 3 * machines as u64, "sent={sent}");
 }
 
