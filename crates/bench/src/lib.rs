@@ -9,5 +9,6 @@
 
 pub mod runner;
 pub mod timing;
+pub mod tracereplay;
 
 pub use runner::*;

@@ -1,0 +1,267 @@
+//! Deterministic trace replay: named fault scenarios that any debugging
+//! session can re-run from a `(SystemKind, seed, scenario)` tuple and get
+//! a byte-identical event timeline out of.
+//!
+//! Each scenario builds a cluster, installs a [`FaultPlan`], runs the
+//! simulation under an installed trace recorder and returns the recorded
+//! events. The `tracedump` binary renders them as a human-readable
+//! timeline, a decision log, or Chrome `about:tracing` JSON. The presets
+//! mirror the fault-injection suite (`tests/faults.rs`) so a failing
+//! scenario there can be replayed here with full event visibility.
+
+use std::rc::Rc;
+
+use iorch_guestos::{FileOp, GuestConfig};
+use iorch_hypervisor::{Cluster, DomainId, Sched, VmSpec};
+use iorch_simcore::trace::{TraceEvent, TraceSession};
+use iorch_simcore::{FaultKind, FaultPlan, FaultWindow, SimDuration, SimTime, Simulation};
+use iorch_workloads::{recorder, spawn_multistream, MultiStreamParams, Rec, VmRef};
+use iorchestra::SystemKind;
+
+/// Named scenarios: `(name, one-line description)`.
+pub const SCENARIOS: &[(&str, &str)] = &[
+    (
+        "mixed8",
+        "8 domains: readers driving congestion, dirty writers flushed, a store hammer quarantined",
+    ),
+    (
+        "unresponsive_flush",
+        "a guest ignores flush_now: timeout, fallback to the next-dirtiest, quarantine",
+    ),
+    (
+        "store_hammer",
+        "a guest hammers the system store and is quarantined while a co-resident keeps working",
+    ),
+    (
+        "device_stall",
+        "the device stalls completions for 400 ms mid-run; the workload must resume",
+    ),
+];
+
+/// Parse a system name as accepted by the `tracedump` CLI.
+pub fn parse_system(name: &str) -> Option<SystemKind> {
+    Some(match name {
+        "baseline" => SystemKind::Baseline,
+        "sdc" => SystemKind::Sdc,
+        "dif" => SystemKind::Dif,
+        "iorchestra" => SystemKind::IOrchestra,
+        _ => return None,
+    })
+}
+
+/// Run `scenario` under a trace recorder and return the recorded events.
+/// Returns `None` for an unknown scenario name. With tracing compiled
+/// out (`--cfg iorch_trace_off`) the scenario still runs but the event
+/// list is empty.
+pub fn run_scenario(kind: SystemKind, seed: u64, scenario: &str) -> Option<Vec<TraceEvent>> {
+    let session = TraceSession::new();
+    let known = match scenario {
+        "mixed8" => {
+            mixed8(kind, seed);
+            true
+        }
+        "unresponsive_flush" => {
+            unresponsive_flush(kind, seed);
+            true
+        }
+        "store_hammer" => {
+            store_hammer(kind, seed);
+            true
+        }
+        "device_stall" => {
+            device_stall(kind, seed);
+            true
+        }
+        _ => false,
+    };
+    let rec = session.finish();
+    known.then(|| rec.into_events())
+}
+
+fn sim_with(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usize) {
+    let mut sim = Simulation::new(Cluster::new());
+    let (cl, s) = sim.parts_mut();
+    let idx = kind.provision(cl, s, seed);
+    (sim, idx)
+}
+
+/// Stock (slow) writeback clocks: only the collaborative flush can drain
+/// dirty pages within the few simulated seconds a scenario runs.
+fn slow_wb(g: &mut GuestConfig) {
+    g.wb.periodic_interval = SimDuration::from_secs(30);
+    g.wb.dirty_expire = SimDuration::from_secs(60);
+}
+
+/// Dirty `mb` MiB of page cache in `dom` (a buffered write, no sync).
+fn dirty_mb(cl: &mut Cluster, s: &mut Sched, idx: usize, dom: DomainId, mb: u64) {
+    let file = cl
+        .machine_mut(idx)
+        .kernel_mut(dom)
+        .unwrap()
+        .create_file((4 * mb) << 20)
+        .unwrap();
+    cl.submit_op(
+        s,
+        idx,
+        dom,
+        0,
+        FileOp::Write {
+            file,
+            offset: 0,
+            len: mb << 20,
+        },
+        None,
+    );
+}
+
+/// A reader VM with a small request queue and deep readahead — the
+/// congestion-query workhorse from the fault suite.
+fn greedy_reader(cl: &mut Cluster, s: &mut Sched, idx: usize, seed: u64, rec: &Rec) -> DomainId {
+    let dom = cl.create_domain(s, idx, VmSpec::new(4, 4).with_disk_gb(20), |g| {
+        g.queue.nr_requests = 64;
+        g.readahead_chunks = 16;
+    });
+    spawn_multistream(
+        cl,
+        s,
+        VmRef { machine: idx, dom },
+        MultiStreamParams {
+            streams: 8,
+            file_size: 1 << 30,
+            read_size: 4 << 20,
+            first_vcpu: 0,
+            seed,
+        },
+        Rc::clone(rec),
+    );
+    dom
+}
+
+/// The 8-domain showcase: three greedy readers (congestion queries →
+/// release / confirm decisions), three slow-writeback dirty writers
+/// (collaborative flush decisions), one store hammer (quarantine), and
+/// one light reader for background traffic.
+fn mixed8(kind: SystemKind, seed: u64) {
+    let (mut sim, idx) = sim_with(kind, seed);
+    let (cl, s) = sim.parts_mut();
+    let rec = recorder(SimTime::ZERO);
+    for v in 0..3u64 {
+        greedy_reader(cl, s, idx, seed ^ v, &rec);
+    }
+    for mb in [16u64, 12, 8] {
+        let dom = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
+        dirty_mb(cl, s, idx, dom, mb);
+    }
+    let evil = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(8), |_| {});
+    let light = cl.create_domain(s, idx, VmSpec::new(2, 2).with_disk_gb(8), |_| {});
+    spawn_multistream(
+        cl,
+        s,
+        VmRef {
+            machine: idx,
+            dom: light,
+        },
+        MultiStreamParams {
+            streams: 2,
+            file_size: 256 << 20,
+            read_size: 1 << 20,
+            first_vcpu: 0,
+            seed: seed ^ 7,
+        },
+        Rc::clone(&rec),
+    );
+    let plan = FaultPlan::new().with(
+        FaultWindow::new(SimTime::ZERO, SimTime::from_millis(1500)),
+        FaultKind::StoreHammer {
+            dom: evil.0,
+            period: SimDuration::from_micros(200),
+        },
+    );
+    cl.install_faults(s, idx, plan);
+    // Phase 1: readers saturate the device (congestion queries, release /
+    // confirm decisions) while the hammer earns its quarantine.
+    sim.run_until(SimTime::from_millis(1200));
+    // Phase 2: stop the readers so the device drains and goes quiet —
+    // Algorithm 1 only flushes an idle device — and let the collaborative
+    // flush work through the dirty writers.
+    rec.borrow_mut().stopped = true;
+    sim.run_until(SimTime::from_millis(4000));
+}
+
+/// Mirror of `unresponsive_guest_flush_falls_back_and_quarantines`.
+fn unresponsive_flush(kind: SystemKind, seed: u64) {
+    let (mut sim, idx) = sim_with(kind, seed);
+    let (cl, s) = sim.parts_mut();
+    let slacker = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
+    let _healthy = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
+    dirty_mb(cl, s, idx, slacker, 16);
+    dirty_mb(cl, s, idx, _healthy, 8);
+    let plan = FaultPlan::new().with(
+        FaultWindow::always(),
+        FaultKind::IgnoreFlushNow { dom: slacker.0 },
+    );
+    cl.install_faults(s, idx, plan);
+    sim.run_until(SimTime::from_secs(8));
+}
+
+/// Mirror of `store_hammer_is_quarantined_and_operator_clear_restores`
+/// (without the operator clear — the quarantine decision is the point).
+fn store_hammer(kind: SystemKind, seed: u64) {
+    let (mut sim, idx) = sim_with(kind, seed);
+    let (cl, s) = sim.parts_mut();
+    let evil = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(8), |_| {});
+    let good = cl.create_domain(s, idx, VmSpec::new(2, 2).with_disk_gb(8), |_| {});
+    let rec = recorder(SimTime::ZERO);
+    spawn_multistream(
+        cl,
+        s,
+        VmRef {
+            machine: idx,
+            dom: good,
+        },
+        MultiStreamParams {
+            streams: 2,
+            file_size: 256 << 20,
+            read_size: 1 << 20,
+            first_vcpu: 0,
+            seed,
+        },
+        Rc::clone(&rec),
+    );
+    let plan = FaultPlan::new().with(
+        FaultWindow::new(SimTime::ZERO, SimTime::from_millis(1500)),
+        FaultKind::StoreHammer {
+            dom: evil.0,
+            period: SimDuration::from_micros(200),
+        },
+    );
+    cl.install_faults(s, idx, plan);
+    sim.run_until(SimTime::from_secs(2));
+}
+
+/// Mirror of `device_stall_is_survived`.
+fn device_stall(kind: SystemKind, seed: u64) {
+    let (mut sim, idx) = sim_with(kind, seed);
+    let (cl, s) = sim.parts_mut();
+    let dom = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
+    let rec = recorder(SimTime::ZERO);
+    spawn_multistream(
+        cl,
+        s,
+        VmRef { machine: idx, dom },
+        MultiStreamParams {
+            streams: 4,
+            file_size: 1 << 30,
+            read_size: 1 << 20,
+            first_vcpu: 0,
+            seed,
+        },
+        Rc::clone(&rec),
+    );
+    let plan = FaultPlan::new().with(
+        FaultWindow::new(SimTime::from_millis(200), SimTime::from_millis(600)),
+        FaultKind::DeviceStall,
+    );
+    cl.install_faults(s, idx, plan);
+    sim.run_until(SimTime::from_millis(2500));
+}

@@ -1,0 +1,82 @@
+//! The trace layer's core contract: a replay is a pure function of
+//! `(system, seed, scenario)` — two runs produce byte-identical dumps —
+//! and the showcase scenario actually exercises every decision family
+//! the paper's algorithms emit.
+
+use iorch_bench::tracereplay::{parse_system, run_scenario};
+use iorch_simcore::trace;
+use iorchestra::SystemKind;
+
+#[test]
+fn mixed8_replay_is_byte_identical_and_shows_the_decisions() {
+    if !trace::COMPILED {
+        return; // built with --cfg iorch_trace_off
+    }
+    let seed = 42;
+    let a = run_scenario(SystemKind::IOrchestra, seed, "mixed8").unwrap();
+    let b = run_scenario(SystemKind::IOrchestra, seed, "mixed8").unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(
+        trace::render_timeline(&a),
+        trace::render_timeline(&b),
+        "same (system, seed, scenario) must give a byte-identical timeline"
+    );
+    assert_eq!(trace::chrome_json(&a), trace::chrome_json(&b));
+
+    // The full request lifecycle is visible in one dump...
+    let timeline = trace::render_timeline(&a);
+    for needle in [
+        "ring_push",
+        "drr_visit",
+        "device dispatch",
+        "device complete",
+        "block_complete",
+        "store_write",
+        "xenbus_deliver",
+    ] {
+        assert!(timeline.contains(needle), "{needle} missing from timeline");
+    }
+    // ...and so is every decision family Algorithms 1–3 emit.
+    let decisions = trace::render_decision_log(&a);
+    for needle in [
+        "flush_now",
+        "flush_ack",
+        "release_granted",
+        "congestion_confirmed",
+        "quarantine",
+        "weight_push",
+    ] {
+        assert!(
+            decisions.contains(needle),
+            "{needle} missing from decision log"
+        );
+    }
+}
+
+#[test]
+fn every_scenario_replays_identically_under_every_system() {
+    if !trace::COMPILED {
+        return;
+    }
+    for (scenario, _) in iorch_bench::tracereplay::SCENARIOS {
+        if *scenario == "mixed8" {
+            continue; // covered (more deeply) above; keep runtime down
+        }
+        for name in ["baseline", "iorchestra"] {
+            let kind = parse_system(name).unwrap();
+            let a = run_scenario(kind, 7, scenario).unwrap();
+            let b = run_scenario(kind, 7, scenario).unwrap();
+            assert_eq!(
+                trace::render_timeline(&a),
+                trace::render_timeline(&b),
+                "{name}/{scenario} diverged between two replays"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_scenarios_and_systems_are_rejected() {
+    assert!(run_scenario(SystemKind::IOrchestra, 1, "nope").is_none());
+    assert!(parse_system("xen").is_none());
+}

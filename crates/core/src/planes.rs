@@ -19,7 +19,8 @@ use iorch_guestos::KernelSignal;
 use iorch_hypervisor::{
     Cluster, ControlPlane, DomainId, Machine, Sched, StorePath, WatchEvent, DOM0,
 };
-use iorch_simcore::{SimDuration, SimRng, SimTime};
+use iorch_simcore::trace::{Decision, TraceEventKind};
+use iorch_simcore::{trace_event, SimDuration, SimRng, SimTime};
 
 use crate::anomaly::{AnomalyDetector, AnomalyParams};
 use crate::formulas::{
@@ -107,12 +108,12 @@ impl ControlPlane for BaselinePlane {
     fn on_kernel_signal(
         &mut self,
         m: &mut Machine,
-        _s: &mut Sched,
+        s: &mut Sched,
         dom: DomainId,
         sig: KernelSignal,
     ) {
         if sig == KernelSignal::CongestionQuery {
-            m.cp_enter_congestion(dom);
+            m.cp_enter_congestion(s, dom);
         }
     }
 }
@@ -155,12 +156,12 @@ impl ControlPlane for DifPlane {
     fn on_kernel_signal(
         &mut self,
         m: &mut Machine,
-        _s: &mut Sched,
+        s: &mut Sched,
         dom: DomainId,
         sig: KernelSignal,
     ) {
         if sig == KernelSignal::CongestionQuery {
-            m.cp_enter_congestion(dom);
+            m.cp_enter_congestion(s, dom);
         }
     }
 
@@ -338,20 +339,29 @@ impl IOrchestraPlane {
     /// Quarantine a domain: drop it from every collaborative queue and
     /// revert it to Baseline behaviour (graceful degradation) until an
     /// operator clears it.
-    fn quarantine(&mut self, dom: DomainId) {
+    fn quarantine(&mut self, dom: DomainId, now: SimTime, reason: &'static str) {
         if self.quarantined.insert(dom) {
             self.stats.quarantines += 1;
             self.congested_fifo.retain(|&d| d != dom);
             self.flush_in_progress.remove(&dom);
             self.flush_backoff_until.remove(&dom);
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::Quarantine { dom: dom.0, reason })
+            );
         }
     }
 
     /// Operator clear (a dom0 write of `"1"` to
     /// `/iorchestra/control/<id>/clear`): forgive history and restore
     /// collaboration.
-    fn clear_quarantine(&mut self, dom: DomainId) {
-        self.quarantined.remove(&dom);
+    fn clear_quarantine(&mut self, dom: DomainId, now: SimTime) {
+        if self.quarantined.remove(&dom) {
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::QuarantineCleared { dom: dom.0 })
+            );
+        }
         self.anomaly.clear(dom);
         self.flush_fail_streak.remove(&dom);
         self.flush_backoff_until.remove(&dom);
@@ -391,6 +401,10 @@ impl IOrchestraPlane {
         }
         let now = s.now();
         let mut best: Option<(u64, DomainId)> = None;
+        // Eligible (dom, nr_dirty) pairs, recorded as the decision's input
+        // when tracing is on (the Vec is only built inside the trace arm).
+        let mut candidates: Vec<(u32, u64)> = Vec::new();
+        let tracing = iorch_simcore::trace::enabled();
         for dom in m.domain_ids() {
             // Skip domains with a flush in flight, in post-timeout backoff,
             // or quarantined — the argmax over the rest IS the fallback to
@@ -416,14 +430,25 @@ impl IOrchestraPlane {
                 .ok()
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(0);
+            if tracing {
+                candidates.push((dom.0, nr));
+            }
             if best.is_none_or(|(bn, _)| nr > bn) {
                 best = Some((nr, dom));
             }
         }
-        if let Some((_, dom)) = best {
+        if let Some((nr_dirty, dom)) = best {
             self.flush_in_progress
                 .insert(dom, now + self.cfg.flush_ack_timeout);
             self.stats.flushes_triggered += 1;
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::FlushNow {
+                    dom: dom.0,
+                    nr_dirty,
+                    candidates,
+                })
+            );
             let k = Self::keys_for(&mut self.domain_keys, dom);
             let _ = m.store.write(DOM0, &k.flush_now, val::one());
         }
@@ -444,12 +469,19 @@ impl IOrchestraPlane {
             self.flush_in_progress.remove(&dom);
             self.stats.flush_timeouts += 1;
             *self.flush_timeouts_by_dom.entry(dom).or_insert(0) += 1;
-            let streak = self.flush_fail_streak.entry(dom).or_insert(0);
-            *streak += 1;
-            if *streak >= self.cfg.flush_max_retries {
-                self.quarantine(dom);
+            let streak = {
+                let s = self.flush_fail_streak.entry(dom).or_insert(0);
+                *s += 1;
+                *s
+            };
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::FlushTimeout { dom: dom.0, streak })
+            );
+            if streak >= self.cfg.flush_max_retries {
+                self.quarantine(dom, now, "flush-timeout streak");
             } else {
-                let shift = (*streak - 1).min(6);
+                let shift = (streak - 1).min(6);
                 self.flush_backoff_until
                     .insert(dom, now + self.cfg.flush_retry_backoff * (1u64 << shift));
             }
@@ -498,10 +530,23 @@ impl IOrchestraPlane {
         }
         let idx = m.idx;
         let mut offset = SimDuration::ZERO;
+        let now = s.now();
         for dom in std::mem::take(&mut self.congested_fifo) {
-            offset +=
-                SimDuration::from_millis(self.rng.range(0, self.cfg.wake_interleave_max_ms.max(1)));
+            // `wake_interleave_max_ms == 0` means a true simultaneous wake
+            // (the DESIGN.md §5 "no interleave" ablation point): no draw at
+            // all, so the RNG stream is untouched too.
+            if self.cfg.wake_interleave_max_ms > 0 {
+                offset +=
+                    SimDuration::from_millis(self.rng.range(0, self.cfg.wake_interleave_max_ms));
+            }
             self.stats.staggered_wakeups += 1;
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::StaggeredWake {
+                    dom: dom.0,
+                    offset_ms: offset.as_millis(),
+                })
+            );
             let congested_key = Self::keys_for(&mut self.domain_keys, dom).congested.clone();
             s.schedule_in(offset, move |cl: &mut Cluster, s| {
                 cl.cp_action(s, idx, move |m, s| {
@@ -574,6 +619,13 @@ impl IOrchestraPlane {
             }
             pushed = true;
             self.stats.weight_pushes += 1;
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::WeightPush {
+                    dom: dom.0,
+                    weights: route.clone(),
+                })
+            );
             self.last_route_weights.insert(dom, route.clone());
             // Publish to the store (the guests' registered callbacks pick
             // these up; for the simulated guests the machine applies them
@@ -653,7 +705,7 @@ impl ControlPlane for IOrchestraPlane {
             // Baseline behaviour — congestion means sleeping, and nothing
             // it does touches the store or the collaborative queues.
             if sig == KernelSignal::CongestionQuery {
-                m.cp_enter_congestion(dom);
+                m.cp_enter_congestion(s, dom);
             }
             return;
         }
@@ -675,11 +727,11 @@ impl ControlPlane for IOrchestraPlane {
                     // arrives a store-round-trip later. This is a control
                     // key: it always publishes, because the management
                     // module must re-answer even a repeated query.
-                    m.cp_enter_congestion(dom);
+                    m.cp_enter_congestion(s, dom);
                     let k = Self::keys_for(&mut self.domain_keys, dom);
                     Self::guest_write(m, dom, &k.congested, val::one());
                 } else {
-                    m.cp_enter_congestion(dom);
+                    m.cp_enter_congestion(s, dom);
                 }
             }
             KernelSignal::CongestionCleared => {
@@ -705,7 +757,7 @@ impl ControlPlane for IOrchestraPlane {
                 && keys::is_key(&ev.path, "clear")
                 && ev.value.as_deref() == Some("1")
             {
-                self.clear_quarantine(dom);
+                self.clear_quarantine(dom, s.now());
             }
             return;
         }
@@ -727,19 +779,38 @@ impl ControlPlane for IOrchestraPlane {
                     // Host really is overcrowded: the guest stays asleep
                     // and is woken FIFO on relief.
                     self.stats.congestions_confirmed += 1;
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::Decision(Decision::CongestionConfirmed {
+                            dom: dom.0,
+                            host_qdepth: m.storage.queue_depth() as u32,
+                        })
+                    );
                     if !self.congested_fifo.contains(&dom) {
                         self.congested_fifo.push(dom);
                     }
                 } else {
                     // False trigger: release the request queue.
                     self.stats.releases_granted += 1;
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::Decision(Decision::ReleaseGranted {
+                            dom: dom.0,
+                            host_qdepth: m.storage.queue_depth() as u32,
+                        })
+                    );
                     let k = Self::keys_for(&mut self.domain_keys, dom);
                     let _ = m.store.write(DOM0, &k.release_request, val::one());
                 }
             } else if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("0") {
                 // The guest acked (wrote flush_now back to 0): the flush
                 // completed, so the domain is in good standing again.
-                self.flush_in_progress.remove(&dom);
+                if self.flush_in_progress.remove(&dom).is_some() {
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::Decision(Decision::FlushAck { dom: dom.0 })
+                    );
+                }
                 self.flush_fail_streak.remove(&dom);
                 self.flush_backoff_until.remove(&dom);
             }
@@ -773,17 +844,18 @@ impl ControlPlane for IOrchestraPlane {
             if self.quarantined.contains(&dom) {
                 continue;
             }
-            if delta > 0 {
-                self.anomaly.on_writes(dom, delta, now);
+            if delta > 0 && self.anomaly.on_writes(dom, delta, now) {
+                self.quarantine(dom, now, "write-rate budget");
             }
-            if denied_delta > 0 {
-                self.anomaly.on_denied(dom, denied_delta, now);
+            if denied_delta > 0 && self.anomaly.on_denied(dom, denied_delta, now) {
+                self.quarantine(dom, now, "denied-rate budget");
             }
         }
         // Consequence of a flag: quarantine (Baseline behaviour, keys
-        // ignored) until an operator clears it.
+        // ignored) until an operator clears it. Usually already handled
+        // above; this catches domains still flagged from older windows.
         for dom in self.anomaly.flagged() {
-            self.quarantine(dom);
+            self.quarantine(dom, now, "anomaly flag");
         }
         // Unacked flush commands lose their slot, with backoff/quarantine.
         self.expire_flush_deadlines(now);
@@ -846,5 +918,56 @@ mod tests {
         assert!(IOrchestraPlane::new(IOrchestraConfig::new(1))
             .tick_period()
             .is_some());
+    }
+
+    /// Regression: `wake_interleave_max_ms == 0` means a true simultaneous
+    /// wake — zero offset for every woken domain and no RNG draw at all
+    /// (the old code clamped the draw bound to 1 and still consumed the
+    /// stream, so "no interleave" silently became "0–1 ms interleave").
+    #[test]
+    fn interleave_zero_is_simultaneous_and_draws_no_rng() {
+        use iorch_hypervisor::{IoPathMode, MachineConfig, VmSpec};
+        use iorch_simcore::{gen, Simulation};
+
+        gen::for_each_seed(0x1A_0001, 16, |seed, rng| {
+            let doms = 2 + rng.below(6);
+            let mut sim = Simulation::new(Cluster::new());
+            let (cl, s) = sim.parts_mut();
+            let idx = cl.add_machine(MachineConfig::paper_testbed(seed, IoPathMode::Paravirt));
+            let mut cfg = IOrchestraConfig::new(seed);
+            cfg.wake_interleave_max_ms = 0;
+            let mut plane = IOrchestraPlane::new(cfg);
+            let mut ids = Vec::new();
+            for _ in 0..doms {
+                ids.push(cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(4), |_| {}));
+            }
+            plane.congested_fifo = ids;
+            let mut pristine = plane.rng.clone();
+            let session = iorch_simcore::trace::TraceSession::new();
+            plane.run_congestion_relief(cl.machine_mut(idx), s);
+            let rec = session.finish();
+            assert_eq!(plane.stats.staggered_wakeups, doms, "seed {seed}");
+            assert!(plane.congested_fifo.is_empty(), "seed {seed}");
+            // The RNG stream is untouched: the next draw matches a clone
+            // taken before the relief ran.
+            assert_eq!(
+                pristine.next_u64(),
+                plane.rng.next_u64(),
+                "seed {seed}: interleave 0 consumed the RNG stream"
+            );
+            if iorch_simcore::trace::COMPILED {
+                let offsets: Vec<u64> = rec
+                    .into_events()
+                    .iter()
+                    .filter_map(|e| match &e.kind {
+                        TraceEventKind::Decision(Decision::StaggeredWake { offset_ms, .. }) => {
+                            Some(*offset_ms)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(offsets, vec![0; doms as usize], "seed {seed}");
+            }
+        });
     }
 }

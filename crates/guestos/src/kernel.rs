@@ -12,7 +12,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use iorch_simcore::SimTime;
+use iorch_simcore::trace::TraceEventKind;
+use iorch_simcore::{trace_event, SimTime};
 use iorch_storage::{IoKind, IoRequest, RequestId, RequestIdAlloc, StreamId};
 
 use crate::pagecache::{chunks_of, ChunkIdx, PageCache, CHUNK_PAGES, CHUNK_SIZE, PAGE_SIZE};
@@ -244,10 +245,12 @@ pub struct GuestKernel {
 impl GuestKernel {
     /// Boot a guest kernel at time `now`.
     pub fn new(cfg: GuestConfig, now: SimTime) -> Self {
+        let mut queue = GuestQueue::new(cfg.queue);
+        queue.set_trace_tag(cfg.stream.0);
         GuestKernel {
             vfs: Vfs::new(cfg.vdisk_size),
             cache: PageCache::new(cfg.cache_pages()),
-            queue: GuestQueue::new(cfg.queue),
+            queue,
             wb: Writeback::new(cfg.wb, now),
             ids: RequestIdAlloc::new(),
             next_op: 0,
@@ -517,6 +520,16 @@ impl GuestKernel {
     fn start_sync(&mut self, now: SimTime) -> OpId {
         self.stats.syncs += 1;
         let taken = self.wb.on_sync(&mut self.cache);
+        if !taken.is_empty() {
+            trace_event!(
+                now,
+                TraceEventKind::WritebackIssue {
+                    dom: self.cfg.stream.0,
+                    pages: taken.len() as u64 * CHUNK_PAGES,
+                    remote: false,
+                }
+            );
+        }
         let runs = coalesce_chunks(taken, 16);
         if !runs.is_empty() {
             self.unplug_now = true;
@@ -554,6 +567,14 @@ impl GuestKernel {
             self.housekeeping(now);
             return;
         }
+        trace_event!(
+            now,
+            TraceEventKind::WritebackIssue {
+                dom: self.cfg.stream.0,
+                pages: taken.len() as u64 * CHUNK_PAGES,
+                remote: true,
+            }
+        );
         self.unplug_now = true;
         for run in coalesce_chunks(taken, 16) {
             let (off, rlen) = run_to_bytes(run);
@@ -581,6 +602,16 @@ impl GuestKernel {
         remote: bool,
         now: SimTime,
     ) {
+        if !chunks.is_empty() {
+            trace_event!(
+                now,
+                TraceEventKind::WritebackIssue {
+                    dom: self.cfg.stream.0,
+                    pages: chunks.len() as u64 * CHUNK_PAGES,
+                    remote,
+                }
+            );
+        }
         for run in coalesce_chunks(chunks, 16) {
             let (off, rlen) = run_to_bytes(run);
             let chunks: Vec<ChunkIdx> = (run.0..run.0 + run.1).collect();
@@ -625,7 +656,7 @@ impl GuestKernel {
 
     /// A block request this guest issued completed at the device.
     pub fn on_block_complete(&mut self, id: RequestId, now: SimTime) {
-        self.queue.on_complete(1);
+        self.queue.on_complete(1, now);
         if let Some(owner) = self.owners.remove(&id) {
             match owner {
                 ReqOwner::OpRead { op, chunks } => {
@@ -678,8 +709,8 @@ impl GuestKernel {
 
     /// Baseline response to [`KernelSignal::CongestionQuery`]: sleep
     /// submitters until the off threshold.
-    pub fn enter_congestion(&mut self) {
-        self.queue.enter_congestion();
+    pub fn enter_congestion(&mut self, now: SimTime) {
+        self.queue.enter_congestion(now);
     }
 
     /// Collaborative response: the host is not congested; unplug and keep
@@ -690,13 +721,17 @@ impl GuestKernel {
             // guest stays asleep until normal queue hysteresis wakes it.
             return;
         }
-        self.queue.grant_bypass();
+        self.queue.grant_bypass(now);
         self.housekeeping(now);
     }
 
-    /// The host became congested after all; stop bypassing.
-    pub fn revoke_bypass(&mut self) {
-        self.queue.revoke_bypass();
+    /// The host became congested after all; stop bypassing. Runs
+    /// housekeeping so a re-raised congestion query (queue still at/above
+    /// the on threshold) surfaces as a signal immediately instead of
+    /// waiting for the next submission.
+    pub fn revoke_bypass(&mut self, now: SimTime) {
+        self.queue.revoke_bypass(now);
+        self.housekeeping(now);
     }
 
     fn housekeeping(&mut self, now: SimTime) {
@@ -1022,7 +1057,7 @@ mod tests {
             ring.extend(out.to_ring.iter().map(|r| r.id));
             if out.signals.contains(&KernelSignal::CongestionQuery) {
                 signalled = true;
-                k.enter_congestion();
+                k.enter_congestion(t(0));
             }
         }
         assert!(signalled, "congestion query never fired");

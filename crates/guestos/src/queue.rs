@@ -11,8 +11,9 @@
 
 use std::collections::VecDeque;
 
-use iorch_simcore::{SimDuration, SimTime};
-use iorch_storage::IoRequest;
+use iorch_simcore::trace::TraceEventKind;
+use iorch_simcore::{trace_event, SimDuration, SimTime};
+use iorch_storage::{IoKind, IoRequest};
 
 /// Linux default queue depth.
 pub const NR_REQUESTS: usize = 128;
@@ -93,8 +94,15 @@ pub struct GuestQueue {
     /// Collaborative bypass: ignore the descriptor limit until allocation
     /// falls below the off threshold again.
     bypass: bool,
+    /// Latch: a [`QueueEvent::CongestionWouldEnter`] has been raised and
+    /// not yet answered (`enter_congestion`/`grant_bypass`) nor voided by
+    /// allocation dropping below the off threshold. Prevents duplicate
+    /// host queries per plug batch.
+    query_outstanding: bool,
     plug_deadline: Option<SimTime>,
     events: Vec<QueueEvent>,
+    /// Domain tag stamped on trace events (the guest's stream id).
+    tag: u32,
     // Statistics.
     congestion_entries: u64,
     bypass_grants: u64,
@@ -111,12 +119,19 @@ impl GuestQueue {
             dispatched: 0,
             congested: false,
             bypass: false,
+            query_outstanding: false,
             plug_deadline: None,
             events: Vec::new(),
             congestion_entries: 0,
             bypass_grants: 0,
             merged: 0,
+            tag: 0,
         }
+    }
+
+    /// Set the domain tag stamped on this queue's trace events.
+    pub fn set_trace_tag(&mut self, tag: u32) {
+        self.tag = tag;
     }
 
     /// Allocated descriptors: plugged + dispatched-not-completed.
@@ -157,10 +172,24 @@ impl GuestQueue {
     /// Try to submit a request at `now`.
     pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Submit {
         if self.congested {
+            trace_event!(
+                now,
+                TraceEventKind::QueueBlocked {
+                    dom: self.tag,
+                    req: req.id.0,
+                }
+            );
             return Submit::Blocked;
         }
         if self.bypass && self.allocated() >= self.params.bypass_hard_limit {
             // Even collaboration has a ceiling; fall back to blocking.
+            trace_event!(
+                now,
+                TraceEventKind::QueueBlocked {
+                    dom: self.tag,
+                    req: req.id.0,
+                }
+            );
             return Submit::Blocked;
         }
         // Elevator back-merge into the plugged tail.
@@ -168,26 +197,56 @@ impl GuestQueue {
             if tail.can_back_merge(&req) && tail.len + req.len <= self.params.max_merged_len {
                 tail.len += req.len;
                 self.merged += 1;
+                trace_event!(
+                    now,
+                    TraceEventKind::QueueMerge {
+                        dom: self.tag,
+                        req: req.id.0,
+                        len: req.len,
+                    }
+                );
                 return Submit::Accepted;
             }
         }
         if self.queued.is_empty() {
             self.plug_deadline = Some(now + self.params.plug_delay);
         }
+        trace_event!(
+            now,
+            TraceEventKind::QueueSubmit {
+                dom: self.tag,
+                req: req.id.0,
+                write: matches!(req.kind, IoKind::Write),
+                len: req.len,
+            }
+        );
         self.queued.push_back(req);
         let on = congestion_on_threshold(self.params.nr_requests);
-        if !self.bypass && !self.congested && self.allocated() >= on {
+        if !self.bypass && !self.congested && !self.query_outstanding && self.allocated() >= on {
+            // Latch until answered or allocation falls below the off
+            // threshold: one unanswered query at a time.
+            self.query_outstanding = true;
             self.events.push(QueueEvent::CongestionWouldEnter);
+            trace_event!(
+                now,
+                TraceEventKind::CongestionQuery {
+                    dom: self.tag,
+                    allocated: self.allocated() as u32,
+                }
+            );
         }
         Submit::Accepted
     }
 
     /// Baseline answer to [`QueueEvent::CongestionWouldEnter`]: set the
     /// congestion flag; submitters sleep until the off threshold.
-    pub fn enter_congestion(&mut self) {
+    pub fn enter_congestion(&mut self, now: SimTime) {
+        // The outstanding query is answered either way.
+        self.query_outstanding = false;
         if !self.congested {
             self.congested = true;
             self.congestion_entries += 1;
+            trace_event!(now, TraceEventKind::CongestionEnter { dom: self.tag });
         }
     }
 
@@ -195,23 +254,45 @@ impl GuestQueue {
     /// keep the pipe full instead of sleeping (`release_request`). Clears
     /// an active congestion flag and wakes sleepers — the paper's "notify
     /// VMi to flush devj's request queue; congested = 0".
-    pub fn grant_bypass(&mut self) {
+    pub fn grant_bypass(&mut self, now: SimTime) {
+        self.query_outstanding = false;
         if self.congested {
             self.congested = false;
             self.events.push(QueueEvent::Uncongested);
+            trace_event!(now, TraceEventKind::CongestionClear { dom: self.tag });
         }
         if !self.bypass {
             self.bypass = true;
             self.bypass_grants += 1;
+            trace_event!(now, TraceEventKind::BypassGrant { dom: self.tag });
         }
         // An explicit unplug comes with the release.
         self.plug_deadline = Some(SimTime::ZERO);
     }
 
     /// The host *became* congested while a bypass was active; revert to
-    /// normal congestion behaviour.
-    pub fn revoke_bypass(&mut self) {
+    /// normal congestion behaviour. If allocation still sits at/above the
+    /// on threshold the congestion-avoidance query is re-raised — without
+    /// it a full queue would neither sleep nor re-query until the next
+    /// submission.
+    pub fn revoke_bypass(&mut self, now: SimTime) {
+        let was_active = self.bypass;
         self.bypass = false;
+        let on = congestion_on_threshold(self.params.nr_requests);
+        let requery = !self.congested && !self.query_outstanding && self.allocated() >= on;
+        if requery {
+            self.query_outstanding = true;
+            self.events.push(QueueEvent::CongestionWouldEnter);
+        }
+        if was_active {
+            trace_event!(
+                now,
+                TraceEventKind::BypassRevoke {
+                    dom: self.tag,
+                    requery,
+                }
+            );
+        }
     }
 
     /// Earliest plug deadline, for the kernel's timer scheduling.
@@ -234,6 +315,16 @@ impl GuestQueue {
             return Vec::new();
         }
         let batch: Vec<IoRequest> = self.queued.drain(..).collect();
+        if !batch.is_empty() {
+            trace_event!(
+                now,
+                TraceEventKind::Unplug {
+                    dom: self.tag,
+                    batch: batch.len() as u32,
+                    forced: force_unplug,
+                }
+            );
+        }
         self.dispatched += batch.len();
         self.plug_deadline = None;
         batch
@@ -241,14 +332,39 @@ impl GuestQueue {
 
     /// A dispatched request completed; frees its descriptor and may clear
     /// congestion / bypass.
-    pub fn on_complete(&mut self, n: usize) {
-        debug_assert!(n <= self.dispatched);
-        self.dispatched = self.dispatched.saturating_sub(n);
+    ///
+    /// # Panics
+    ///
+    /// Freeing more descriptors than are dispatched (a double completion)
+    /// is a simulator invariant violation and aborts the run — in every
+    /// build profile, after recording a
+    /// [`TraceEventKind::DescriptorUnderflow`] event.
+    pub fn on_complete(&mut self, n: usize, now: SimTime) {
+        if n > self.dispatched {
+            trace_event!(
+                now,
+                TraceEventKind::DescriptorUnderflow {
+                    dom: self.tag,
+                    dispatched: self.dispatched as u32,
+                    completed: n as u32,
+                }
+            );
+            panic!(
+                "descriptor underflow on dom {}: completed {} with {} dispatched \
+                 (double completion)",
+                self.tag, n, self.dispatched
+            );
+        }
+        self.dispatched -= n;
         let off = congestion_off_threshold(self.params.nr_requests);
         if self.allocated() < off {
+            // Any unanswered congestion query is void below the off
+            // threshold — the condition it asked about no longer holds.
+            self.query_outstanding = false;
             if self.congested {
                 self.congested = false;
                 self.events.push(QueueEvent::Uncongested);
+                trace_event!(now, TraceEventKind::CongestionClear { dom: self.tag });
             }
             if self.bypass {
                 self.bypass = false;
@@ -305,17 +421,17 @@ mod tests {
         let mut q = GuestQueue::new(GuestQueueParams::default());
         fill(&mut q, 112, 0);
         q.poll_events();
-        q.enter_congestion();
+        q.enter_congestion(SimTime::ZERO);
         assert!(q.is_congested());
         assert_eq!(
             q.submit(req(300, 600 << 20), SimTime::ZERO),
             Submit::Blocked
         );
         // Complete down to 104 allocated: still congested (off is *below* 104).
-        q.on_complete(8);
+        q.on_complete(8, SimTime::ZERO);
         assert!(q.is_congested());
         // One more completion: 103 < 104 -> uncongested.
-        q.on_complete(1);
+        q.on_complete(1, SimTime::ZERO);
         assert!(!q.is_congested());
         assert_eq!(q.poll_events(), vec![QueueEvent::Uncongested]);
         assert_eq!(
@@ -330,7 +446,7 @@ mod tests {
         let mut q = GuestQueue::new(GuestQueueParams::default());
         fill(&mut q, 112, 0);
         q.poll_events();
-        q.grant_bypass();
+        q.grant_bypass(SimTime::ZERO);
         assert!(q.bypass_active());
         // Can now go far past nr_requests without blocking or re-signalling.
         for i in 0..100 {
@@ -348,7 +464,7 @@ mod tests {
     fn bypass_hard_limit_still_blocks() {
         let mut q = GuestQueue::new(GuestQueueParams::default());
         fill(&mut q, 112, 0);
-        q.grant_bypass();
+        q.grant_bypass(SimTime::ZERO);
         fill(&mut q, 512 - 112, 1000);
         assert_eq!(
             q.submit(req(9999, 999 << 20), SimTime::ZERO),
@@ -360,9 +476,75 @@ mod tests {
     fn bypass_clears_below_off_threshold() {
         let mut q = GuestQueue::new(GuestQueueParams::default());
         fill(&mut q, 120, 0);
-        q.grant_bypass();
-        q.on_complete(20); // 100 < 104
+        q.grant_bypass(SimTime::ZERO);
+        q.on_complete(20, SimTime::ZERO); // 100 < 104
         assert!(!q.bypass_active());
+    }
+
+    #[test]
+    fn congestion_query_latched_until_answered() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 112, 0);
+        assert_eq!(q.poll_events(), vec![QueueEvent::CongestionWouldEnter]);
+        // Further submissions at/above the threshold must NOT re-raise the
+        // query while it is unanswered (the old code duplicated it per
+        // plug-batch submission).
+        fill(&mut q, 3, 500);
+        assert!(q.poll_events().is_empty());
+        // Answering re-arms the latch...
+        q.enter_congestion(SimTime::ZERO);
+        q.on_complete(12, SimTime::ZERO); // 103 < 104: uncongest + re-arm
+        assert_eq!(q.poll_events(), vec![QueueEvent::Uncongested]);
+        // ...so crossing the threshold again raises exactly one new query.
+        fill(&mut q, 9, 600);
+        assert_eq!(q.poll_events(), vec![QueueEvent::CongestionWouldEnter]);
+    }
+
+    #[test]
+    fn query_voided_by_falling_below_off_threshold() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 112, 0);
+        q.poll_events();
+        // Unanswered query, then the queue drains below 13/16 on its own.
+        q.on_complete(9, SimTime::ZERO); // 103 < 104
+                                         // A fresh crossing must produce a fresh query.
+        fill(&mut q, 9, 700);
+        assert_eq!(q.poll_events(), vec![QueueEvent::CongestionWouldEnter]);
+    }
+
+    #[test]
+    fn revoke_bypass_requeries_when_still_full() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 112, 0);
+        q.poll_events();
+        q.grant_bypass(SimTime::ZERO);
+        fill(&mut q, 30, 800); // well past the on threshold, bypassing
+        assert!(q.poll_events().is_empty());
+        q.revoke_bypass(SimTime::ZERO);
+        assert!(!q.bypass_active());
+        // Allocation (142) >= on (112): the query must be re-raised.
+        assert_eq!(q.poll_events(), vec![QueueEvent::CongestionWouldEnter]);
+        // And latched: revoking again does not duplicate it.
+        q.revoke_bypass(SimTime::ZERO);
+        assert!(q.poll_events().is_empty());
+    }
+
+    #[test]
+    fn revoke_bypass_quiet_when_below_threshold() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 50, 0);
+        q.grant_bypass(SimTime::ZERO);
+        q.poll_events();
+        q.revoke_bypass(SimTime::ZERO);
+        assert!(q.poll_events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "descriptor underflow")]
+    fn double_completion_is_a_hard_error() {
+        let mut q = GuestQueue::new(GuestQueueParams::default());
+        fill(&mut q, 4, 0);
+        q.on_complete(5, SimTime::ZERO);
     }
 
     #[test]

@@ -101,7 +101,7 @@ fn congestion_hysteresis() {
             }
             for ev in q.poll_events() {
                 if ev == iorch_guestos::QueueEvent::CongestionWouldEnter {
-                    q.enter_congestion();
+                    q.enter_congestion(SimTime::ZERO);
                 }
             }
             if q.is_congested() {
@@ -113,10 +113,85 @@ fn congestion_hysteresis() {
             // Drain a few and verify clearing.
             if round % 2 == 1 {
                 let n = q.allocated();
-                q.on_complete(n);
+                q.on_complete(n, SimTime::ZERO);
                 assert!(!q.is_congested(), "seed {seed}");
                 assert_eq!(q.allocated(), 0, "seed {seed}");
             }
+        }
+    });
+}
+
+/// Event-dedup invariant: across arbitrary interleavings of submissions,
+/// completions, answers (enter/grant) and revokes, at most one
+/// `CongestionWouldEnter` is ever outstanding (unanswered), and a new one
+/// is only raised after the previous was answered or voided by falling
+/// below the off threshold.
+#[test]
+fn at_most_one_unanswered_congestion_query() {
+    gen::for_each_seed(0x60_0006, CASES, |seed, rng| {
+        let nr = 16 + rng.below(256 - 16) as usize;
+        let params = GuestQueueParams {
+            nr_requests: nr,
+            max_merged_len: 0,
+            ..GuestQueueParams::default()
+        };
+        let mut q = GuestQueue::new(params);
+        let off = congestion_off_threshold(nr);
+        let mut id = 0u64;
+        let mut unanswered = 0u32;
+        for _ in 0..400 {
+            match rng.below(10) {
+                // Submit a burst (the common case — drives threshold
+                // crossings).
+                0..=5 => {
+                    for _ in 0..=rng.below(16) {
+                        let req = IoRequest {
+                            id: RequestId(id),
+                            kind: IoKind::Read,
+                            stream: StreamId(0),
+                            offset: id * (1 << 22),
+                            len: 4096,
+                            submitted: SimTime::ZERO,
+                        };
+                        id += 1;
+                        if q.submit(req, SimTime::ZERO) == Submit::Accepted {
+                            q.take_dispatchable(SimTime::ZERO, true);
+                        }
+                    }
+                }
+                // Complete a few.
+                6 | 7 => {
+                    let n = (rng.below(32) as usize).min(q.allocated());
+                    q.take_dispatchable(SimTime::ZERO, true);
+                    let n = n.min(q.allocated());
+                    q.on_complete(n, SimTime::ZERO);
+                    if q.allocated() < off {
+                        unanswered = 0;
+                    }
+                }
+                // Answer with baseline sleep.
+                8 => {
+                    q.enter_congestion(SimTime::ZERO);
+                    unanswered = 0;
+                }
+                // Answer with a release, then sometimes revoke it.
+                _ => {
+                    q.grant_bypass(SimTime::ZERO);
+                    unanswered = 0;
+                    if rng.chance(0.5) {
+                        q.revoke_bypass(SimTime::ZERO);
+                    }
+                }
+            }
+            for ev in q.poll_events() {
+                if ev == iorch_guestos::QueueEvent::CongestionWouldEnter {
+                    unanswered += 1;
+                }
+            }
+            assert!(
+                unanswered <= 1,
+                "{unanswered} unanswered congestion queries (seed {seed})"
+            );
         }
     });
 }

@@ -10,7 +10,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use iorch_simcore::{SimDuration, SimTime};
+use iorch_simcore::trace::TraceEventKind;
+use iorch_simcore::{trace_event, SimDuration, SimTime};
 use iorch_storage::IoRequest;
 
 use crate::domain::DomainId;
@@ -175,7 +176,16 @@ impl IoCore {
                     let d = self.rotation.pop_front()?;
                     // Visiting a domain refills its credit: C_i += Q_i.
                     let q = self.quantum(d);
-                    *self.credits.entry(d).or_insert(0) += q;
+                    let c = self.credits.entry(d).or_insert(0);
+                    *c += q;
+                    trace_event!(
+                        now,
+                        TraceEventKind::DrrVisit {
+                            core: self.core.0 as u32,
+                            dom: d.0,
+                            credit: *c,
+                        }
+                    );
                     self.current = Some(d);
                     d
                 }

@@ -13,10 +13,12 @@
 //! methods — exactly the paper's monitoring/management-module split.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use iorch_guestos::{CompletedOp, FileOp, GuestConfig, GuestKernel, KernelSignal, OpClass, OpId};
 use iorch_metrics::LatencyHistogram;
-use iorch_simcore::{FaultPlan, Scheduler, SimDuration, SimRng, SimTime};
+use iorch_simcore::trace::TraceEventKind;
+use iorch_simcore::{trace_event, FaultPlan, Scheduler, SimDuration, SimRng, SimTime};
 use iorch_storage::{IoRequest, StorageSubsystem, StreamId};
 
 use crate::cpu::CpuAccounting;
@@ -475,6 +477,13 @@ impl Cluster {
             let lat = now.saturating_since(req.submitted);
             m.io_hist.entry(dom).or_default().record(lat);
             *m.io_bytes.entry(dom).or_insert(0) += req.len;
+            trace_event!(
+                now,
+                TraceEventKind::BlockComplete {
+                    dom: dom.0,
+                    req: req.id.0,
+                }
+            );
             d.kernel.on_block_complete(req.id, now);
             m.process_domain_outputs(s, dom);
             m.dispatch_signals(s);
@@ -508,6 +517,14 @@ impl Cluster {
 
     fn store_delivery(cl: &mut Cluster, idx: usize, s: &mut Sched, ev: WatchEvent) {
         let m = &mut cl.machines[idx];
+        trace_event!(
+            s.now(),
+            TraceEventKind::XenBusDeliver {
+                dom: ev.owner.0,
+                path: Arc::clone(&ev.path),
+                value: ev.value.clone(),
+            }
+        );
         m.with_control(s, |cp, m, s| cp.on_store_event(m, s, ev));
         Cluster::drain_results(cl, idx, s);
     }
@@ -739,6 +756,13 @@ impl Machine {
                     .and_then(|op| d.op_vcpu.get(&op).copied())
                     .unwrap_or(0);
                 req.offset += d.vdisk_base;
+                trace_event!(
+                    now,
+                    TraceEventKind::RingPush {
+                        dom: dom.0,
+                        req: req.id.0,
+                    }
+                );
                 routed.push((req, vcpu));
             }
             match self.cfg.io_mode {
@@ -852,6 +876,11 @@ impl Machine {
         f: impl FnOnce(&mut dyn ControlPlane, &mut Machine, &mut Sched),
     ) {
         if let Some(mut cp) = self.control.take() {
+            if iorch_simcore::trace::enabled() {
+                // Store methods take no clock; stamp trace events with the
+                // time of the event-loop entry running the callback.
+                self.store.set_trace_now(s.now());
+            }
             f(&mut *cp, self, s);
             self.control = Some(cp);
         }
@@ -862,6 +891,9 @@ impl Machine {
     /// Dispatch queued kernel signals to the control plane (defers cleanly
     /// if the control plane is already on the stack).
     fn dispatch_signals(&mut self, s: &mut Sched) {
+        if iorch_simcore::trace::enabled() && !self.pending_signals.is_empty() {
+            self.store.set_trace_now(s.now());
+        }
         while self.control.is_some() && !self.pending_signals.is_empty() {
             let (dom, sig) = self.pending_signals.remove(0);
             let mut cp = self.control.take().unwrap();
@@ -876,7 +908,7 @@ impl Machine {
                 let (dom, sig) = self.pending_signals.remove(0);
                 if sig == KernelSignal::CongestionQuery {
                     if let Some(d) = self.domains.get_mut(&dom) {
-                        d.kernel.enter_congestion();
+                        d.kernel.enter_congestion(s.now());
                     }
                 }
             }
@@ -904,9 +936,9 @@ impl Machine {
     // module verbs of the paper) ----
 
     /// Baseline answer to a congestion query: let the guest sleep.
-    pub fn cp_enter_congestion(&mut self, dom: DomainId) {
+    pub fn cp_enter_congestion(&mut self, s: &mut Sched, dom: DomainId) {
         if let Some(d) = self.domains.get_mut(&dom) {
-            d.kernel.enter_congestion();
+            d.kernel.enter_congestion(s.now());
         }
     }
 
@@ -918,10 +950,12 @@ impl Machine {
         }
     }
 
-    /// Revoke a bypass (host became congested).
-    pub fn cp_revoke_bypass(&mut self, dom: DomainId) {
+    /// Revoke a bypass (host became congested). Any re-raised congestion
+    /// query surfaces through the domain's outputs immediately.
+    pub fn cp_revoke_bypass(&mut self, s: &mut Sched, dom: DomainId) {
         if let Some(d) = self.domains.get_mut(&dom) {
-            d.kernel.revoke_bypass();
+            d.kernel.revoke_bypass(s.now());
+            self.process_domain_outputs(s, dom);
         }
     }
 

@@ -39,6 +39,9 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
+use iorch_simcore::trace::TraceEventKind;
+use iorch_simcore::{trace_event, SimTime};
+
 use crate::domain::DomainId;
 
 /// Hypervisor / control domain: full access to every path.
@@ -379,6 +382,10 @@ pub struct XenStore {
     /// the anomaly detector's "permission violation" signal. Bumped only
     /// on the error path, so the hot path never touches it.
     denied_counts: BTreeMap<DomainId, u64>,
+    /// Sim-time stamp for trace events. The store itself is time-free;
+    /// the machine refreshes this at each event-loop entry while a trace
+    /// recorder is installed (see [`XenStore::set_trace_now`]).
+    trace_now: SimTime,
 }
 
 impl Default for XenStore {
@@ -405,12 +412,29 @@ impl XenStore {
             next_txn: 0,
             write_counts: BTreeMap::new(),
             denied_counts: BTreeMap::new(),
+            trace_now: SimTime::ZERO,
         }
     }
 
+    /// Set the sim-time used to stamp trace events for subsequent store
+    /// operations. Store methods take no clock of their own, so the
+    /// machine pushes the current time here before running control-plane
+    /// code — and only while a trace recorder is installed, keeping the
+    /// untraced hot path untouched.
+    pub fn set_trace_now(&mut self, now: SimTime) {
+        self.trace_now = now;
+    }
+
     #[cold]
-    fn note_denied(&mut self, caller: DomainId) {
+    fn note_denied(&mut self, caller: DomainId, path: &str) {
         *self.denied_counts.entry(caller).or_insert(0) += 1;
+        trace_event!(
+            self.trace_now,
+            TraceEventKind::StoreDenied {
+                dom: caller.0,
+                path: Arc::from(path),
+            }
+        );
     }
 
     fn lookup<'a>(&'a self, path: &str) -> Option<&'a Node> {
@@ -516,7 +540,7 @@ impl XenStore {
                 Ok(node) => node,
                 Err(e) => {
                     if matches!(e, StoreError::PermissionDenied) {
-                        self.note_denied(caller);
+                        self.note_denied(caller, path_str);
                     }
                     return Err(e);
                 }
@@ -526,6 +550,16 @@ impl XenStore {
             value
         };
         *self.write_counts.entry(caller).or_insert(0) += 1;
+        trace_event!(
+            self.trace_now,
+            TraceEventKind::StoreWrite {
+                dom: caller.0,
+                path: path
+                    .to_shared()
+                    .unwrap_or_else(|| Arc::from(path.path_str())),
+                value: Arc::clone(&value),
+            }
+        );
         self.fire_watches(path_str, path.to_shared(), Some(value));
         Ok(())
     }
@@ -548,7 +582,7 @@ impl XenStore {
         }
         if let Some(node) = self.lookup(path_str) {
             if !node.perms.can_write(caller) {
-                self.note_denied(caller);
+                self.note_denied(caller, path_str);
                 return Err(StoreError::PermissionDenied);
             }
             if node.value.as_deref() == Some(value.value_str()) {
@@ -571,7 +605,7 @@ impl XenStore {
         }
         let node = self.lookup(path_str).ok_or(StoreError::NotFound)?;
         if !node.perms.can_write(caller) {
-            self.note_denied(caller);
+            self.note_denied(caller, path_str);
             return Err(StoreError::PermissionDenied);
         }
         let (parent_path, leaf) = path_str.rsplit_once('/').unwrap();
@@ -650,7 +684,7 @@ impl XenStore {
             Ok(node) => node,
             Err(e) => {
                 if matches!(e, StoreError::PermissionDenied) {
-                    self.note_denied(caller);
+                    self.note_denied(caller, path);
                 }
                 return Err(e);
             }

@@ -29,13 +29,13 @@ impl ControlPlane for Recorder {
     fn on_kernel_signal(
         &mut self,
         m: &mut Machine,
-        _s: &mut Sched,
+        s: &mut Sched,
         dom: DomainId,
         sig: KernelSignal,
     ) {
         self.signals.borrow_mut().push((dom, sig));
         if sig == KernelSignal::CongestionQuery {
-            m.cp_enter_congestion(dom);
+            m.cp_enter_congestion(s, dom);
         }
     }
     fn on_store_event(&mut self, _m: &mut Machine, _s: &mut Sched, ev: WatchEvent) {

@@ -28,6 +28,7 @@ pub mod gen;
 mod rng;
 mod sim;
 mod time;
+pub mod trace;
 
 pub use event::{Callback, EventToken, PeriodicHandle, Scheduler};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultWindow};

@@ -6,7 +6,8 @@
 //! where to schedule the next device event, and calls
 //! [`complete_due`](StorageSubsystem::complete_due) when that event fires.
 
-use iorch_simcore::{FaultPlan, SimDuration, SimRng, SimTime};
+use iorch_simcore::trace::TraceEventKind;
+use iorch_simcore::{trace_event, FaultPlan, SimDuration, SimRng, SimTime};
 
 use crate::device::DeviceModel;
 use crate::monitor::DeviceMonitor;
@@ -148,6 +149,16 @@ impl StorageSubsystem {
                     done_at = done_at.max(until);
                 }
             }
+            trace_event!(
+                now,
+                TraceEventKind::DeviceDispatch {
+                    req: req.id.0,
+                    dom: req.stream.0,
+                    write: req.kind.is_write(),
+                    len: req.len,
+                    qdepth: self.queue.len() as u32,
+                }
+            );
             self.channels[primary] = Slot::Primary(InFlight { req, done_at });
             for &c in idle.iter().take(k).skip(1) {
                 self.channels[c] = Slot::Reserved(done_at);
@@ -194,6 +205,14 @@ impl StorageSubsystem {
         done.sort_by_key(|&(t, r)| (t, r.id));
         for (t, req) in &done {
             self.monitor.on_complete(*t, req);
+            trace_event!(
+                *t,
+                TraceEventKind::DeviceComplete {
+                    req: req.id.0,
+                    dom: req.stream.0,
+                    latency_us: t.saturating_since(req.submitted).as_micros(),
+                }
+            );
         }
         self.monitor.on_busy_channels(now, self.busy_count);
         self.kick(now);

@@ -39,13 +39,13 @@ impl ControlPlane for DirtyBudgetGovernor {
     fn on_kernel_signal(
         &mut self,
         m: &mut Machine,
-        _s: &mut Sched,
+        s: &mut Sched,
         dom: DomainId,
         sig: KernelSignal,
     ) {
         // Keep stock congestion behaviour; this policy is flush-only.
         if sig == KernelSignal::CongestionQuery {
-            m.cp_enter_congestion(dom);
+            m.cp_enter_congestion(s, dom);
         }
     }
 

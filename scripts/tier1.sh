@@ -10,4 +10,11 @@ cargo build --release --offline
 cargo clippy --workspace --offline --all-targets -- -D warnings
 cargo test -q --offline
 cargo test -q --offline --workspace
+
+# The trace recorder must also build and pass with the instrumentation
+# compiled out (the production hot-path configuration).
+export RUSTFLAGS="${RUSTFLAGS:-} --cfg iorch_trace_off"
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
 echo "tier1 OK"
