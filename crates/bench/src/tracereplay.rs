@@ -36,6 +36,14 @@ pub const SCENARIOS: &[(&str, &str)] = &[
         "device_stall",
         "the device stalls completions for 400 ms mid-run; the workload must resume",
     ),
+    (
+        "plane_crash",
+        "dom0 crashes mid-run and recovers: quarantine and flush state rebuilt from the store",
+    ),
+    (
+        "lossy_bus",
+        "XenBus drops, duplicates and reorders events; epoch-stamped commands keep the protocol safe",
+    ),
 ];
 
 /// Parse a system name as accepted by the `tracedump` CLI.
@@ -55,27 +63,32 @@ pub fn parse_system(name: &str) -> Option<SystemKind> {
 /// list is empty.
 pub fn run_scenario(kind: SystemKind, seed: u64, scenario: &str) -> Option<Vec<TraceEvent>> {
     let session = TraceSession::new();
-    let known = match scenario {
-        "mixed8" => {
-            mixed8(kind, seed);
-            true
-        }
-        "unresponsive_flush" => {
-            unresponsive_flush(kind, seed);
-            true
-        }
-        "store_hammer" => {
-            store_hammer(kind, seed);
-            true
-        }
-        "device_stall" => {
-            device_stall(kind, seed);
-            true
-        }
-        _ => false,
-    };
+    let known = run_scenario_sim(kind, seed, scenario, FaultPlan::new());
     let rec = session.finish();
-    known.then(|| rec.into_events())
+    known.map(|_| rec.into_events())
+}
+
+/// Run `scenario` with `extra` faults layered on top of the scenario's own
+/// plan, and return the finished simulation for post-run inspection. The
+/// convergence oracle uses this to inject a [`FaultKind::PlaneCrash`] at
+/// every tick boundary and then compare the steady state reached against
+/// the no-crash run's. `extra` must not carry bus/watch/device faults — a
+/// second machine-level install would replace the scenario's own plan.
+pub fn run_scenario_sim(
+    kind: SystemKind,
+    seed: u64,
+    scenario: &str,
+    extra: FaultPlan,
+) -> Option<(Simulation<Cluster>, usize)> {
+    Some(match scenario {
+        "mixed8" => mixed8(kind, seed, extra),
+        "unresponsive_flush" => unresponsive_flush(kind, seed, extra),
+        "store_hammer" => store_hammer(kind, seed, extra),
+        "device_stall" => device_stall(kind, seed, extra),
+        "plane_crash" => plane_crash(kind, seed, extra),
+        "lossy_bus" => lossy_bus(kind, seed, extra),
+        _ => return None,
+    })
 }
 
 fn sim_with(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usize) {
@@ -141,7 +154,7 @@ fn greedy_reader(cl: &mut Cluster, s: &mut Sched, idx: usize, seed: u64, rec: &R
 /// release / confirm decisions), three slow-writeback dirty writers
 /// (collaborative flush decisions), one store hammer (quarantine), and
 /// one light reader for background traffic.
-fn mixed8(kind: SystemKind, seed: u64) {
+fn mixed8(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
     let (mut sim, idx) = sim_with(kind, seed);
     let (cl, s) = sim.parts_mut();
     let rec = recorder(SimTime::ZERO);
@@ -178,6 +191,7 @@ fn mixed8(kind: SystemKind, seed: u64) {
         },
     );
     cl.install_faults(s, idx, plan);
+    cl.install_faults(s, idx, extra);
     // Phase 1: readers saturate the device (congestion queries, release /
     // confirm decisions) while the hammer earns its quarantine.
     sim.run_until(SimTime::from_millis(1200));
@@ -186,10 +200,15 @@ fn mixed8(kind: SystemKind, seed: u64) {
     // flush work through the dirty writers.
     rec.borrow_mut().stopped = true;
     sim.run_until(SimTime::from_millis(4000));
+    (sim, idx)
 }
 
 /// Mirror of `unresponsive_guest_flush_falls_back_and_quarantines`.
-fn unresponsive_flush(kind: SystemKind, seed: u64) {
+fn unresponsive_flush(
+    kind: SystemKind,
+    seed: u64,
+    extra: FaultPlan,
+) -> (Simulation<Cluster>, usize) {
     let (mut sim, idx) = sim_with(kind, seed);
     let (cl, s) = sim.parts_mut();
     let slacker = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
@@ -201,12 +220,14 @@ fn unresponsive_flush(kind: SystemKind, seed: u64) {
         FaultKind::IgnoreFlushNow { dom: slacker.0 },
     );
     cl.install_faults(s, idx, plan);
+    cl.install_faults(s, idx, extra);
     sim.run_until(SimTime::from_secs(8));
+    (sim, idx)
 }
 
 /// Mirror of `store_hammer_is_quarantined_and_operator_clear_restores`
 /// (without the operator clear — the quarantine decision is the point).
-fn store_hammer(kind: SystemKind, seed: u64) {
+fn store_hammer(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
     let (mut sim, idx) = sim_with(kind, seed);
     let (cl, s) = sim.parts_mut();
     let evil = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(8), |_| {});
@@ -236,11 +257,13 @@ fn store_hammer(kind: SystemKind, seed: u64) {
         },
     );
     cl.install_faults(s, idx, plan);
+    cl.install_faults(s, idx, extra);
     sim.run_until(SimTime::from_secs(2));
+    (sim, idx)
 }
 
 /// Mirror of `device_stall_is_survived`.
-fn device_stall(kind: SystemKind, seed: u64) {
+fn device_stall(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
     let (mut sim, idx) = sim_with(kind, seed);
     let (cl, s) = sim.parts_mut();
     let dom = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
@@ -263,5 +286,78 @@ fn device_stall(kind: SystemKind, seed: u64) {
         FaultKind::DeviceStall,
     );
     cl.install_faults(s, idx, plan);
+    cl.install_faults(s, idx, extra);
     sim.run_until(SimTime::from_millis(2500));
+    (sim, idx)
+}
+
+/// dom0's management plane crashes at 1.1 s — after the store hammer has
+/// earned its quarantine — and recovers 400 ms later: the quarantine set,
+/// health counters and any in-flight flush must be rebuilt from the store
+/// (`plane_crash` / `plane_recover` decisions bracket the outage).
+fn plane_crash(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(kind, seed);
+    let (cl, s) = sim.parts_mut();
+    let rec = recorder(SimTime::ZERO);
+    greedy_reader(cl, s, idx, seed, &rec);
+    for mb in [16u64, 8] {
+        let dom = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
+        dirty_mb(cl, s, idx, dom, mb);
+    }
+    let evil = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(8), |_| {});
+    let crash_at = SimTime::from_millis(1100);
+    let recover_after = SimDuration::from_millis(400);
+    let plan = FaultPlan::new()
+        .with(
+            FaultWindow::new(SimTime::ZERO, SimTime::from_millis(800)),
+            FaultKind::StoreHammer {
+                dom: evil.0,
+                period: SimDuration::from_micros(200),
+            },
+        )
+        .with(
+            FaultWindow::new(crash_at, crash_at + recover_after),
+            FaultKind::PlaneCrash {
+                at: crash_at,
+                recover_after,
+            },
+        );
+    cl.install_faults(s, idx, plan);
+    cl.install_faults(s, idx, extra);
+    // Phase 1: reader traffic plus the hammer, then the outage itself.
+    sim.run_until(SimTime::from_millis(1800));
+    // Phase 2: quiesce the reader so the recovered plane can drain the
+    // dirty writers through the collaborative flush.
+    rec.borrow_mut().stopped = true;
+    sim.run_until(SimTime::from_secs(6));
+    (sim, idx)
+}
+
+/// XenBus drops every 7th, duplicates every 5th and reorders each delivery
+/// batch: dropped `flush_now` commands retry through the timeout path, and
+/// duplicated commands are discarded by the guests' epoch cursors
+/// (`stale_command` decisions in the dump).
+fn lossy_bus(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(kind, seed);
+    let (cl, s) = sim.parts_mut();
+    let rec = recorder(SimTime::ZERO);
+    greedy_reader(cl, s, idx, seed, &rec);
+    for mb in [16u64, 8] {
+        let dom = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
+        dirty_mb(cl, s, idx, dom, mb);
+    }
+    let plan = FaultPlan::new().with(
+        FaultWindow::always(),
+        FaultKind::BusUnreliable {
+            drop_1_in: 7,
+            dup_1_in: 5,
+            reorder: true,
+        },
+    );
+    cl.install_faults(s, idx, plan);
+    cl.install_faults(s, idx, extra);
+    sim.run_until(SimTime::from_millis(1200));
+    rec.borrow_mut().stopped = true;
+    sim.run_until(SimTime::from_secs(6));
+    (sim, idx)
 }

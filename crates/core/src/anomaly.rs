@@ -9,7 +9,7 @@
 //! sliding window.
 //!
 //! The window is a true sliding count, implemented as a ring of
-//! [`BUCKETS`] sub-windows: a burst that straddles a window boundary still
+//! `BUCKETS` sub-windows: a burst that straddles a window boundary still
 //! trips the flag, because expiring one sub-window only forgets the oldest
 //! eighth of the history, not all of it (the old tumbling implementation
 //! reset the whole count on the first write after expiry).

@@ -75,6 +75,51 @@ pub fn clear_quarantine(dom: DomainId) -> String {
 /// this prefix).
 pub const CONTROL_ROOT: &str = "/iorchestra/control";
 
+/// Root of the management module's persisted decision state. The store is
+/// the plane's source of truth across a dom0 crash: everything under here
+/// is rebuilt into plane memory by the recovery scan. No watch covers this
+/// prefix, so persisting state generates no XenBus traffic.
+pub const STATE_ROOT: &str = "/iorchestra/state";
+
+/// `/iorchestra/state/epoch` — the plane's monotonic command generation.
+/// Every `flush_now`/`release_request` command carries an epoch; a
+/// restarted plane resumes at `persisted + 1` so guests can discard
+/// anything stamped by a dead incarnation (or duplicated on the bus).
+pub const STATE_EPOCH: &str = "/iorchestra/state/epoch";
+
+/// `/iorchestra/state/<id>` — root of one domain's persisted plane state.
+pub fn state_base(dom: DomainId) -> String {
+    format!("{}/{}", STATE_ROOT, dom.0)
+}
+
+/// `…/quarantined` — `"1"` while the domain is quarantined. Restored on
+/// recovery so a crash cannot un-quarantine an anomalous guest.
+pub fn state_quarantined(dom: DomainId) -> String {
+    format!("{}/quarantined", state_base(dom))
+}
+
+/// `…/flush_epoch` — epoch of the in-flight `flush_now` command, `"0"`
+/// when none is outstanding.
+pub fn state_flush_epoch(dom: DomainId) -> String {
+    format!("{}/flush_epoch", state_base(dom))
+}
+
+/// `…/flush_deadline` — ack deadline (raw nanoseconds) of the in-flight
+/// `flush_now` command; meaningful only while `flush_epoch` is non-zero.
+pub fn state_flush_deadline(dom: DomainId) -> String {
+    format!("{}/flush_deadline", state_base(dom))
+}
+
+/// `…/fail_streak` — consecutive unacked flushes (quarantine input).
+pub fn state_fail_streak(dom: DomainId) -> String {
+    format!("{}/fail_streak", state_base(dom))
+}
+
+/// `…/timeouts` — cumulative flush timeouts (health counter input).
+pub fn state_timeouts(dom: DomainId) -> String {
+    format!("{}/timeouts", state_base(dom))
+}
+
 /// Extract the domain id from an operator command path
 /// `/iorchestra/control/<id>/…`.
 pub fn control_dom_of_path(path: &str) -> Option<DomainId> {
@@ -128,6 +173,16 @@ pub struct DomainKeys {
     pub health_quarantined: StorePath,
     /// `/iorchestra/health/<id>/store_denied`.
     pub health_store_denied: StorePath,
+    /// `/iorchestra/state/<id>/quarantined` (crash-persisted).
+    pub state_quarantined: StorePath,
+    /// `/iorchestra/state/<id>/flush_epoch` (crash-persisted).
+    pub state_flush_epoch: StorePath,
+    /// `/iorchestra/state/<id>/flush_deadline` (crash-persisted).
+    pub state_flush_deadline: StorePath,
+    /// `/iorchestra/state/<id>/fail_streak` (crash-persisted).
+    pub state_fail_streak: StorePath,
+    /// `/iorchestra/state/<id>/timeouts` (crash-persisted).
+    pub state_timeouts: StorePath,
     /// `…/virt-dev/weight/<socket>`, grown on demand (§3.3).
     socket_weights: Vec<StorePath>,
 }
@@ -149,6 +204,11 @@ impl DomainKeys {
             health_flush_timeouts: parse(health_flush_timeouts(dom)),
             health_quarantined: parse(health_quarantined(dom)),
             health_store_denied: parse(health_store_denied(dom)),
+            state_quarantined: parse(state_quarantined(dom)),
+            state_flush_epoch: parse(state_flush_epoch(dom)),
+            state_flush_deadline: parse(state_flush_deadline(dom)),
+            state_fail_streak: parse(state_fail_streak(dom)),
+            state_timeouts: parse(state_timeouts(dom)),
             socket_weights: Vec::new(),
         }
     }
@@ -254,6 +314,29 @@ mod tests {
         assert_eq!(k.health_flush_timeouts.as_str(), health_flush_timeouts(d));
         assert_eq!(k.health_quarantined.as_str(), health_quarantined(d));
         assert_eq!(k.health_store_denied.as_str(), health_store_denied(d));
+    }
+
+    #[test]
+    fn state_paths() {
+        let d = DomainId(5);
+        assert_eq!(STATE_EPOCH, "/iorchestra/state/epoch");
+        assert_eq!(state_base(d), "/iorchestra/state/5");
+        assert_eq!(state_quarantined(d), "/iorchestra/state/5/quarantined");
+        assert_eq!(state_flush_epoch(d), "/iorchestra/state/5/flush_epoch");
+        assert_eq!(
+            state_flush_deadline(d),
+            "/iorchestra/state/5/flush_deadline"
+        );
+        assert_eq!(state_fail_streak(d), "/iorchestra/state/5/fail_streak");
+        assert_eq!(state_timeouts(d), "/iorchestra/state/5/timeouts");
+        // The state subtree is not an operator-command path.
+        assert_eq!(control_dom_of_path(&state_quarantined(d)), None);
+        let k = DomainKeys::new(d);
+        assert_eq!(k.state_quarantined.as_str(), state_quarantined(d));
+        assert_eq!(k.state_flush_epoch.as_str(), state_flush_epoch(d));
+        assert_eq!(k.state_flush_deadline.as_str(), state_flush_deadline(d));
+        assert_eq!(k.state_fail_streak.as_str(), state_fail_streak(d));
+        assert_eq!(k.state_timeouts.as_str(), state_timeouts(d));
     }
 
     #[test]

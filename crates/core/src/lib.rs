@@ -24,7 +24,7 @@
 //!
 //! The comparison systems are control planes too: [`planes::BaselinePlane`]
 //! (stock, also used for SDC) and [`planes::DifPlane`] (disk-idleness
-//! flushing [17]). [`SystemKind`] provisions any of them onto a machine.
+//! flushing \[17\]). [`SystemKind`] provisions any of them onto a machine.
 
 #![warn(missing_docs)]
 

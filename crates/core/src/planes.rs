@@ -5,7 +5,7 @@
 //!   [`IoPathMode::Paravirt`](iorch_hypervisor::IoPathMode) it is the
 //!   paper's **Baseline**; paired with a single dedicated core it is
 //!   **SDC** [22, 29].
-//! * [`DifPlane`] — **DIF** [17]: the host passes disk-idleness information
+//! * [`DifPlane`] — **DIF** \[17\]: the host passes disk-idleness information
 //!   so dirty pages are flushed when the disk is idle, but with no store
 //!   choreography, no per-VM selection, and no congestion/co-scheduling
 //!   help (every dirty VM flushes at once when the disk goes idle).
@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use iorch_guestos::KernelSignal;
 use iorch_hypervisor::{
-    Cluster, ControlPlane, DomainId, Machine, Sched, StorePath, WatchEvent, DOM0,
+    AsStorePath, Cluster, ControlPlane, DomainId, Machine, Sched, StorePath, WatchEvent, DOM0,
 };
 use iorch_simcore::trace::{Decision, TraceEventKind};
 use iorch_simcore::{trace_event, SimDuration, SimRng, SimTime};
@@ -122,7 +122,7 @@ impl ControlPlane for BaselinePlane {
 // DIF
 // --------------------------------------------------------------------
 
-/// Disk-idleness-based flushing (Elango et al. [17]).
+/// Disk-idleness-based flushing (Elango et al. \[17\]).
 pub struct DifPlane {
     monitor: MonitoringModule,
     tick: SimDuration,
@@ -210,6 +210,11 @@ pub struct IOrchestraConfig {
     pub flush_retry_backoff: SimDuration,
     /// Consecutive flush timeouts after which a domain is quarantined.
     pub flush_max_retries: u32,
+    /// How long an issued `release_request` command may stay unaccepted
+    /// (store value still non-zero) before the per-tick reconciliation
+    /// sweep re-issues it under a fresh epoch. Keeps a guest alive when
+    /// the bus drops the grant delivery.
+    pub release_ack_timeout: SimDuration,
     /// RNG seed for the wake interleave.
     pub seed: u64,
 }
@@ -229,6 +234,7 @@ impl IOrchestraConfig {
             flush_ack_timeout: SimDuration::from_millis(300),
             flush_retry_backoff: SimDuration::from_secs(1),
             flush_max_retries: 3,
+            release_ack_timeout: SimDuration::from_millis(300),
             seed,
         }
     }
@@ -249,6 +255,12 @@ pub struct IOrchestraPlane {
     anomaly: AnomalyDetector,
     write_count_base: BTreeMap<DomainId, u64>,
     denied_base: BTreeMap<DomainId, u64>,
+    /// When each outstanding `release_request` command was issued. The
+    /// per-tick reconciliation sweep re-issues a grant still sitting
+    /// unaccepted in the store past [`IOrchestraConfig::release_ack_timeout`]
+    /// — epochs make the re-issue idempotent, so a dropped bus delivery
+    /// cannot strand a sleeping guest.
+    release_pending: BTreeMap<DomainId, SimTime>,
     /// In-flight `flush_now` commands and their ack deadlines.
     flush_in_progress: BTreeMap<DomainId, SimTime>,
     /// Domains in retry backoff after flush timeouts.
@@ -274,6 +286,12 @@ pub struct IOrchestraPlane {
     /// Interned per-domain store paths, built once at attach so the
     /// per-tick loops below never `format!` a path.
     domain_keys: BTreeMap<DomainId, DomainKeys>,
+    /// Command generation, persisted under [`keys::STATE_EPOCH`]. Every
+    /// `flush_now`/`release_request` command carries a fresh epoch; a
+    /// restarted plane resumes at `persisted + 1`, so guest drivers can
+    /// discard commands stamped by a dead incarnation or duplicated by an
+    /// unreliable bus.
+    epoch: u64,
     stats: PlaneStats,
 }
 
@@ -305,6 +323,7 @@ impl IOrchestraPlane {
             anomaly: AnomalyDetector::new(cfg.anomaly),
             write_count_base: BTreeMap::new(),
             denied_base: BTreeMap::new(),
+            release_pending: BTreeMap::new(),
             flush_in_progress: BTreeMap::new(),
             flush_backoff_until: BTreeMap::new(),
             flush_fail_streak: BTreeMap::new(),
@@ -316,6 +335,7 @@ impl IOrchestraPlane {
             last_weight_push: SimTime::ZERO,
             manager_watch_registered: false,
             domain_keys: BTreeMap::new(),
+            epoch: 0,
             stats: PlaneStats::default(),
             cfg,
         }
@@ -336,15 +356,46 @@ impl IOrchestraPlane {
         self.quarantined.iter().copied().collect()
     }
 
+    /// Read an unsigned counter from the plane's persisted state subtree
+    /// (missing or unparsable reads as 0 — the subtree grows lazily).
+    fn read_state_u64<P: AsStorePath>(m: &Machine, path: P) -> u64 {
+        m.store
+            .read_ref(DOM0, path)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Bump the command generation and persist it, so a restarted plane
+    /// (`epoch = persisted + 1`) always outranks in-flight commands.
+    fn next_epoch(&mut self, m: &mut Machine) -> u64 {
+        self.epoch += 1;
+        let _ = m
+            .store
+            .write(DOM0, keys::STATE_EPOCH, val::uint(self.epoch));
+        self.epoch
+    }
+
     /// Quarantine a domain: drop it from every collaborative queue and
     /// revert it to Baseline behaviour (graceful degradation) until an
-    /// operator clears it.
-    fn quarantine(&mut self, dom: DomainId, now: SimTime, reason: &'static str) {
+    /// operator clears it. Persisted, so a dom0 restart cannot
+    /// un-quarantine an anomalous guest.
+    fn quarantine(&mut self, m: &mut Machine, dom: DomainId, now: SimTime, reason: &'static str) {
         if self.quarantined.insert(dom) {
             self.stats.quarantines += 1;
             self.congested_fifo.retain(|&d| d != dom);
+            self.release_pending.remove(&dom);
             self.flush_in_progress.remove(&dom);
             self.flush_backoff_until.remove(&dom);
+            let k = Self::keys_for(&mut self.domain_keys, dom);
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.state_quarantined, val::one());
+            // The cancelled in-flight flush must not be resurrected by a
+            // later recovery scan.
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
             trace_event!(
                 now,
                 TraceEventKind::Decision(Decision::Quarantine { dom: dom.0, reason })
@@ -354,17 +405,26 @@ impl IOrchestraPlane {
 
     /// Operator clear (a dom0 write of `"1"` to
     /// `/iorchestra/control/<id>/clear`): forgive history and restore
-    /// collaboration.
-    fn clear_quarantine(&mut self, dom: DomainId, now: SimTime) {
-        if self.quarantined.remove(&dom) {
-            trace_event!(
-                now,
-                TraceEventKind::Decision(Decision::QuarantineCleared { dom: dom.0 })
-            );
+    /// collaboration. A strict no-op for a domain that is not quarantined
+    /// — no detector reset, no store writes, no trace.
+    fn clear_quarantine(&mut self, m: &mut Machine, dom: DomainId, now: SimTime) {
+        if !self.quarantined.remove(&dom) {
+            return;
         }
+        trace_event!(
+            now,
+            TraceEventKind::Decision(Decision::QuarantineCleared { dom: dom.0 })
+        );
         self.anomaly.clear(dom);
         self.flush_fail_streak.remove(&dom);
         self.flush_backoff_until.remove(&dom);
+        let k = Self::keys_for(&mut self.domain_keys, dom);
+        let _ = m
+            .store
+            .write_if_changed(DOM0, &k.state_quarantined, val::zero());
+        let _ = m
+            .store
+            .write_if_changed(DOM0, &k.state_fail_streak, val::zero());
     }
 
     fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
@@ -438,8 +498,8 @@ impl IOrchestraPlane {
             }
         }
         if let Some((nr_dirty, dom)) = best {
-            self.flush_in_progress
-                .insert(dom, now + self.cfg.flush_ack_timeout);
+            let deadline = now + self.cfg.flush_ack_timeout;
+            self.flush_in_progress.insert(dom, deadline);
             self.stats.flushes_triggered += 1;
             trace_event!(
                 now,
@@ -449,8 +509,19 @@ impl IOrchestraPlane {
                     candidates,
                 })
             );
+            // Persist the in-flight record before issuing the command: a
+            // crash between the two leaves a phantom in-flight entry that
+            // expires through the normal timeout path, never a command the
+            // recovered plane does not know about.
+            let epoch = self.next_epoch(m);
             let k = Self::keys_for(&mut self.domain_keys, dom);
-            let _ = m.store.write(DOM0, &k.flush_now, val::one());
+            let _ = m.store.write(DOM0, &k.state_flush_epoch, val::uint(epoch));
+            let _ = m.store.write(
+                DOM0,
+                &k.state_flush_deadline,
+                val::uint(deadline.as_nanos()),
+            );
+            let _ = m.store.write(DOM0, &k.flush_now, val::uint(epoch));
         }
     }
 
@@ -458,7 +529,7 @@ impl IOrchestraPlane {
     /// slot (the next policy run picks the next-dirtiest domain), backs
     /// off exponentially, and is quarantined after
     /// `flush_max_retries` consecutive timeouts.
-    fn expire_flush_deadlines(&mut self, now: SimTime) {
+    fn expire_flush_deadlines(&mut self, m: &mut Machine, now: SimTime) {
         let expired: Vec<DomainId> = self
             .flush_in_progress
             .iter()
@@ -468,7 +539,11 @@ impl IOrchestraPlane {
         for dom in expired {
             self.flush_in_progress.remove(&dom);
             self.stats.flush_timeouts += 1;
-            *self.flush_timeouts_by_dom.entry(dom).or_insert(0) += 1;
+            let timeouts = {
+                let t = self.flush_timeouts_by_dom.entry(dom).or_insert(0);
+                *t += 1;
+                *t
+            };
             let streak = {
                 let s = self.flush_fail_streak.entry(dom).or_insert(0);
                 *s += 1;
@@ -478,8 +553,20 @@ impl IOrchestraPlane {
                 now,
                 TraceEventKind::Decision(Decision::FlushTimeout { dom: dom.0, streak })
             );
+            {
+                let k = Self::keys_for(&mut self.domain_keys, dom);
+                let _ = m
+                    .store
+                    .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
+                let _ =
+                    m.store
+                        .write_if_changed(DOM0, &k.state_fail_streak, val::uint(streak as u64));
+                let _ = m
+                    .store
+                    .write_if_changed(DOM0, &k.state_timeouts, val::uint(timeouts));
+            }
             if streak >= self.cfg.flush_max_retries {
-                self.quarantine(dom, now, "flush-timeout streak");
+                self.quarantine(m, dom, now, "flush-timeout streak");
             } else {
                 let shift = (streak - 1).min(6);
                 self.flush_backoff_until
@@ -504,20 +591,121 @@ impl IOrchestraPlane {
             let prev = self.health_published.insert(dom, tuple);
             let k = Self::keys_for(&mut self.domain_keys, dom);
             let (timeouts, quarantined, denied) = tuple;
+            // `write_if_changed` (not plain writes): after a recovery the
+            // in-memory `health_published` map is empty, and republishing a
+            // value the store already holds must stay silent.
             if prev.map(|p| p.0) != Some(timeouts) {
-                let _ = m
-                    .store
-                    .write(DOM0, &k.health_flush_timeouts, val::uint(timeouts));
+                let _ =
+                    m.store
+                        .write_if_changed(DOM0, &k.health_flush_timeouts, val::uint(timeouts));
             }
             if prev.map(|p| p.1) != Some(quarantined) {
-                let _ = m
-                    .store
-                    .write(DOM0, &k.health_quarantined, val::flag(quarantined));
+                let _ =
+                    m.store
+                        .write_if_changed(DOM0, &k.health_quarantined, val::flag(quarantined));
             }
             if prev.map(|p| p.2) != Some(denied) {
                 let _ = m
                     .store
-                    .write(DOM0, &k.health_store_denied, val::uint(denied));
+                    .write_if_changed(DOM0, &k.health_store_denied, val::uint(denied));
+            }
+        }
+    }
+
+    /// Algorithm 2's adjudication of one raised `congested` flag: confirm
+    /// (host really congested — park the domain in the wake FIFO) or grant
+    /// a release under a fresh epoch. Shared by the watch-event handler,
+    /// the per-tick reconciliation sweep and the dom0 recovery scan, so a
+    /// query is answered the same way no matter which path noticed it.
+    fn adjudicate_congestion(&mut self, m: &mut Machine, now: SimTime, dom: DomainId) {
+        if m.storage.is_congested() {
+            // Host really is overcrowded: the guest stays asleep and is
+            // woken FIFO on relief.
+            self.stats.congestions_confirmed += 1;
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::CongestionConfirmed {
+                    dom: dom.0,
+                    host_qdepth: m.storage.queue_depth() as u32,
+                })
+            );
+            if !self.congested_fifo.contains(&dom) {
+                self.congested_fifo.push(dom);
+            }
+        } else {
+            // False trigger: release the request queue.
+            self.stats.releases_granted += 1;
+            trace_event!(
+                now,
+                TraceEventKind::Decision(Decision::ReleaseGranted {
+                    dom: dom.0,
+                    host_qdepth: m.storage.queue_depth() as u32,
+                })
+            );
+            let epoch = self.next_epoch(m);
+            let k = Self::keys_for(&mut self.domain_keys, dom);
+            let _ = m.store.write(DOM0, &k.release_request, val::uint(epoch));
+            self.release_pending.insert(dom, now);
+        }
+    }
+
+    /// The reconciliation half of the lossy-bus hardening: every tick,
+    /// re-read each collaborating domain's congestion keys straight from
+    /// the store and repair whatever the bus lost. A raised `congested`
+    /// flag nobody adjudicated (dropped guest-to-dom0 event, or a wake
+    /// FIFO that died with a crashed plane) is adjudicated now; a granted
+    /// release still unaccepted past the ack timeout (dropped dom0-to-
+    /// guest delivery) is re-issued under a fresh epoch, which the guest's
+    /// epoch cursor makes idempotent.
+    fn reconcile_congestion(&mut self, m: &mut Machine, now: SimTime) {
+        for dom in m.domain_ids() {
+            if self.quarantined.contains(&dom) {
+                continue;
+            }
+            let (congested_key, release_key) = {
+                let k = Self::keys_for(&mut self.domain_keys, dom);
+                (k.congested.clone(), k.release_request.clone())
+            };
+            let asking = m
+                .store
+                .read_ref(DOM0, &congested_key)
+                .map(|v| v == "1")
+                .unwrap_or(false);
+            if !asking {
+                self.release_pending.remove(&dom);
+                continue;
+            }
+            if self.congested_fifo.contains(&dom) {
+                // Confirmed: the staggered wake on relief owns this domain.
+                continue;
+            }
+            let granted = m
+                .store
+                .read_ref(DOM0, &release_key)
+                .map(|v| v != "0")
+                .unwrap_or(false);
+            if !granted {
+                // Raised but never adjudicated: the query event was lost.
+                self.adjudicate_congestion(m, now, dom);
+                continue;
+            }
+            match self.release_pending.get(&dom) {
+                Some(&issued) if now < issued + self.cfg.release_ack_timeout => {}
+                _ => {
+                    // The grant delivery was dropped (or predates this
+                    // plane incarnation): re-issue under a fresh epoch.
+                    self.stats.releases_granted += 1;
+                    trace_event!(
+                        now,
+                        TraceEventKind::Decision(Decision::ReleaseGranted {
+                            dom: dom.0,
+                            host_qdepth: m.storage.queue_depth() as u32,
+                        })
+                    );
+                    let epoch = self.next_epoch(m);
+                    let _ = m.store.write(DOM0, &release_key, val::uint(epoch));
+                    self.release_pending.insert(dom, now);
+                }
             }
         }
     }
@@ -550,6 +738,13 @@ impl IOrchestraPlane {
             let congested_key = Self::keys_for(&mut self.domain_keys, dom).congested.clone();
             s.schedule_in(offset, move |cl: &mut Cluster, s| {
                 cl.cp_action(s, idx, move |m, s| {
+                    // The plane that scheduled this wake may have crashed in
+                    // the meantime; a dead dom0 wakes nobody. The recovery
+                    // scan re-adjudicates every domain whose `congested` key
+                    // is still raised.
+                    if m.is_control_down() {
+                        return;
+                    }
                     m.cp_grant_bypass(s, dom);
                     let _ = m.store.write(DOM0, &congested_key, val::zero());
                 });
@@ -678,7 +873,10 @@ impl ControlPlane for IOrchestraPlane {
         m.store.watch(dom, &k.virt_dev);
     }
 
-    fn on_domain_destroyed(&mut self, _m: &mut Machine, _s: &mut Sched, dom: DomainId) {
+    fn on_domain_destroyed(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId) {
+        // Drop the persisted state subtree so a later recovery scan (or a
+        // recycled domain id) cannot inherit a dead domain's history.
+        let _ = m.store.remove(DOM0, keys::state_base(dom).as_str());
         self.flush_in_progress.remove(&dom);
         self.flush_backoff_until.remove(&dom);
         self.flush_fail_streak.remove(&dom);
@@ -686,6 +884,7 @@ impl ControlPlane for IOrchestraPlane {
         self.quarantined.remove(&dom);
         self.health_published.remove(&dom);
         self.congested_fifo.retain(|&d| d != dom);
+        self.release_pending.remove(&dom);
         self.last_route_weights.remove(&dom);
         self.write_count_base.remove(&dom);
         self.denied_base.remove(&dom);
@@ -757,7 +956,11 @@ impl ControlPlane for IOrchestraPlane {
                 && keys::is_key(&ev.path, "clear")
                 && ev.value.as_deref() == Some("1")
             {
-                self.clear_quarantine(dom, s.now());
+                self.clear_quarantine(m, dom, s.now());
+                // Consume the command edge: the key returns to "0" so a
+                // recovery scan only sees clears that were never processed,
+                // and the operator's next write is a fresh edge.
+                let _ = m.store.write(DOM0, &*ev.path, val::zero());
             }
             return;
         }
@@ -775,32 +978,23 @@ impl ControlPlane for IOrchestraPlane {
                 if !self.cfg.functions.congestion {
                     return;
                 }
-                if m.storage.is_congested() {
-                    // Host really is overcrowded: the guest stays asleep
-                    // and is woken FIFO on relief.
-                    self.stats.congestions_confirmed += 1;
-                    trace_event!(
-                        s.now(),
-                        TraceEventKind::Decision(Decision::CongestionConfirmed {
-                            dom: dom.0,
-                            host_qdepth: m.storage.queue_depth() as u32,
-                        })
-                    );
-                    if !self.congested_fifo.contains(&dom) {
-                        self.congested_fifo.push(dom);
-                    }
-                } else {
-                    // False trigger: release the request queue.
-                    self.stats.releases_granted += 1;
-                    trace_event!(
-                        s.now(),
-                        TraceEventKind::Decision(Decision::ReleaseGranted {
-                            dom: dom.0,
-                            host_qdepth: m.storage.queue_depth() as u32,
-                        })
-                    );
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
-                    let _ = m.store.write(DOM0, &k.release_request, val::one());
+                // Events are hints; the store is the state of record. The
+                // per-tick reconciliation sweep may have adjudicated this
+                // query already (e.g. when the raising event was delayed),
+                // in which case this delivery is a no-op.
+                let k = Self::keys_for(&mut self.domain_keys, dom);
+                let still_asking = m
+                    .store
+                    .read_ref(DOM0, &k.congested)
+                    .map(|v| v == "1")
+                    .unwrap_or(false);
+                let granted = m
+                    .store
+                    .read_ref(DOM0, &k.release_request)
+                    .map(|v| v != "0")
+                    .unwrap_or(false);
+                if still_asking && !granted && !self.congested_fifo.contains(&dom) {
+                    self.adjudicate_congestion(m, s.now(), dom);
                 }
             } else if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("0") {
                 // The guest acked (wrote flush_now back to 0): the flush
@@ -813,17 +1007,67 @@ impl ControlPlane for IOrchestraPlane {
                 }
                 self.flush_fail_streak.remove(&dom);
                 self.flush_backoff_until.remove(&dom);
+                let k = Self::keys_for(&mut self.domain_keys, dom);
+                let _ = m
+                    .store
+                    .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
+                let _ = m
+                    .store
+                    .write_if_changed(DOM0, &k.state_fail_streak, val::zero());
             }
         } else if ev.owner == dom {
-            // Guest-driver side (registered callback functions).
-            if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("1") {
-                m.cp_remote_sync(s, dom);
-            } else if keys::is_key(&ev.path, "release_request") && ev.value.as_deref() == Some("1")
-            {
-                m.cp_grant_bypass(s, dom);
-                let k = Self::keys_for(&mut self.domain_keys, dom);
-                Self::guest_write(m, dom, &k.release_request, val::zero());
-                Self::guest_write(m, dom, &k.congested, val::zero());
+            // Guest-driver side (registered callback functions). Commands
+            // are epoch-stamped (any value > 0); the guest kernel remembers
+            // the highest epoch it has executed per channel and discards
+            // stale or duplicated deliveries, so a recovering plane and an
+            // unreliable bus are both safe.
+            let cmd = ev
+                .value
+                .as_deref()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            if keys::is_key(&ev.path, "flush_now") && cmd > 0 {
+                let Some(kernel) = m.kernel_mut(dom) else {
+                    return;
+                };
+                let accepted = kernel.accept_flush_epoch(cmd);
+                let last_seen = kernel.flush_epoch_seen();
+                if accepted {
+                    m.cp_remote_sync(s, dom);
+                } else {
+                    // The original delivery of this command (or a newer
+                    // one) already drove the flush; acking here would tell
+                    // the plane a still-running flush completed.
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::Decision(Decision::StaleCommand {
+                            dom: dom.0,
+                            epoch: cmd,
+                            last_seen,
+                        })
+                    );
+                }
+            } else if keys::is_key(&ev.path, "release_request") && cmd > 0 {
+                let Some(kernel) = m.kernel_mut(dom) else {
+                    return;
+                };
+                let accepted = kernel.accept_release_epoch(cmd);
+                let last_seen = kernel.release_epoch_seen();
+                if accepted {
+                    m.cp_grant_bypass(s, dom);
+                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    Self::guest_write(m, dom, &k.release_request, val::zero());
+                    Self::guest_write(m, dom, &k.congested, val::zero());
+                } else {
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::Decision(Decision::StaleCommand {
+                            dom: dom.0,
+                            epoch: cmd,
+                            last_seen,
+                        })
+                    );
+                }
             }
         }
     }
@@ -845,20 +1089,20 @@ impl ControlPlane for IOrchestraPlane {
                 continue;
             }
             if delta > 0 && self.anomaly.on_writes(dom, delta, now) {
-                self.quarantine(dom, now, "write-rate budget");
+                self.quarantine(m, dom, now, "write-rate budget");
             }
             if denied_delta > 0 && self.anomaly.on_denied(dom, denied_delta, now) {
-                self.quarantine(dom, now, "denied-rate budget");
+                self.quarantine(m, dom, now, "denied-rate budget");
             }
         }
         // Consequence of a flag: quarantine (Baseline behaviour, keys
         // ignored) until an operator clears it. Usually already handled
         // above; this catches domains still flagged from older windows.
         for dom in self.anomaly.flagged() {
-            self.quarantine(dom, now, "anomaly flag");
+            self.quarantine(m, dom, now, "anomaly flag");
         }
         // Unacked flush commands lose their slot, with backoff/quarantine.
-        self.expire_flush_deadlines(now);
+        self.expire_flush_deadlines(m, now);
         // Guest drivers republish their dirty-page counts each period so
         // the argmax in Algorithm 1 works from fresh numbers.
         if self.cfg.functions.flush {
@@ -876,13 +1120,138 @@ impl ControlPlane for IOrchestraPlane {
         if self.cfg.functions.flush && report.device_underutilized {
             self.run_flush_policy(m, s);
         }
-        if self.cfg.functions.congestion && !report.device_congested {
-            self.run_congestion_relief(m, s);
+        if self.cfg.functions.congestion {
+            self.reconcile_congestion(m, now);
+            if !report.device_congested {
+                self.run_congestion_relief(m, s);
+            }
         }
         if self.cfg.functions.cosched {
             self.run_cosched(m, s, now);
         }
         self.publish_health(m);
+    }
+
+    fn on_crash(&mut self, _m: &mut Machine, s: &mut Sched) {
+        trace_event!(s.now(), TraceEventKind::Decision(Decision::PlaneCrash));
+        // The daemon's process memory dies with dom0; only the store (and
+        // the guests) survive. Reset every field to its boot state — the
+        // recovery scan rebuilds what was persisted.
+        self.rng = SimRng::new(self.cfg.seed ^ 0x10c);
+        self.monitor = MonitoringModule::new();
+        self.anomaly = AnomalyDetector::new(self.cfg.anomaly);
+        self.write_count_base.clear();
+        self.denied_base.clear();
+        self.flush_in_progress.clear();
+        self.flush_backoff_until.clear();
+        self.flush_fail_streak.clear();
+        self.flush_timeouts_by_dom.clear();
+        self.quarantined.clear();
+        self.health_published.clear();
+        self.congested_fifo.clear();
+        self.last_route_weights.clear();
+        self.last_weight_push = SimTime::ZERO;
+        self.manager_watch_registered = false;
+        self.domain_keys.clear();
+        self.epoch = 0;
+        self.release_pending.clear();
+        self.stats = PlaneStats::default();
+    }
+
+    fn on_recover(&mut self, m: &mut Machine, s: &mut Sched) {
+        let now = s.now();
+        // The store is the source of truth. Events the dead incarnation
+        // missed are gone (XenBus does not replay), so everything below
+        // works from current store values, never from event history.
+        self.epoch = Self::read_state_u64(m, keys::STATE_EPOCH) + 1;
+        let _ = m
+            .store
+            .write(DOM0, keys::STATE_EPOCH, val::uint(self.epoch));
+        m.store.watch(DOM0, "/local");
+        m.store.watch(DOM0, keys::CONTROL_ROOT);
+        self.manager_watch_registered = true;
+        let domains = m.domain_ids();
+        for &dom in &domains {
+            // Anomaly bases seed at the *current* counters: traffic that
+            // happened while dom0 was down is not a post-recovery burst.
+            self.write_count_base.insert(dom, m.store.write_count(dom));
+            self.denied_base.insert(dom, m.store.denied_count(dom));
+            let k = Self::keys_for(&mut self.domain_keys, dom).clone();
+            if Self::read_state_u64(m, &k.state_quarantined) == 1 {
+                self.quarantined.insert(dom);
+            }
+            let streak = Self::read_state_u64(m, &k.state_fail_streak) as u32;
+            if streak > 0 {
+                self.flush_fail_streak.insert(dom, streak);
+            }
+            let timeouts = Self::read_state_u64(m, &k.state_timeouts);
+            if timeouts > 0 {
+                self.flush_timeouts_by_dom.insert(dom, timeouts);
+            }
+            if Self::read_state_u64(m, &k.state_flush_epoch) > 0 {
+                // A flush was in flight at the crash. If the guest already
+                // wrote the ack (its `"0"` event was addressed to the dead
+                // incarnation and dropped), honour it; otherwise restore
+                // the in-flight record — a deadline that passed during the
+                // outage expires through the normal timeout path.
+                let acked = m
+                    .store
+                    .read_ref(DOM0, &k.flush_now)
+                    .map(|v| v == "0")
+                    .unwrap_or(true);
+                if acked {
+                    self.flush_fail_streak.remove(&dom);
+                    let _ = m.store.write(DOM0, &k.state_flush_epoch, val::zero());
+                    let _ = m
+                        .store
+                        .write_if_changed(DOM0, &k.state_fail_streak, val::zero());
+                } else {
+                    let deadline =
+                        SimTime::from_nanos(Self::read_state_u64(m, &k.state_flush_deadline));
+                    self.flush_in_progress.insert(dom, deadline);
+                }
+            }
+            // Operator clears written while dom0 was down.
+            let clear_key = keys::clear_quarantine(dom);
+            let cleared = m
+                .store
+                .read_ref(DOM0, clear_key.as_str())
+                .map(|v| v == "1")
+                .unwrap_or(false);
+            if cleared {
+                self.clear_quarantine(m, dom, now);
+                let _ = m.store.write(DOM0, clear_key.as_str(), val::zero());
+            }
+            // Domains still asking about congestion: their query event (or
+            // the scheduled wake) died with the old incarnation, and a
+            // sleeping guest cannot re-ask. Re-adjudicate from the store —
+            // even if the dead incarnation had granted a release (its epoch
+            // is outranked, and the delivery may have died with it).
+            if self.cfg.functions.congestion && !self.quarantined.contains(&dom) {
+                let asking = m
+                    .store
+                    .read_ref(DOM0, &k.congested)
+                    .map(|v| v == "1")
+                    .unwrap_or(false);
+                if asking {
+                    self.adjudicate_congestion(m, now, dom);
+                }
+            }
+        }
+        // Retries and protocol turnarounds the guests burned against the
+        // dead incarnation must not carry over as empty token buckets — a
+        // denial storm the moment service resumes would quarantine the
+        // victims of the outage. A true hammer re-drains its refilled
+        // bucket within milliseconds and re-trips the detector anyway.
+        m.store.quota_refill_all();
+        trace_event!(
+            now,
+            TraceEventKind::Decision(Decision::PlaneRecover {
+                epoch: self.epoch,
+                domains: domains.len() as u32,
+                quarantined: self.quarantined.len() as u32,
+            })
+        );
     }
 }
 
@@ -918,6 +1287,38 @@ mod tests {
         assert!(IOrchestraPlane::new(IOrchestraConfig::new(1))
             .tick_period()
             .is_some());
+    }
+
+    /// Regression: the retry-backoff shift is capped at 6 (and
+    /// `SimDuration * u64` saturates), so an absurd fail streak can never
+    /// overflow the `1u64 << shift` arithmetic or produce a wrapped-around
+    /// backoff deadline in the past.
+    #[test]
+    fn flush_backoff_shift_is_capped_at_long_streaks() {
+        use iorch_hypervisor::{IoPathMode, MachineConfig, VmSpec};
+        use iorch_simcore::Simulation;
+
+        let mut sim = Simulation::new(Cluster::new());
+        let (cl, s) = sim.parts_mut();
+        let idx = cl.add_machine(MachineConfig::paper_testbed(1, IoPathMode::Paravirt));
+        let mut cfg = IOrchestraConfig::new(1);
+        cfg.flush_max_retries = u32::MAX; // keep the quarantine path out of the way
+        let mut plane = IOrchestraPlane::new(cfg);
+        let dom = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(4), |_| {});
+        let now = SimTime::from_secs(100);
+        for &streak in &[6u32, 31, 63, 64, 200, u32::MAX - 2] {
+            plane.flush_fail_streak.insert(dom, streak);
+            plane.flush_in_progress.insert(dom, now);
+            plane.expire_flush_deadlines(cl.machine_mut(idx), now);
+            let until = plane.flush_backoff_until[&dom];
+            // Every streak past the cap backs off by exactly base * 2^6.
+            assert_eq!(
+                until,
+                now + plane.cfg.flush_retry_backoff * (1u64 << 6),
+                "streak {streak}"
+            );
+            assert!(until > now, "streak {streak}: backoff wrapped");
+        }
     }
 
     /// Regression: `wake_interleave_max_ms == 0` means a true simultaneous

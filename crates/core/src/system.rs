@@ -12,7 +12,7 @@ pub enum SystemKind {
     /// Static dedicated I/O core, equal shares, single-socket assumption
     /// [22, 29].
     Sdc,
-    /// Disk-idleness-based flushing [17] on the paravirt path.
+    /// Disk-idleness-based flushing \[17\] on the paravirt path.
     Dif,
     /// The full IOrchestra prototype (all three functions).
     IOrchestra,

@@ -139,6 +139,84 @@ fn cosched_programs_weights_for_cross_socket_vm() {
     assert!(w0 > 0.0 && w1 > 0.0, "a cross-socket VM uses both sockets");
 }
 
+/// Satellite contract for the operator clear channel: a `clear` written
+/// while the domain is *not* quarantined, and a second clear right after a
+/// first one, are strict no-ops — no health-key writes, no
+/// quarantine-cleared decisions, no anomaly/streak resets riding along.
+#[test]
+fn clear_without_quarantine_and_double_clear_are_noops() {
+    iorch_simcore::gen::for_each_seed(0xC1EA12, 8, |seed, rng| {
+        let mut sim = Simulation::new(Cluster::new());
+        let (cl, s) = sim.parts_mut();
+        let idx = SystemKind::IOrchestra.provision(cl, s, seed);
+        let doms = 1 + rng.below(3);
+        let mut ids = Vec::new();
+        for _ in 0..doms {
+            ids.push(cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), |_| {}));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let health = |m: &iorch_hypervisor::Machine, dom| {
+            (
+                m.store
+                    .read(DOM0, keys::health_quarantined(dom))
+                    .unwrap_or_default(),
+                m.store
+                    .read(DOM0, keys::health_flush_timeouts(dom))
+                    .unwrap_or_default(),
+                m.store
+                    .read(DOM0, keys::health_store_denied(dom))
+                    .unwrap_or_default(),
+            )
+        };
+        let before: Vec<_> = {
+            let m = sim.world().machine(idx);
+            ids.iter().map(|&d| health(m, d)).collect()
+        };
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(b.0, "0", "seed {seed}: dom {i} must start unquarantined");
+        }
+        let session = iorch_simcore::trace::TraceSession::new();
+        // Two clears for every (unquarantined) domain: the first is a
+        // clear-without-quarantine, the second a double clear.
+        let mut t = SimTime::from_secs(1);
+        for _round in 0..2 {
+            let (cl, s) = sim.parts_mut();
+            for &dom in &ids {
+                let path = keys::clear_quarantine(dom);
+                cl.cp_action(s, idx, move |m, _s| {
+                    let _ = m.store.write(DOM0, path.as_str(), "1");
+                });
+            }
+            t += SimDuration::from_millis(500);
+            sim.run_until(t);
+        }
+        let events = session.finish().into_events();
+        if iorch_simcore::trace::COMPILED {
+            let decisions = iorch_simcore::trace::render_decision_log(&events);
+            assert!(
+                !decisions.contains("quarantine_cleared"),
+                "seed {seed}: clear of an unquarantined domain emitted a decision"
+            );
+        }
+        let m = sim.world().machine(idx);
+        for (i, &dom) in ids.iter().enumerate() {
+            assert_eq!(
+                health(m, dom),
+                before[i],
+                "seed {seed}: no-op clear changed dom {i}'s health keys"
+            );
+            // The command edge was consumed, so the channel is re-armed.
+            assert_eq!(
+                m.store
+                    .read(DOM0, keys::clear_quarantine(dom))
+                    .unwrap_or_default(),
+                "0",
+                "seed {seed}: clear command not consumed"
+            );
+        }
+    });
+}
+
 #[test]
 fn dif_and_baseline_planes_never_touch_the_store() {
     for plane in [true, false] {

@@ -238,6 +238,14 @@ pub struct GuestKernel {
     throttle_timer_at: Option<SimTime>,
     had_dirty: bool,
     misbehavior: Misbehavior,
+    /// Newest `flush_now` command epoch this driver has accepted. Epochs
+    /// stamp control commands so a recovering (re-issuing) management
+    /// plane and a duplicating XenBus are both safe: a command whose epoch
+    /// is ≤ the last accepted one is discarded. Lives in the guest — it
+    /// must survive a dom0 plane crash.
+    flush_epoch_seen: u64,
+    /// Newest `release_request` grant epoch accepted (same protocol).
+    release_epoch_seen: u64,
     out: KernelOutputs,
     stats: KernelStats,
 }
@@ -265,6 +273,8 @@ impl GuestKernel {
             throttle_timer_at: None,
             had_dirty: false,
             misbehavior: Misbehavior::default(),
+            flush_epoch_seen: 0,
+            release_epoch_seen: 0,
             out: KernelOutputs::default(),
             stats: KernelStats::default(),
             cfg,
@@ -294,6 +304,40 @@ impl GuestKernel {
     /// Set misbehaviour modes (fault injection).
     pub fn set_misbehavior(&mut self, m: Misbehavior) {
         self.misbehavior = m;
+    }
+
+    /// Offer a `flush_now` command epoch to the driver. Returns `true`
+    /// and remembers it if it is newer than anything seen; a stale or
+    /// duplicate epoch returns `false` and must be discarded by the
+    /// caller (re-acking is safe — acks are idempotent).
+    pub fn accept_flush_epoch(&mut self, epoch: u64) -> bool {
+        if epoch > self.flush_epoch_seen {
+            self.flush_epoch_seen = epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Newest `flush_now` epoch accepted so far (0 = none).
+    pub fn flush_epoch_seen(&self) -> u64 {
+        self.flush_epoch_seen
+    }
+
+    /// Offer a `release_request` grant epoch to the driver; same
+    /// semantics as [`GuestKernel::accept_flush_epoch`].
+    pub fn accept_release_epoch(&mut self, epoch: u64) -> bool {
+        if epoch > self.release_epoch_seen {
+            self.release_epoch_seen = epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Newest `release_request` epoch accepted so far (0 = none).
+    pub fn release_epoch_seen(&self) -> u64 {
+        self.release_epoch_seen
     }
 
     /// Dirty pages (`bdi_writeback.nr` analogue).
@@ -847,6 +891,24 @@ mod tests {
             }
         }
         n
+    }
+
+    #[test]
+    fn command_epochs_are_monotonic_per_channel() {
+        let mut k = GuestKernel::new(cfg(), t(0));
+        assert_eq!(k.flush_epoch_seen(), 0);
+        assert!(k.accept_flush_epoch(1), "first command accepted");
+        assert!(!k.accept_flush_epoch(1), "duplicate discarded");
+        assert!(!k.accept_flush_epoch(0), "stale (pre-crash) discarded");
+        assert!(k.accept_flush_epoch(5), "gaps are fine: newer wins");
+        assert!(!k.accept_flush_epoch(4));
+        assert_eq!(k.flush_epoch_seen(), 5);
+        // The two command channels keep independent cursors.
+        assert_eq!(k.release_epoch_seen(), 0);
+        assert!(k.accept_release_epoch(2));
+        assert!(!k.accept_release_epoch(2));
+        assert_eq!(k.release_epoch_seen(), 2);
+        assert_eq!(k.flush_epoch_seen(), 5);
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Cluster {
         if plan.has_device_faults() {
             self.machines[idx].storage.install_faults(plan.clone());
         }
-        if plan.has_watch_faults() {
+        if plan.has_watch_faults() || plan.has_bus_faults() {
             self.machines[idx].set_fault_plan(Some(plan.clone()));
         }
         for ev in plan.events() {
@@ -59,7 +59,18 @@ impl Cluster {
             match ev.kind {
                 FaultKind::DeviceSlowdown { .. }
                 | FaultKind::DeviceStall
-                | FaultKind::WatchDelay { .. } => {}
+                | FaultKind::WatchDelay { .. }
+                // Consulted by the machine at delivery time via the
+                // installed plan; nothing to schedule.
+                | FaultKind::BusUnreliable { .. } => {}
+                FaultKind::PlaneCrash { at, recover_after } => {
+                    s.schedule_at(at, move |cl: &mut Cluster, s| {
+                        Cluster::crash_control(cl, s, idx);
+                    });
+                    s.schedule_at(at + recover_after, move |cl: &mut Cluster, s| {
+                        Cluster::recover_control(cl, s, idx);
+                    });
+                }
                 FaultKind::IgnoreFlushNow { dom } => {
                     let dom = DomainId(dom);
                     s.schedule_at(from, move |cl: &mut Cluster, _s| {

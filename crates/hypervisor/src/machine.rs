@@ -26,7 +26,7 @@ use crate::domain::{DomainId, VmSpec};
 use crate::iocore::{IoCore, IoCoreParams};
 use crate::numa::{CoreId, NumaTopology, PlacementPolicy};
 use crate::ring::{Ring, RingPush};
-use crate::xenstore::{Perms, WatchEvent, XenStore};
+use crate::xenstore::{Perms, StoreQuota, WatchEvent, XenStore};
 
 /// Scheduler over the cluster world.
 pub type Sched = Scheduler<Cluster>;
@@ -163,6 +163,15 @@ pub trait ControlPlane {
     fn on_store_event(&mut self, _m: &mut Machine, _s: &mut Sched, _ev: WatchEvent) {}
     /// Periodic monitoring tick.
     fn on_tick(&mut self, _m: &mut Machine, _s: &mut Sched) {}
+    /// The management half of the plane crashed: drop every piece of
+    /// in-memory decision state. The machine has already unregistered the
+    /// plane's watches; ticks and dom0-owned deliveries are suppressed
+    /// until [`ControlPlane::on_recover`]. Guest-driver state is not
+    /// affected — it lives in the guests, not dom0's toolstack.
+    fn on_crash(&mut self, _m: &mut Machine, _s: &mut Sched) {}
+    /// The management half restarted after a crash: rebuild decision state
+    /// from the store (the single source of truth) and re-arm watches.
+    fn on_recover(&mut self, _m: &mut Machine, _s: &mut Sched) {}
 }
 
 /// One guest VM as the hypervisor sees it.
@@ -239,6 +248,14 @@ pub struct Machine {
     /// Installed fault plan (watch-delivery faults); `None` in normal runs,
     /// so the event path pays only this `Option` check.
     faults: Option<FaultPlan>,
+    /// Whether the management half of the control plane is crashed:
+    /// ticks and dom0-owned watch deliveries are suppressed until
+    /// [`Cluster::recover_control`] runs.
+    control_down: bool,
+    /// Monotonic counter over XenBus deliveries driving the deterministic
+    /// drop/dup decisions of `BusUnreliable` — never the machine RNG,
+    /// which would perturb I/O routing under fault injection.
+    bus_seq: u64,
 }
 
 /// The simulation world: machines (plus whatever workload state event
@@ -286,7 +303,46 @@ impl Cluster {
 
     fn control_tick(cl: &mut Cluster, idx: usize, s: &mut Sched) {
         let m = &mut cl.machines[idx];
+        // A crashed plane misses its ticks entirely (the periodic closure
+        // cannot be cancelled, so the gate lives here).
+        if m.control_down {
+            return;
+        }
         m.with_control(s, |cp, m, s| cp.on_tick(m, s));
+        Cluster::drain_results(cl, idx, s);
+    }
+
+    /// Crash the management half of the control plane on machine `idx`:
+    /// the plane drops all in-memory decision state
+    /// ([`ControlPlane::on_crash`]), its store watches are unregistered,
+    /// and ticks plus dom0-owned watch deliveries are suppressed until
+    /// [`Cluster::recover_control`]. Guest-driver behaviour (congestion
+    /// handshakes, command acks) is untouched — it lives in the guests.
+    pub fn crash_control(cl: &mut Cluster, s: &mut Sched, idx: usize) {
+        let m = &mut cl.machines[idx];
+        if m.control_down {
+            return;
+        }
+        m.control_down = true;
+        m.store.unwatch_owner(crate::xenstore::DOM0);
+        // Direct invocation, not `with_control`: a dead plane neither
+        // flushes store events nor receives queued signals.
+        if let Some(mut cp) = m.control.take() {
+            cp.on_crash(m, s);
+            m.control = Some(cp);
+        }
+    }
+
+    /// Restart the management plane after [`Cluster::crash_control`]: the
+    /// plane rebuilds its decision state from the store and re-arms its
+    /// watches ([`ControlPlane::on_recover`]), then normal ticking resumes.
+    pub fn recover_control(cl: &mut Cluster, s: &mut Sched, idx: usize) {
+        let m = &mut cl.machines[idx];
+        if !m.control_down {
+            return;
+        }
+        m.control_down = false;
+        m.with_control(s, |cp, m, s| cp.on_recover(m, s));
         Cluster::drain_results(cl, idx, s);
     }
 
@@ -382,6 +438,7 @@ impl Cluster {
         f: impl FnOnce(&mut Machine, &mut Sched),
     ) {
         let m = &mut self.machines[idx];
+        m.store.set_now(s.now());
         f(m, s);
         m.flush_store_events(s);
         m.dispatch_signals(s);
@@ -517,6 +574,13 @@ impl Cluster {
 
     fn store_delivery(cl: &mut Cluster, idx: usize, s: &mut Sched, ev: WatchEvent) {
         let m = &mut cl.machines[idx];
+        // A crashed plane's XenBus channel is dead: events addressed to
+        // dom0 (the management module's watches) die on the floor and are
+        // NOT replayed at recovery — the recovery scan must not need them.
+        // Guest-owned deliveries (the guest drivers' watches) still flow.
+        if m.control_down && ev.owner == crate::xenstore::DOM0 {
+            return;
+        }
         trace_event!(
             s.now(),
             TraceEventKind::XenBusDeliver {
@@ -551,9 +615,14 @@ impl Machine {
                 }
             }
         }
+        // The composed machine installs real-XenStore-style per-domain
+        // quotas; a bare `XenStore::new()` (differential oracle, store
+        // micro-benches) stays quota-free.
+        let mut store = XenStore::new();
+        store.set_quota(StoreQuota::generous());
         Machine {
             idx,
-            store: XenStore::new(),
+            store,
             storage: iorch_storage::paper_testbed_storage(cfg.seed ^ 0x0570_7a6e),
             topology,
             cpu,
@@ -573,6 +642,8 @@ impl Machine {
             ops_completed: BTreeMap::new(),
             draining: false,
             faults: None,
+            control_down: false,
+            bus_seq: 0,
             cfg,
         }
     }
@@ -580,6 +651,13 @@ impl Machine {
     /// The installed control plane's name (for reports).
     pub fn control_name(&self) -> &'static str {
         self.control.as_ref().map_or("none", |c| c.name())
+    }
+
+    /// Whether the management half of the control plane is currently
+    /// crashed (between [`Cluster::crash_control`] and
+    /// [`Cluster::recover_control`]).
+    pub fn is_control_down(&self) -> bool {
+        self.control_down
     }
 
     /// Install the machine-level half of a fault plan (watch-event delay).
@@ -650,6 +728,7 @@ impl Machine {
         tune(&mut gcfg);
         let kernel = GuestKernel::new(gcfg, s.now());
         // Store bootstrap, as Xen tools would do it.
+        self.store.set_now(s.now());
         let path = XenStore::domain_path(id);
         let _ = self
             .store
@@ -875,6 +954,9 @@ impl Machine {
         s: &mut Sched,
         f: impl FnOnce(&mut dyn ControlPlane, &mut Machine, &mut Sched),
     ) {
+        // The write-rate quota buckets need the current time; trace
+        // stamping additionally wants it only while recording.
+        self.store.set_now(s.now());
         if let Some(mut cp) = self.control.take() {
             if iorch_simcore::trace::enabled() {
                 // Store methods take no clock; stamp trace events with the
@@ -891,6 +973,9 @@ impl Machine {
     /// Dispatch queued kernel signals to the control plane (defers cleanly
     /// if the control plane is already on the stack).
     fn dispatch_signals(&mut self, s: &mut Sched) {
+        if !self.pending_signals.is_empty() {
+            self.store.set_now(s.now());
+        }
         if iorch_simcore::trace::enabled() && !self.pending_signals.is_empty() {
             self.store.set_trace_now(s.now());
         }
@@ -915,20 +1000,62 @@ impl Machine {
         }
     }
 
-    /// Queue watch events for delivery after XenBus latency.
+    /// Queue watch events for delivery after XenBus latency. An installed
+    /// `BusUnreliable` fault window drops, duplicates, or reorders events
+    /// here, keyed off a deterministic delivery counter.
     fn flush_store_events(&mut self, s: &mut Sched) {
         if !self.store.has_events() {
             return;
         }
         let idx = self.idx;
         let mut delay = self.cfg.timing.xenbus_latency;
+        let mut bus = None;
         if let Some(plan) = &self.faults {
             delay += plan.watch_delay(s.now());
+            bus = plan.bus_unreliable(s.now());
         }
-        for ev in self.store.take_events() {
+        let mut events = self.store.take_events();
+        if let Some(b) = bus {
+            if b.reorder && events.len() > 1 {
+                events.reverse();
+            }
+        }
+        for ev in events {
+            let mut duplicate = None;
+            if let Some(b) = bus {
+                self.bus_seq += 1;
+                let seq = self.bus_seq;
+                if b.drop_1_in != 0 && seq.is_multiple_of(b.drop_1_in) {
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::XenBusDrop {
+                            dom: ev.owner.0,
+                            path: Arc::clone(&ev.path),
+                            value: ev.value.clone(),
+                        }
+                    );
+                    continue;
+                }
+                if b.dup_1_in != 0 && seq.is_multiple_of(b.dup_1_in) {
+                    trace_event!(
+                        s.now(),
+                        TraceEventKind::XenBusDup {
+                            dom: ev.owner.0,
+                            path: Arc::clone(&ev.path),
+                            value: ev.value.clone(),
+                        }
+                    );
+                    duplicate = Some(ev.clone());
+                }
+            }
             s.schedule_in(delay, move |cl: &mut Cluster, s| {
                 Cluster::store_delivery(cl, idx, s, ev);
             });
+            if let Some(dup) = duplicate {
+                s.schedule_in(delay, move |cl: &mut Cluster, s| {
+                    Cluster::store_delivery(cl, idx, s, dup);
+                });
+            }
         }
     }
 

@@ -58,6 +58,55 @@ pub enum StoreError {
     BadPath,
     /// Unknown transaction id.
     BadTransaction,
+    /// A per-domain resource quota was exceeded (see [`StoreQuota`]).
+    QuotaExceeded,
+}
+
+/// Per-domain resource limits, mirroring real XenStore's defenses against
+/// a misbehaving guest (`quota-max-entries`, `quota-max-size`, and the
+/// xenstored write-rate throttle). Enforced only for non-dom0 callers, and
+/// only on stores where [`XenStore::set_quota`] was called — a bare
+/// [`XenStore::new`] store is quota-free, which keeps the differential
+/// oracle and the hot-path benches (both clock-less) byte-identical.
+///
+/// A limit of `0` means "unlimited" for that dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreQuota {
+    /// Maximum number of store nodes a domain may own at once.
+    pub max_owned_nodes: u64,
+    /// Maximum length in bytes of a single written value.
+    pub max_value_bytes: usize,
+    /// Sustained write rate (token-bucket refill), writes per second.
+    pub write_rate_per_sec: u64,
+    /// Token-bucket capacity: writes that may land back-to-back.
+    pub write_burst: u64,
+}
+
+impl StoreQuota {
+    /// Defaults generous enough that a well-behaved guest (dirty-page
+    /// publications, congestion handshakes, command acks) never trips
+    /// them, while a `StoreHammer` at thousands of writes per second is
+    /// throttled within one burst.
+    pub fn generous() -> Self {
+        StoreQuota {
+            max_owned_nodes: 64,
+            max_value_bytes: 256,
+            write_rate_per_sec: 500,
+            write_burst: 100,
+        }
+    }
+}
+
+/// One token = `TOKEN` nano-tokens, so refill math stays in integers.
+const TOKEN: u64 = 1_000_000_000;
+
+/// Per-domain token-bucket state for the write-rate quota.
+#[derive(Clone, Copy, Debug)]
+struct TokenBucket {
+    /// Available nano-tokens (1 write costs [`TOKEN`]).
+    nanos: u64,
+    /// Last refill timestamp.
+    last: SimTime,
 }
 
 /// Per-node permissions (simplified Xen model: an owner domain plus
@@ -386,6 +435,16 @@ pub struct XenStore {
     /// the machine refreshes this at each event-loop entry while a trace
     /// recorder is installed (see [`XenStore::set_trace_now`]).
     trace_now: SimTime,
+    /// Per-domain resource limits; `None` (the default) disables all
+    /// quota enforcement and accounting.
+    quota: Option<StoreQuota>,
+    /// Write-rate token buckets, lazily created full per domain.
+    buckets: BTreeMap<DomainId, TokenBucket>,
+    /// Nodes currently owned per domain (maintained only with a quota
+    /// installed; the quota must be set while the store is empty).
+    owned_counts: BTreeMap<DomainId, u64>,
+    /// Clock for the write-rate buckets, fed by [`XenStore::set_now`].
+    now: SimTime,
 }
 
 impl Default for XenStore {
@@ -413,6 +472,10 @@ impl XenStore {
             write_counts: BTreeMap::new(),
             denied_counts: BTreeMap::new(),
             trace_now: SimTime::ZERO,
+            quota: None,
+            buckets: BTreeMap::new(),
+            owned_counts: BTreeMap::new(),
+            now: SimTime::ZERO,
         }
     }
 
@@ -423,6 +486,142 @@ impl XenStore {
     /// untraced hot path untouched.
     pub fn set_trace_now(&mut self, now: SimTime) {
         self.trace_now = now;
+    }
+
+    /// Install per-domain quotas (see [`StoreQuota`]). Must be called
+    /// while the store is empty so the owned-node accounting starts from
+    /// zero; the machine does this at construction. Dom0 is exempt.
+    pub fn set_quota(&mut self, quota: StoreQuota) {
+        debug_assert!(
+            self.root.children.is_empty(),
+            "quotas must be installed on an empty store"
+        );
+        self.quota = Some(quota);
+    }
+
+    /// The installed quota, if any.
+    pub fn quota(&self) -> Option<StoreQuota> {
+        self.quota
+    }
+
+    /// Advance the clock used by the write-rate token buckets. The store
+    /// itself is time-free; the machine pushes the current sim time here
+    /// at each event-loop entry. Monotonic (a stale time never refunds).
+    pub fn set_now(&mut self, now: SimTime) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// Nodes currently owned by a domain (0 unless a quota is installed).
+    pub fn owned_count(&self, dom: DomainId) -> u64 {
+        self.owned_counts.get(&dom).copied().unwrap_or(0)
+    }
+
+    /// Refill every domain's write-rate token bucket to its full burst
+    /// allowance. A recovering control plane calls this so that retries a
+    /// guest burned against a dead dom0 do not carry over as an empty
+    /// bucket — and a denial storm — the moment service resumes. No-op
+    /// without an installed quota.
+    pub fn quota_refill_all(&mut self) {
+        let Some(quota) = self.quota else { return };
+        let cap = quota.write_burst.saturating_mul(TOKEN);
+        let now = self.now;
+        for b in self.buckets.values_mut() {
+            b.nanos = cap;
+            b.last = now;
+        }
+    }
+
+    /// Take one write token from `caller`'s bucket, refilling for elapsed
+    /// time first. Returns whether the write may proceed.
+    fn take_token(&mut self, caller: DomainId, quota: &StoreQuota) -> bool {
+        if quota.write_rate_per_sec == 0 {
+            return true;
+        }
+        let cap = quota.write_burst.saturating_mul(TOKEN);
+        let now = self.now;
+        let b = self.buckets.entry(caller).or_insert(TokenBucket {
+            nanos: cap,
+            last: now,
+        });
+        let elapsed = now.as_nanos().saturating_sub(b.last.as_nanos());
+        b.last = now;
+        b.nanos = b
+            .nanos
+            .saturating_add(elapsed.saturating_mul(quota.write_rate_per_sec))
+            .min(cap);
+        if b.nanos >= TOKEN {
+            b.nanos -= TOKEN;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Segments of `path` that do not exist yet (nodes a write would
+    /// create). Only called on the quota-enforced slow path.
+    fn missing_nodes(&self, path: &str) -> u64 {
+        let mut node = Some(&self.root);
+        let mut missing = 0u64;
+        for s in path_segments(path) {
+            match node.and_then(|n| n.children.get(s)) {
+                Some(child) => node = Some(child),
+                None => {
+                    node = None;
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    /// Enforce the installed quota for a write-type operation: one rate
+    /// token, the value-size cap, and the owned-node cap (counting nodes
+    /// the write would create). Trips feed the denied-op counters and the
+    /// trace layer like permission violations.
+    fn enforce_quota(
+        &mut self,
+        caller: DomainId,
+        path: &str,
+        value_len: usize,
+    ) -> Result<(), StoreError> {
+        let Some(quota) = self.quota else {
+            return Ok(());
+        };
+        if caller == DOM0 {
+            return Ok(());
+        }
+        if !self.take_token(caller, &quota) {
+            self.note_denied(caller, path);
+            return Err(StoreError::QuotaExceeded);
+        }
+        if quota.max_value_bytes != 0 && value_len > quota.max_value_bytes {
+            self.note_denied(caller, path);
+            return Err(StoreError::QuotaExceeded);
+        }
+        if quota.max_owned_nodes != 0 {
+            let creating = self.missing_nodes(path);
+            if creating > 0 && self.owned_count(caller) + creating > quota.max_owned_nodes {
+                self.note_denied(caller, path);
+                return Err(StoreError::QuotaExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Record node-ownership changes for quota accounting (no-op without
+    /// an installed quota).
+    fn account_owned(&mut self, owner: DomainId, delta: i64) {
+        if self.quota.is_none() || delta == 0 {
+            return;
+        }
+        let c = self.owned_counts.entry(owner).or_insert(0);
+        if delta > 0 {
+            *c += delta as u64;
+        } else {
+            *c = c.saturating_sub((-delta) as u64);
+        }
     }
 
     #[cold]
@@ -488,25 +687,27 @@ impl XenStore {
     /// Walk to the node at `path`, creating missing nodes with inherited
     /// permissions. Checks write permission on the deepest pre-existing
     /// node before creating anything (seed semantics), in a single pass.
+    /// Returns the node plus how many nodes were created (all of which
+    /// share the inherited permissions, hence a single owner).
     fn walk_create<'a>(
         root: &'a mut Node,
         caller: DomainId,
         path: &str,
-    ) -> Result<&'a mut Node, StoreError> {
+    ) -> Result<(&'a mut Node, u64), StoreError> {
         let mut node = root;
-        let mut creating = false;
+        let mut created = 0u64;
         for s in path_segments(path) {
-            if !creating && node.children.contains_key(s) {
+            if created == 0 && node.children.contains_key(s) {
                 node = node.children.get_mut(s).unwrap();
             } else {
-                if !creating {
+                if created == 0 {
                     // First missing segment: `node` is the deepest
                     // pre-existing node — nothing has been created yet.
                     if !node.perms.can_write(caller) {
                         return Err(StoreError::PermissionDenied);
                     }
-                    creating = true;
                 }
+                created += 1;
                 let inherited = node.perms;
                 node = node
                     .children
@@ -514,10 +715,10 @@ impl XenStore {
                     .or_insert_with(|| Node::new(inherited));
             }
         }
-        if !creating && !node.perms.can_write(caller) {
+        if created == 0 && !node.perms.can_write(caller) {
             return Err(StoreError::PermissionDenied);
         }
-        Ok(node)
+        Ok((node, created))
     }
 
     /// Write a value, creating intermediate nodes. Intermediate and leaf
@@ -535,9 +736,12 @@ impl XenStore {
         if path_str == "/" {
             return Err(StoreError::BadPath);
         }
-        let value = {
-            let node = match Self::walk_create(&mut self.root, caller, path_str) {
-                Ok(node) => node,
+        if self.quota.is_some() {
+            self.enforce_quota(caller, path_str, value.value_str().len())?;
+        }
+        let (value, created, created_owner) = {
+            let (node, created) = match Self::walk_create(&mut self.root, caller, path_str) {
+                Ok(hit) => hit,
                 Err(e) => {
                     if matches!(e, StoreError::PermissionDenied) {
                         self.note_denied(caller, path_str);
@@ -547,8 +751,9 @@ impl XenStore {
             };
             let value = value.into_value();
             node.value = Some(Arc::clone(&value));
-            value
+            (value, created, node.perms.owner)
         };
+        self.account_owned(created_owner, created as i64);
         *self.write_counts.entry(caller).or_insert(0) += 1;
         trace_event!(
             self.trace_now,
@@ -615,6 +820,20 @@ impl XenStore {
             self.lookup_mut(parent_path).ok_or(StoreError::NotFound)?
         };
         let removed = parent.children.remove(leaf).ok_or(StoreError::NotFound)?;
+        if self.quota.is_some() {
+            // Removing a subtree frees its nodes from the owners' quotas.
+            fn tally(node: &Node, counts: &mut BTreeMap<DomainId, u64>) {
+                *counts.entry(node.perms.owner).or_insert(0) += 1;
+                for child in node.children.values() {
+                    tally(child, counts);
+                }
+            }
+            let mut counts = BTreeMap::new();
+            tally(&removed, &mut counts);
+            for (owner, n) in counts {
+                self.account_owned(owner, -(n as i64));
+            }
+        }
         // Event for the removed root (sharing the caller's interned path
         // when available), then one per descendant, parent-first.
         self.fire_watches(path_str, path.to_shared(), None);
@@ -663,7 +882,12 @@ impl XenStore {
         if caller != DOM0 && caller != node.perms.owner {
             return Err(StoreError::PermissionDenied);
         }
+        let old_owner = node.perms.owner;
         node.perms = perms;
+        if old_owner != perms.owner {
+            self.account_owned(old_owner, -1);
+            self.account_owned(perms.owner, 1);
+        }
         Ok(())
     }
 
@@ -680,16 +904,30 @@ impl XenStore {
         if path == "/" {
             return Err(StoreError::BadPath);
         }
-        let node = match Self::walk_create(&mut self.root, caller, path) {
-            Ok(node) => node,
-            Err(e) => {
-                if matches!(e, StoreError::PermissionDenied) {
-                    self.note_denied(caller, path);
+        if self.quota.is_some() {
+            self.enforce_quota(caller, path, 0)?;
+        }
+        let (created, inherited_owner, old_owner) = {
+            let (node, created) = match Self::walk_create(&mut self.root, caller, path) {
+                Ok(hit) => hit,
+                Err(e) => {
+                    if matches!(e, StoreError::PermissionDenied) {
+                        self.note_denied(caller, path);
+                    }
+                    return Err(e);
                 }
-                return Err(e);
-            }
+            };
+            let old_owner = node.perms.owner;
+            node.perms = perms;
+            (created, old_owner, old_owner)
         };
-        node.perms = perms;
+        // Created nodes were charged to the inherited owner; the explicit
+        // perms may hand the leaf to someone else.
+        self.account_owned(inherited_owner, created as i64);
+        if old_owner != perms.owner {
+            self.account_owned(old_owner, -1);
+            self.account_owned(perms.owner, 1);
+        }
         Ok(())
     }
 
@@ -721,6 +959,24 @@ impl XenStore {
             }
         }
         true
+    }
+
+    /// Remove every watch registered by `owner` (a crashed control plane
+    /// loses its subscriptions; recovery re-arms them fresh). Returns how
+    /// many watches were removed. Events already queued are untouched —
+    /// delivery-time gating is the machine's job.
+    pub fn unwatch_owner(&mut self, owner: DomainId) -> usize {
+        let ids: Vec<u64> = self
+            .watch_index
+            .values()
+            .flatten()
+            .filter(|w| w.owner == owner)
+            .map(|w| w.id.0)
+            .collect();
+        for id in &ids {
+            self.unwatch(WatchId(*id));
+        }
+        ids.len()
     }
 
     /// Number of registered watches.
@@ -1305,6 +1561,155 @@ mod tests {
         );
         s.set_perms(d(1), "/local/domain/1/x", open).unwrap();
         assert_eq!(s.read(d(2), "/local/domain/1/x").unwrap(), "v");
+    }
+
+    #[test]
+    fn unwatch_owner_removes_only_that_owners_watches() {
+        let mut s = XenStore::new();
+        s.watch(DOM0, "/a");
+        s.watch(DOM0, "/b");
+        let survivor = s.watch(d(1), "/a");
+        assert_eq!(s.unwatch_owner(DOM0), 2);
+        assert_eq!(s.watch_count(), 1);
+        s.write(DOM0, "/a/x", "1").unwrap();
+        s.write(DOM0, "/b/x", "1").unwrap();
+        let evs = s.take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].watch, survivor);
+        assert_eq!(s.unwatch_owner(DOM0), 0);
+    }
+
+    fn quota_store(quota: StoreQuota) -> XenStore {
+        let mut s = XenStore::new();
+        s.set_quota(quota);
+        let path = XenStore::domain_path(d(1));
+        s.mkdir(DOM0, &path, Perms::private_to(d(1))).unwrap();
+        s
+    }
+
+    #[test]
+    fn quotas_are_off_by_default() {
+        // A bare store never rate-limits, whatever the (absent) clock says:
+        // the differential oracle and hot-path bench rely on this.
+        let mut s = store_with_domain(d(1));
+        for i in 0..10_000u32 {
+            s.write(d(1), "/local/domain/1/x", i.to_string()).unwrap();
+        }
+        assert_eq!(s.owned_count(d(1)), 0, "no accounting without a quota");
+    }
+
+    #[test]
+    fn value_size_quota_is_enforced() {
+        let mut s = quota_store(StoreQuota {
+            max_owned_nodes: 0,
+            max_value_bytes: 8,
+            write_rate_per_sec: 0,
+            write_burst: 0,
+        });
+        s.write(d(1), "/local/domain/1/ok", "12345678").unwrap();
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/big", "123456789"),
+            Err(StoreError::QuotaExceeded)
+        );
+        assert_eq!(s.denied_count(d(1)), 1, "quota trips feed denied counts");
+        // Dom0 is exempt.
+        s.write(DOM0, "/local/domain/1/big", "x".repeat(64))
+            .unwrap();
+    }
+
+    #[test]
+    fn owned_node_quota_counts_creates_and_removes() {
+        let mut s = quota_store(StoreQuota {
+            max_owned_nodes: 5,
+            max_value_bytes: 0,
+            write_rate_per_sec: 0,
+            write_burst: 0,
+        });
+        // Only the domain root itself transfers to the guest; the
+        // intermediate /local and /local/domain nodes stay dom0's.
+        assert_eq!(s.owned_count(d(1)), 1);
+        assert_eq!(s.owned_count(DOM0), 2);
+        s.write(d(1), "/local/domain/1/a", "1").unwrap();
+        s.write(d(1), "/local/domain/1/b", "2").unwrap();
+        s.write(d(1), "/local/domain/1/c", "3").unwrap();
+        s.write(d(1), "/local/domain/1/e", "4").unwrap();
+        assert_eq!(s.owned_count(d(1)), 5);
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/f", "5"),
+            Err(StoreError::QuotaExceeded)
+        );
+        // Rewriting an existing node creates nothing and still works.
+        s.write(d(1), "/local/domain/1/a", "1'").unwrap();
+        // Removing frees quota.
+        s.remove(d(1), "/local/domain/1/b").unwrap();
+        assert_eq!(s.owned_count(d(1)), 4);
+        s.write(d(1), "/local/domain/1/f", "5").unwrap();
+        // A multi-node create is charged atomically up front.
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/deep/chain", "x"),
+            Err(StoreError::QuotaExceeded)
+        );
+        assert_eq!(s.owned_count(d(1)), 5, "failed create leaves no debris");
+    }
+
+    #[test]
+    fn write_rate_quota_throttles_and_refills() {
+        let mut s = quota_store(StoreQuota {
+            max_owned_nodes: 0,
+            max_value_bytes: 0,
+            write_rate_per_sec: 10,
+            write_burst: 4,
+        });
+        s.set_now(SimTime::from_millis(1));
+        for _ in 0..4 {
+            s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        }
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/x", "v"),
+            Err(StoreError::QuotaExceeded),
+            "burst exhausted"
+        );
+        // 100 ms at 10/s refills exactly one token.
+        s.set_now(SimTime::from_millis(101));
+        s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/x", "v"),
+            Err(StoreError::QuotaExceeded)
+        );
+        // A long idle stretch caps at the burst, not unbounded credit.
+        s.set_now(SimTime::from_secs(100));
+        for _ in 0..4 {
+            s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        }
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/x", "v"),
+            Err(StoreError::QuotaExceeded)
+        );
+        // Dom0 never throttles.
+        for _ in 0..100 {
+            s.write(DOM0, "/local/domain/1/x", "v").unwrap();
+        }
+    }
+
+    #[test]
+    fn suppressed_republish_is_not_rate_charged() {
+        let mut s = quota_store(StoreQuota {
+            max_owned_nodes: 0,
+            max_value_bytes: 0,
+            write_rate_per_sec: 10,
+            write_burst: 2,
+        });
+        s.write(d(1), "/local/domain/1/x", "v").unwrap();
+        // Identical-value republishes put no traffic on the channel and
+        // cost no tokens.
+        for _ in 0..50 {
+            assert!(!s.write_if_changed(d(1), "/local/domain/1/x", "v").unwrap());
+        }
+        s.write(d(1), "/local/domain/1/x", "w").unwrap();
+        assert_eq!(
+            s.write(d(1), "/local/domain/1/x", "z"),
+            Err(StoreError::QuotaExceeded)
+        );
     }
 
     #[test]

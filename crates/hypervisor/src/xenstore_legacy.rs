@@ -8,7 +8,7 @@
 //! It is kept verbatim for two jobs:
 //!
 //! 1. **Differential oracle** — randomized tests drive the same operation
-//!    sequence through this store and the optimized [`crate::xenstore`]
+//!    sequence through this store and the optimized `crate::xenstore`
 //!    implementation and assert identical reads, final trees and watch
 //!    event streams (see `tests/store_differential.rs`).
 //! 2. **Bench baseline** — the `hotpath` bench binary in `iorch-bench`

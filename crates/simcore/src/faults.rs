@@ -29,8 +29,17 @@ pub struct FaultWindow {
 
 impl FaultWindow {
     /// Window active during `[from, until)`.
+    ///
+    /// Both degenerate shapes are rejected: an inverted window
+    /// (`from > until`) and an *empty* one (`from == until`), which under
+    /// the half-open `contains` would silently never fire — a fault plan
+    /// that tests nothing is almost certainly a bug in the scenario.
     pub fn new(from: SimTime, until: SimTime) -> Self {
         assert!(from <= until, "fault window ends before it starts");
+        assert!(
+            from < until,
+            "fault window is empty (from == until) and would never fire"
+        );
         FaultWindow { from, until }
     }
 
@@ -96,6 +105,31 @@ pub enum FaultKind {
     WatchDelay {
         /// Additional delivery latency.
         extra: SimDuration,
+    },
+    /// The dom0 management plane crashes at `at`, losing all in-memory
+    /// decision state and missing every event until it recovers
+    /// `recover_after` later (restart + state rebuild from the store).
+    /// Unlike the windowed kinds this is a point event, so it carries its
+    /// own clock instants; installers pair it with
+    /// [`FaultWindow::always`].
+    PlaneCrash {
+        /// Instant the plane dies.
+        at: SimTime,
+        /// Outage length; the plane recovers at `at + recover_after`.
+        recover_after: SimDuration,
+    },
+    /// The XenBus transport misdelivers watch events while the window is
+    /// active: every `drop_1_in`-th event is lost, every `dup_1_in`-th is
+    /// delivered twice, and `reorder` reverses each delivery batch.
+    /// Counters are deterministic (no RNG draw), so a `(seed, plan)` pair
+    /// still replays bit-for-bit. A field of `0` disables that misbehaviour.
+    BusUnreliable {
+        /// Drop every n-th event (0 = drop nothing).
+        drop_1_in: u64,
+        /// Duplicate every n-th event (0 = duplicate nothing).
+        dup_1_in: u64,
+        /// Reverse the order of each same-instant delivery batch.
+        reorder: bool,
     },
 }
 
@@ -192,6 +226,63 @@ impl FaultPlan {
             .iter()
             .any(|ev| matches!(ev.kind, FaultKind::WatchDelay { .. }))
     }
+
+    /// Does the plan misdeliver watch events at any point
+    /// ([`FaultKind::BusUnreliable`])?
+    pub fn has_bus_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|ev| matches!(ev.kind, FaultKind::BusUnreliable { .. }))
+    }
+
+    /// Combined bus misbehaviour active at `now`: overlapping
+    /// [`FaultKind::BusUnreliable`] windows compose by taking the most
+    /// aggressive drop/duplicate stride (the smallest non-zero `n`) and
+    /// OR-ing `reorder`. `None` when no window is active.
+    pub fn bus_unreliable(&self, now: SimTime) -> Option<BusFault> {
+        let mut combined: Option<BusFault> = None;
+        for ev in &self.events {
+            if let FaultKind::BusUnreliable {
+                drop_1_in,
+                dup_1_in,
+                reorder,
+            } = ev.kind
+            {
+                if !ev.window.contains(now) {
+                    continue;
+                }
+                let b = combined.get_or_insert(BusFault {
+                    drop_1_in: 0,
+                    dup_1_in: 0,
+                    reorder: false,
+                });
+                b.drop_1_in = merge_stride(b.drop_1_in, drop_1_in);
+                b.dup_1_in = merge_stride(b.dup_1_in, dup_1_in);
+                b.reorder |= reorder;
+            }
+        }
+        combined
+    }
+}
+
+/// The bus misbehaviour in force at one instant (see
+/// [`FaultPlan::bus_unreliable`]); strides of `0` mean "off".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BusFault {
+    /// Drop every n-th event (0 = drop nothing).
+    pub drop_1_in: u64,
+    /// Duplicate every n-th event (0 = duplicate nothing).
+    pub dup_1_in: u64,
+    /// Reverse each same-instant delivery batch.
+    pub reorder: bool,
+}
+
+/// Most aggressive of two drop/dup strides, where 0 means disabled.
+fn merge_stride(a: u64, b: u64) -> u64 {
+    match (a, b) {
+        (0, x) | (x, 0) => x,
+        (a, b) => a.min(b),
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +310,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "fault window is empty")]
+    fn rejects_empty_window() {
+        FaultWindow::new(t(10), t(10));
+    }
+
+    /// Boundary semantics of the half-open window: active *at* `from`,
+    /// inactive *at* `until`, and a one-instant window contains exactly
+    /// its `from`.
+    #[test]
+    fn contains_boundaries_are_half_open() {
+        let w = FaultWindow::new(t(10), t(20));
+        assert!(w.contains(w.from));
+        assert!(!w.contains(w.until));
+        let tiny = FaultWindow::new(
+            t(5),
+            SimTime::from_millis(5) + crate::SimDuration::from_nanos(1),
+        );
+        assert!(tiny.contains(tiny.from));
+        assert!(!tiny.contains(tiny.until));
+    }
+
+    #[test]
     fn slowdown_factors_compose() {
         let plan = FaultPlan::new()
             .with(
@@ -242,6 +355,56 @@ mod tests {
         assert_eq!(plan.device_stall_until(t(20)), Some(t(80)));
         assert_eq!(plan.device_stall_until(t(60)), Some(t(80)));
         assert_eq!(plan.device_stall_until(t(90)), None);
+    }
+
+    #[test]
+    fn bus_faults_compose_most_aggressively() {
+        let plan = FaultPlan::new()
+            .with(
+                FaultWindow::new(t(0), t(100)),
+                FaultKind::BusUnreliable {
+                    drop_1_in: 7,
+                    dup_1_in: 0,
+                    reorder: false,
+                },
+            )
+            .with(
+                FaultWindow::new(t(50), t(150)),
+                FaultKind::BusUnreliable {
+                    drop_1_in: 13,
+                    dup_1_in: 5,
+                    reorder: true,
+                },
+            );
+        assert!(plan.has_bus_faults());
+        assert_eq!(
+            plan.bus_unreliable(t(10)),
+            Some(BusFault {
+                drop_1_in: 7,
+                dup_1_in: 0,
+                reorder: false
+            })
+        );
+        // Overlap: smallest non-zero stride wins, reorder ORs in.
+        assert_eq!(
+            plan.bus_unreliable(t(60)),
+            Some(BusFault {
+                drop_1_in: 7,
+                dup_1_in: 5,
+                reorder: true
+            })
+        );
+        assert_eq!(plan.bus_unreliable(t(120)).unwrap().drop_1_in, 13);
+        assert_eq!(plan.bus_unreliable(t(200)), None);
+        assert!(!FaultPlan::new()
+            .with(
+                FaultWindow::always(),
+                FaultKind::PlaneCrash {
+                    at: t(5),
+                    recover_after: SimDuration::from_millis(100),
+                },
+            )
+            .has_bus_faults());
     }
 
     #[test]

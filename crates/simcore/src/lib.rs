@@ -31,7 +31,7 @@ mod time;
 pub mod trace;
 
 pub use event::{Callback, EventToken, PeriodicHandle, Scheduler};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultWindow};
+pub use faults::{BusFault, FaultEvent, FaultKind, FaultPlan, FaultWindow};
 pub use rng::{SimRng, Zipfian};
 pub use sim::{RunOutcome, Simulation};
 pub use time::{SimDuration, SimTime};

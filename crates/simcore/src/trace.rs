@@ -5,14 +5,14 @@
 //! decisions requires the same per-request, per-layer visibility. Every
 //! layer (guest block queue, kernel, frontend ring, I/O cores, device,
 //! system store, control planes) emits typed [`TraceEvent`]s through the
-//! [`trace_event!`] macro into a bounded per-thread ring.
+//! [`trace_event!`](crate::trace_event) macro into a bounded per-thread ring.
 //!
 //! Design points:
 //!
 //! * **Deterministic**: events carry only simulated time and model state —
 //!   no wall clocks, no addresses — so the rendered timeline of a run is a
 //!   pure function of `(model, seed)` and is byte-identical across runs.
-//! * **Zero cost off**: [`trace_event!`] expands to a branch on
+//! * **Zero cost off**: [`trace_event!`](crate::trace_event) expands to a branch on
 //!   [`enabled()`], whose first test is the compile-time constant
 //!   [`COMPILED`]. Building with `RUSTFLAGS="--cfg iorch_trace_off"` turns
 //!   the constant `false` and the whole arm — including construction of the
@@ -38,7 +38,7 @@ use std::sync::Arc;
 use crate::SimTime;
 
 /// `false` when the crate graph was built with
-/// `RUSTFLAGS="--cfg iorch_trace_off"`; the [`trace_event!`] macro
+/// `RUSTFLAGS="--cfg iorch_trace_off"`; the [`trace_event!`](crate::trace_event) macro
 /// const-folds to nothing in that configuration.
 pub const COMPILED: bool = !cfg!(iorch_trace_off);
 
@@ -225,6 +225,26 @@ pub enum TraceEventKind {
         /// New value (`None` for a removal).
         value: Option<Arc<str>>,
     },
+    /// An unreliable XenBus dropped a watch event instead of delivering it
+    /// (injected by [`FaultKind::BusUnreliable`](crate::faults::FaultKind)).
+    XenBusDrop {
+        /// Domain that would have been notified.
+        dom: u32,
+        /// Path that changed.
+        path: Arc<str>,
+        /// Value that was lost (`None` for a removal).
+        value: Option<Arc<str>>,
+    },
+    /// An unreliable XenBus delivered a watch event a second time
+    /// (injected by [`FaultKind::BusUnreliable`](crate::faults::FaultKind)).
+    XenBusDup {
+        /// Notified domain.
+        dom: u32,
+        /// Path that changed.
+        path: Arc<str>,
+        /// Duplicated value (`None` for a removal).
+        value: Option<Arc<str>>,
+    },
     // ---- control plane ----------------------------------------------
     /// A management-module decision, with the inputs that drove it.
     Decision(Decision),
@@ -297,6 +317,28 @@ pub enum Decision {
         /// Per-socket route weights.
         weights: Vec<f64>,
     },
+    /// The management plane crashed: all in-memory decision state is lost
+    /// and watch events go undelivered until recovery.
+    PlaneCrash,
+    /// The management plane restarted and rebuilt its decision state from
+    /// the store.
+    PlaneRecover {
+        /// Command epoch adopted for the new incarnation (persisted + 1).
+        epoch: u64,
+        /// Domains found and re-registered during the store scan.
+        domains: u32,
+        /// Quarantined domains restored from persisted state.
+        quarantined: u32,
+    },
+    /// A guest driver discarded a stale or duplicate epoch-stamped command.
+    StaleCommand {
+        /// Domain that rejected the command.
+        dom: u32,
+        /// Epoch carried by the rejected command.
+        epoch: u64,
+        /// Newest epoch the guest has already accepted for this channel.
+        last_seen: u64,
+    },
 }
 
 /// Bounded event ring plus drop accounting.
@@ -368,7 +410,7 @@ pub fn uninstall() -> Option<TraceRecorder> {
     RECORDER.with(|r| r.borrow_mut().take())
 }
 
-/// Whether [`trace_event!`] records on this thread. The [`COMPILED`] test
+/// Whether [`trace_event!`](crate::trace_event) records on this thread. The [`COMPILED`] test
 /// is first so the whole call folds to `false` when traced-off builds
 /// const-propagate it.
 #[inline(always)]
@@ -376,7 +418,7 @@ pub fn enabled() -> bool {
     COMPILED && ENABLED.with(|e| e.get())
 }
 
-/// Record an event. Call through [`trace_event!`], which guards on
+/// Record an event. Call through [`trace_event!`](crate::trace_event), which guards on
 /// [`enabled()`] so disabled runs never construct the event value.
 #[cold]
 pub fn record(t: SimTime, kind: TraceEventKind) {
@@ -506,6 +548,29 @@ fn render_decision(out: &mut String, d: &Decision) {
             }
             out.push(']');
         }
+        Decision::PlaneCrash => {
+            out.push_str("decision plane_crash: control plane state lost");
+        }
+        Decision::PlaneRecover {
+            epoch,
+            domains,
+            quarantined,
+        } => {
+            let _ = write!(
+                out,
+                "decision plane_recover: epoch={epoch} domains={domains} quarantined={quarantined}"
+            );
+        }
+        Decision::StaleCommand {
+            dom,
+            epoch,
+            last_seen,
+        } => {
+            let _ = write!(
+                out,
+                "decision stale_command dom {dom}: epoch={epoch} last_seen={last_seen}"
+            );
+        }
     }
 }
 
@@ -603,6 +668,22 @@ pub fn render_event(out: &mut String, ev: &TraceEvent) {
             }
             None => {
                 let _ = write!(out, "dom {dom} xenbus_deliver {path} (removed)");
+            }
+        },
+        TraceEventKind::XenBusDrop { dom, path, value } => match value {
+            Some(v) => {
+                let _ = write!(out, "dom {dom} xenbus_drop {path} = {v}");
+            }
+            None => {
+                let _ = write!(out, "dom {dom} xenbus_drop {path} (removed)");
+            }
+        },
+        TraceEventKind::XenBusDup { dom, path, value } => match value {
+            Some(v) => {
+                let _ = write!(out, "dom {dom} xenbus_dup {path} = {v}");
+            }
+            None => {
+                let _ = write!(out, "dom {dom} xenbus_dup {path} (removed)");
             }
         },
         TraceEventKind::Decision(d) => render_decision(out, d),
@@ -793,6 +874,22 @@ fn chrome_fields(kind: &TraceEventKind) -> ChromeEvent<'_> {
                 None => vec![("path", S(path)), ("removed", B(true))],
             },
         },
+        TraceEventKind::XenBusDrop { dom, path, value } => ChromeEvent {
+            name: "xenbus_drop",
+            tid: *dom,
+            args: match value {
+                Some(v) => vec![("path", S(path)), ("value", S(v))],
+                None => vec![("path", S(path)), ("removed", B(true))],
+            },
+        },
+        TraceEventKind::XenBusDup { dom, path, value } => ChromeEvent {
+            name: "xenbus_dup",
+            tid: *dom,
+            args: match value {
+                Some(v) => vec![("path", S(path)), ("value", S(v))],
+                None => vec![("path", S(path)), ("removed", B(true))],
+            },
+        },
         TraceEventKind::Decision(d) => {
             let mut body = String::new();
             render_decision(&mut body, d);
@@ -808,6 +905,9 @@ fn chrome_fields(kind: &TraceEventKind) -> ChromeEvent<'_> {
                 Decision::Quarantine { dom, .. } => ("decision_quarantine", *dom),
                 Decision::QuarantineCleared { dom } => ("decision_quarantine_cleared", *dom),
                 Decision::WeightPush { dom, .. } => ("decision_weight_push", *dom),
+                Decision::PlaneCrash => ("decision_plane_crash", 0),
+                Decision::PlaneRecover { .. } => ("decision_plane_recover", 0),
+                Decision::StaleCommand { dom, .. } => ("decision_stale_command", *dom),
             };
             ChromeEvent {
                 name,

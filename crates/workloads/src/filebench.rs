@@ -1,4 +1,4 @@
-//! FileBench-suite workload models [18]: file server (FS), web server
+//! FileBench-suite workload models \[18\]: file server (FS), web server
 //! (WS), video server (VS) and multi-stream read — the synthetic drivers
 //! behind the paper's Figs. 8–10.
 

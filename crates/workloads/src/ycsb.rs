@@ -1,7 +1,7 @@
 //! YCSB over a Cassandra-like key-value store.
 //!
 //! The paper's YCSB1 (update-heavy, 50:50) and YCSB2 (read-mostly, 95:5)
-//! core workloads [13] against multi-VM Cassandra data stores. The node
+//! core workloads \[13\] against multi-VM Cassandra data stores. The node
 //! model captures the I/O shape that matters:
 //!
 //! * **reads** hit the sstable region at a Zipf-popular offset — hot keys

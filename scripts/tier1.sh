@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release --offline
 cargo clippy --workspace --offline --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 cargo test -q --offline
 cargo test -q --offline --workspace
+
+# The convergence oracle (crash the control plane at every tick boundary
+# of every fault scenario) is too heavy for the debug suite; its tests
+# are #[ignore]d there and run here in release.
+cargo test -q --offline -p iorch-bench --release --test convergence -- --include-ignored
 
 # The trace recorder must also build and pass with the instrumentation
 # compiled out (the production hot-path configuration).
