@@ -13,19 +13,27 @@ use iorch_hypervisor::{Cluster, VmSpec};
 use iorch_metrics::{fmt_pct, fmt_us, Table};
 use iorch_simcore::{SimDuration, SimTime, Simulation};
 use iorch_workloads::{recorder, spawn_ycsb, VmRef, YcsbParams};
-use iorchestra::{FunctionSet, IOrchestraConfig, IOrchestraPlane, SystemKind};
+use iorchestra::{
+    FunctionSet, IOrchestraConfig, IOrchestraPlane, PolicyEngine, PolicySet, SystemKind,
+};
 
 /// Run the bursty-writes scenario with a custom-configured IOrchestra
 /// plane (full function set unless restricted).
 fn bursty_with_cfg(mk: impl FnOnce(IOrchestraConfig) -> IOrchestraConfig, rate: f64) -> f64 {
+    bursty_with_set(
+        PolicySet::iorchestra(mk(IOrchestraConfig::new(42))),
+        iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true },
+        rate,
+    )
+}
+
+/// Run the bursty-writes scenario under an arbitrary policy set — the
+/// named-set sweep runs every plane the engine knows through here.
+fn bursty_with_set(set: PolicySet, mode: iorch_hypervisor::IoPathMode, rate: f64) -> f64 {
     let mut sim = Simulation::new(Cluster::new());
     let (cl, s) = sim.parts_mut();
-    let idx = cl.add_machine(iorch_hypervisor::MachineConfig::paper_testbed(
-        42,
-        iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true },
-    ));
-    let cfg = mk(IOrchestraConfig::new(42));
-    cl.install_control(s, idx, Box::new(IOrchestraPlane::new(cfg)));
+    let idx = cl.add_machine(iorch_hypervisor::MachineConfig::paper_testbed(42, mode));
+    cl.install_control(s, idx, Box::new(PolicyEngine::new(set)));
     let a = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |g| {
         g.wb.periodic_interval = SimDuration::from_millis(1000);
         g.wb.dirty_expire = SimDuration::from_millis(3000);
@@ -61,6 +69,38 @@ fn bursty_with_cfg(mk: impl FnOnce(IOrchestraConfig) -> IOrchestraConfig, rate: 
 
 fn main() {
     let rate = 600.0;
+
+    // --- Ablation 0: every named policy set on one engine ---
+    // (`IORCH_ABLATION=named` runs only this table; tier1.sh uses it to
+    // sweep the policy sets without paying for the parameter ablations.)
+    let mut t0 = Table::new(
+        "Ablation — named policy sets (YCSB1 bursty p99.9, us)",
+        &["policy set", "p99.9 (us)"],
+    );
+    for name in [
+        "baseline",
+        "sdc",
+        "dif",
+        "flush_only",
+        "congestion_only",
+        "cosched_only",
+        "iorchestra",
+    ] {
+        let set = PolicySet::named(name, 42).expect("known policy set");
+        let mode = match name {
+            "sdc" => iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: false },
+            "cosched_only" | "iorchestra" => {
+                iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true }
+            }
+            _ => iorch_hypervisor::IoPathMode::Paravirt,
+        };
+        let v = bursty_with_set(set, mode, rate);
+        t0.row(vec![name.into(), format!("{v:.1}")]);
+    }
+    print!("{}", t0.render());
+    if std::env::var("IORCH_ABLATION").as_deref() == Ok("named") {
+        return;
+    }
 
     // --- Ablation 1: congestion wake interleave ---
     let mut t1 = Table::new(

@@ -73,7 +73,11 @@ fn main() {
             42,
             IoPathMode::DedicatedCores { per_socket: true },
         ));
-        cl.install_control(s, idx, Box::new(iorchestra::BaselinePlane::sdc()));
+        cl.install_control(
+            s,
+            idx,
+            Box::new(iorchestra::PolicyEngine::new(iorchestra::PolicySet::sdc())),
+        );
         drop(sim);
         // Reuse fig4_run by provisioning through SystemKind is not possible
         // here; instead compare SDC (1 core) vs cosched-only with weight

@@ -68,7 +68,11 @@ pub fn single_machine(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usiz
             seed,
             iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true },
         ));
-        cl.install_control(s, idx, Box::new(iorchestra::BaselinePlane::sdc()));
+        cl.install_control(
+            s,
+            idx,
+            Box::new(iorchestra::PolicyEngine::new(iorchestra::PolicySet::sdc())),
+        );
         return (sim, idx);
     }
     let idx = kind.provision(cl, s, seed);

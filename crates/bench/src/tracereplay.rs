@@ -46,6 +46,14 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     ),
 ];
 
+/// Installs a machine (and its control plane) into the cluster and
+/// returns the machine index. Scenarios are written against this seam so
+/// the same workload can run under a [`SystemKind`] *or* an arbitrary
+/// boxed control plane — the policy-equivalence oracle uses it to replay
+/// every scenario under both the legacy hand-fused planes and the policy
+/// engine and compare the traces byte for byte.
+pub type Provision<'a> = &'a mut dyn FnMut(&mut Cluster, &mut Sched) -> usize;
+
 /// Parse a system name as accepted by the `tracedump` CLI.
 pub fn parse_system(name: &str) -> Option<SystemKind> {
     Some(match name {
@@ -62,8 +70,15 @@ pub fn parse_system(name: &str) -> Option<SystemKind> {
 /// out (`--cfg iorch_trace_off`) the scenario still runs but the event
 /// list is empty.
 pub fn run_scenario(kind: SystemKind, seed: u64, scenario: &str) -> Option<Vec<TraceEvent>> {
+    run_scenario_with(&mut |cl, s| kind.provision(cl, s, seed), seed, scenario)
+}
+
+/// [`run_scenario`] with an explicit provisioner: the scenario runs on
+/// whatever machine/control-plane combination `prov` installs. `seed`
+/// still drives the workload generators.
+pub fn run_scenario_with(prov: Provision, seed: u64, scenario: &str) -> Option<Vec<TraceEvent>> {
     let session = TraceSession::new();
-    let known = run_scenario_sim(kind, seed, scenario, FaultPlan::new());
+    let known = run_scenario_sim_with(prov, seed, scenario, FaultPlan::new());
     let rec = session.finish();
     known.map(|_| rec.into_events())
 }
@@ -80,21 +95,36 @@ pub fn run_scenario_sim(
     scenario: &str,
     extra: FaultPlan,
 ) -> Option<(Simulation<Cluster>, usize)> {
+    run_scenario_sim_with(
+        &mut |cl, s| kind.provision(cl, s, seed),
+        seed,
+        scenario,
+        extra,
+    )
+}
+
+/// [`run_scenario_sim`] with an explicit provisioner (see [`Provision`]).
+pub fn run_scenario_sim_with(
+    prov: Provision,
+    seed: u64,
+    scenario: &str,
+    extra: FaultPlan,
+) -> Option<(Simulation<Cluster>, usize)> {
     Some(match scenario {
-        "mixed8" => mixed8(kind, seed, extra),
-        "unresponsive_flush" => unresponsive_flush(kind, seed, extra),
-        "store_hammer" => store_hammer(kind, seed, extra),
-        "device_stall" => device_stall(kind, seed, extra),
-        "plane_crash" => plane_crash(kind, seed, extra),
-        "lossy_bus" => lossy_bus(kind, seed, extra),
+        "mixed8" => mixed8(prov, seed, extra),
+        "unresponsive_flush" => unresponsive_flush(prov, seed, extra),
+        "store_hammer" => store_hammer(prov, seed, extra),
+        "device_stall" => device_stall(prov, seed, extra),
+        "plane_crash" => plane_crash(prov, seed, extra),
+        "lossy_bus" => lossy_bus(prov, seed, extra),
         _ => return None,
     })
 }
 
-fn sim_with(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usize) {
+fn sim_with(prov: Provision) -> (Simulation<Cluster>, usize) {
     let mut sim = Simulation::new(Cluster::new());
     let (cl, s) = sim.parts_mut();
-    let idx = kind.provision(cl, s, seed);
+    let idx = prov(cl, s);
     (sim, idx)
 }
 
@@ -154,8 +184,8 @@ fn greedy_reader(cl: &mut Cluster, s: &mut Sched, idx: usize, seed: u64, rec: &R
 /// release / confirm decisions), three slow-writeback dirty writers
 /// (collaborative flush decisions), one store hammer (quarantine), and
 /// one light reader for background traffic.
-fn mixed8(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
-    let (mut sim, idx) = sim_with(kind, seed);
+fn mixed8(prov: Provision, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(prov);
     let (cl, s) = sim.parts_mut();
     let rec = recorder(SimTime::ZERO);
     for v in 0..3u64 {
@@ -205,11 +235,11 @@ fn mixed8(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>
 
 /// Mirror of `unresponsive_guest_flush_falls_back_and_quarantines`.
 fn unresponsive_flush(
-    kind: SystemKind,
-    seed: u64,
+    prov: Provision,
+    _seed: u64,
     extra: FaultPlan,
 ) -> (Simulation<Cluster>, usize) {
-    let (mut sim, idx) = sim_with(kind, seed);
+    let (mut sim, idx) = sim_with(prov);
     let (cl, s) = sim.parts_mut();
     let slacker = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
     let _healthy = cl.create_domain(s, idx, VmSpec::new(1, 2).with_disk_gb(8), slow_wb);
@@ -227,8 +257,8 @@ fn unresponsive_flush(
 
 /// Mirror of `store_hammer_is_quarantined_and_operator_clear_restores`
 /// (without the operator clear — the quarantine decision is the point).
-fn store_hammer(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
-    let (mut sim, idx) = sim_with(kind, seed);
+fn store_hammer(prov: Provision, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(prov);
     let (cl, s) = sim.parts_mut();
     let evil = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(8), |_| {});
     let good = cl.create_domain(s, idx, VmSpec::new(2, 2).with_disk_gb(8), |_| {});
@@ -263,8 +293,8 @@ fn store_hammer(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cl
 }
 
 /// Mirror of `device_stall_is_survived`.
-fn device_stall(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
-    let (mut sim, idx) = sim_with(kind, seed);
+fn device_stall(prov: Provision, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(prov);
     let (cl, s) = sim.parts_mut();
     let dom = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |_| {});
     let rec = recorder(SimTime::ZERO);
@@ -295,8 +325,8 @@ fn device_stall(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cl
 /// earned its quarantine — and recovers 400 ms later: the quarantine set,
 /// health counters and any in-flight flush must be rebuilt from the store
 /// (`plane_crash` / `plane_recover` decisions bracket the outage).
-fn plane_crash(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
-    let (mut sim, idx) = sim_with(kind, seed);
+fn plane_crash(prov: Provision, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(prov);
     let (cl, s) = sim.parts_mut();
     let rec = recorder(SimTime::ZERO);
     greedy_reader(cl, s, idx, seed, &rec);
@@ -337,8 +367,8 @@ fn plane_crash(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Clu
 /// batch: dropped `flush_now` commands retry through the timeout path, and
 /// duplicated commands are discarded by the guests' epoch cursors
 /// (`stale_command` decisions in the dump).
-fn lossy_bus(kind: SystemKind, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
-    let (mut sim, idx) = sim_with(kind, seed);
+fn lossy_bus(prov: Provision, seed: u64, extra: FaultPlan) -> (Simulation<Cluster>, usize) {
+    let (mut sim, idx) = sim_with(prov);
     let (cl, s) = sim.parts_mut();
     let rec = recorder(SimTime::ZERO);
     greedy_reader(cl, s, idx, seed, &rec);

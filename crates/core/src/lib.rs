@@ -11,8 +11,7 @@
 //! callbacks apply them. Three functions ride on that channel:
 //!
 //! 1. **Cross-domain flush control** (Algorithm 1): flush the guest with
-//!    the most dirty pages when the device is under 1/10 utilized —
-//!    [`planes::IOrchestraPlane`] + [`keys`];
+//!    the most dirty pages when the device is under 1/10 utilized;
 //! 2. **Collaborative congestion control** (Algorithm 2): a guest about to
 //!    enable congestion avoidance first asks the host; false triggers get
 //!    a `release_request` instead of a sleep, and truly congested guests
@@ -22,23 +21,30 @@
 //!    quanta `Q_i = BW_max · S^{VMi}_{SKT}` and inverse-latency weight
 //!    distribution for cross-socket VMs.
 //!
-//! The comparison systems are control planes too: [`planes::BaselinePlane`]
-//! (stock, also used for SDC) and [`planes::DifPlane`] (disk-idleness
-//! flushing \[17\]). [`SystemKind`] provisions any of them onto a machine.
+//! Every control plane — the paper's system, its `FunctionSet` ablations,
+//! and the comparison systems (Baseline/SDC, DIF \[17\]) — is a
+//! [`policy::PolicySet`] executed by the [`policy::PolicyEngine`]: typed
+//! enforcement points, staged rules, engine-owned enforcement. See the
+//! [`policy`] module for the architecture and its determinism contract;
+//! [`SystemKind`] provisions any plane onto a machine. The pre-redesign
+//! hand-fused planes survive in [`legacy`] as the byte-identity oracle.
 
 #![warn(missing_docs)]
 
 pub mod anomaly;
 pub mod formulas;
 pub mod keys;
+pub mod legacy;
 pub mod monitor;
 pub mod netbuf;
 pub mod planes;
+pub mod policy;
 mod system;
 
 pub use anomaly::{AnomalyDetector, AnomalyParams};
 pub use monitor::{MonitorReport, MonitoringModule};
-pub use planes::{
-    BaselinePlane, DifPlane, FunctionSet, IOrchestraConfig, IOrchestraPlane, PlaneStats,
-};
+#[allow(deprecated)]
+pub use planes::{BaselinePlane, DifPlane};
+pub use planes::{FunctionSet, IOrchestraConfig, IOrchestraPlane, PlaneStats};
+pub use policy::{Action, PolicyCtx, PolicyEngine, PolicySet, Rule, Stage};
 pub use system::SystemKind;

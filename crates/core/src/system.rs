@@ -2,7 +2,8 @@
 
 use iorch_hypervisor::{Cluster, IoPathMode, MachineConfig, Sched};
 
-use crate::planes::{BaselinePlane, DifPlane, FunctionSet, IOrchestraConfig, IOrchestraPlane};
+use crate::planes::{FunctionSet, IOrchestraConfig};
+use crate::policy::{PolicyEngine, PolicySet};
 
 /// Which system a machine runs — the comparison axis of every figure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,15 +76,16 @@ impl SystemKind {
     /// matching control plane).
     pub fn provision(&self, cl: &mut Cluster, s: &mut Sched, seed: u64) -> usize {
         let idx = cl.add_machine(MachineConfig::paper_testbed(seed, self.io_mode()));
-        let control: Box<dyn iorch_hypervisor::ControlPlane> = match self {
-            SystemKind::Baseline => Box::new(BaselinePlane::baseline()),
-            SystemKind::Sdc => Box::new(BaselinePlane::sdc()),
-            SystemKind::Dif => Box::new(DifPlane::new()),
-            SystemKind::IOrchestra => Box::new(IOrchestraPlane::new(IOrchestraConfig::new(seed))),
-            SystemKind::IOrchestraWith(f) => Box::new(IOrchestraPlane::new(
-                IOrchestraConfig::new(seed).with_functions(*f),
-            )),
+        let set = match self {
+            SystemKind::Baseline => PolicySet::baseline(),
+            SystemKind::Sdc => PolicySet::sdc(),
+            SystemKind::Dif => PolicySet::dif(),
+            SystemKind::IOrchestra => PolicySet::iorchestra(IOrchestraConfig::new(seed)),
+            SystemKind::IOrchestraWith(f) => {
+                PolicySet::iorchestra(IOrchestraConfig::new(seed).with_functions(*f))
+            }
         };
+        let control: Box<dyn iorch_hypervisor::ControlPlane> = Box::new(PolicyEngine::new(set));
         cl.install_control(s, idx, control);
         idx
     }

@@ -5,7 +5,7 @@ use iorch_guestos::FileOp;
 use iorch_hypervisor::{Cluster, IoPathMode, MachineConfig, VmSpec, DOM0};
 use iorch_simcore::{SimDuration, SimTime, Simulation};
 use iorchestra::{
-    keys, BaselinePlane, DifPlane, FunctionSet, IOrchestraConfig, IOrchestraPlane, SystemKind,
+    keys, FunctionSet, IOrchestraConfig, IOrchestraPlane, PolicyEngine, PolicySet, SystemKind,
 };
 
 #[test]
@@ -224,9 +224,9 @@ fn dif_and_baseline_planes_never_touch_the_store() {
         let (cl, s) = sim.parts_mut();
         let idx = cl.add_machine(MachineConfig::paper_testbed(5, IoPathMode::Paravirt));
         if plane {
-            cl.install_control(s, idx, Box::new(DifPlane::new()));
+            cl.install_control(s, idx, Box::new(PolicyEngine::new(PolicySet::dif())));
         } else {
-            cl.install_control(s, idx, Box::new(BaselinePlane::baseline()));
+            cl.install_control(s, idx, Box::new(PolicyEngine::new(PolicySet::baseline())));
         }
         let dom = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(6), |_| {});
         let file = cl

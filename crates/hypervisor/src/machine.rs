@@ -187,6 +187,12 @@ pub struct Domain {
     vcpu_busy: Vec<SimTime>,
     ring: Ring,
     backend_busy_until: SimTime,
+    /// Policy rate limit on backend dispatch (bytes/sec); `None` (the
+    /// default) disables the limiter entirely.
+    rate_limit_bps: Option<u64>,
+    /// Rate-limiter ledger: earliest time the next dispatched request may
+    /// start service (a token bucket expressed as a time horizon).
+    rate_ready_at: SimTime,
     vdisk_base: u64,
     timer_at: SimTime,
     created_at: SimTime,
@@ -479,7 +485,27 @@ impl Cluster {
         for (req, _pushed) in &batch {
             let cost = m.cfg.timing.backend_per_req
                 + SimDuration::from_secs_f64(req.len as f64 / m.cfg.timing.backend_copy_bw as f64);
-            let start = d.backend_busy_until.max(now);
+            let mut start = d.backend_busy_until.max(now);
+            // Policy rate limit (device-dispatch enforcement point): a
+            // throttled domain's requests start no earlier than the
+            // limiter's ready horizon, which each request then pushes out
+            // by len/limit. Zero work — and zero trace traffic — when no
+            // limit is installed.
+            if let Some(bps) = d.rate_limit_bps {
+                if d.rate_ready_at > start {
+                    trace_event!(
+                        now,
+                        TraceEventKind::RateLimitDefer {
+                            dom: dom.0,
+                            req: req.id.0,
+                            delay_us: d.rate_ready_at.saturating_since(start).as_nanos() / 1_000,
+                        }
+                    );
+                    start = d.rate_ready_at;
+                }
+                let pay = SimDuration::from_secs_f64(req.len as f64 / bps as f64);
+                d.rate_ready_at = start + pay;
+            }
             d.backend_busy_until = start + cost;
             total_cpu += cost;
             submit_times.push((d.backend_busy_until, *req));
@@ -748,6 +774,8 @@ impl Machine {
                 vcpu_busy: vec![SimTime::ZERO; vcpus],
                 ring: Ring::new(1024),
                 backend_busy_until: SimTime::ZERO,
+                rate_limit_bps: None,
+                rate_ready_at: SimTime::ZERO,
                 vdisk_base,
                 timer_at: SimTime::MAX,
                 created_at: s.now(),
@@ -1113,6 +1141,24 @@ impl Machine {
         if let Some(d) = self.domains.get(&dom) {
             self.storage.set_stream_weight(d.kernel.stream(), weight);
         }
+    }
+
+    /// Install (or with `None`, lift) a bytes/sec rate limit on a VM's
+    /// backend dispatch — the enforcement mechanism behind policy
+    /// `RateLimit` actions. Deterministic: throttling only reshapes
+    /// request start times, never drops or reorders them.
+    pub fn cp_set_rate_limit(&mut self, dom: DomainId, bytes_per_sec: Option<u64>) {
+        if let Some(d) = self.domains.get_mut(&dom) {
+            d.rate_limit_bps = bytes_per_sec.filter(|&b| b > 0);
+            if d.rate_limit_bps.is_none() {
+                d.rate_ready_at = SimTime::ZERO;
+            }
+        }
+    }
+
+    /// The currently installed backend rate limit for a VM, if any.
+    pub fn rate_limit(&self, dom: DomainId) -> Option<u64> {
+        self.domains.get(&dom).and_then(|d| d.rate_limit_bps)
     }
 }
 

@@ -438,6 +438,9 @@ pub struct XenStore {
     /// Per-domain resource limits; `None` (the default) disables all
     /// quota enforcement and accounting.
     quota: Option<StoreQuota>,
+    /// Per-domain overrides of the base quota (policy `Quota` actions).
+    /// Consulted only on stores with a base quota installed.
+    quota_overrides: BTreeMap<DomainId, StoreQuota>,
     /// Write-rate token buckets, lazily created full per domain.
     buckets: BTreeMap<DomainId, TokenBucket>,
     /// Nodes currently owned per domain (maintained only with a quota
@@ -473,6 +476,7 @@ impl XenStore {
             denied_counts: BTreeMap::new(),
             trace_now: SimTime::ZERO,
             quota: None,
+            quota_overrides: BTreeMap::new(),
             buckets: BTreeMap::new(),
             owned_counts: BTreeMap::new(),
             now: SimTime::ZERO,
@@ -504,6 +508,31 @@ impl XenStore {
         self.quota
     }
 
+    /// Install (or with `None`, clear) a per-domain override of the base
+    /// quota. Overrides are enforced only on stores where [`set_quota`]
+    /// was called (machine stores always are); the owned-node accounting
+    /// is shared with the base quota, so overrides may be swapped at any
+    /// time. This is the store-side enforcement mechanism behind policy
+    /// `Quota` actions.
+    ///
+    /// [`set_quota`]: XenStore::set_quota
+    pub fn set_domain_quota(&mut self, dom: DomainId, quota: Option<StoreQuota>) {
+        match quota {
+            Some(q) => {
+                self.quota_overrides.insert(dom, q);
+            }
+            None => {
+                self.quota_overrides.remove(&dom);
+            }
+        }
+    }
+
+    /// The effective quota for `dom`: its override if one is installed,
+    /// else the base quota.
+    pub fn domain_quota(&self, dom: DomainId) -> Option<StoreQuota> {
+        self.quota_overrides.get(&dom).copied().or(self.quota)
+    }
+
     /// Advance the clock used by the write-rate token buckets. The store
     /// itself is time-free; the machine pushes the current sim time here
     /// at each event-loop entry. Monotonic (a stale time never refunds).
@@ -524,11 +553,11 @@ impl XenStore {
     /// bucket — and a denial storm — the moment service resumes. No-op
     /// without an installed quota.
     pub fn quota_refill_all(&mut self) {
-        let Some(quota) = self.quota else { return };
-        let cap = quota.write_burst.saturating_mul(TOKEN);
+        let Some(base) = self.quota else { return };
         let now = self.now;
-        for b in self.buckets.values_mut() {
-            b.nanos = cap;
+        for (dom, b) in self.buckets.iter_mut() {
+            let q = self.quota_overrides.get(dom).copied().unwrap_or(base);
+            b.nanos = q.write_burst.saturating_mul(TOKEN);
             b.last = now;
         }
     }
@@ -586,12 +615,13 @@ impl XenStore {
         path: &str,
         value_len: usize,
     ) -> Result<(), StoreError> {
-        let Some(quota) = self.quota else {
+        let Some(base) = self.quota else {
             return Ok(());
         };
         if caller == DOM0 {
             return Ok(());
         }
+        let quota = self.quota_overrides.get(&caller).copied().unwrap_or(base);
         if !self.take_token(caller, &quota) {
             self.note_denied(caller, path);
             return Err(StoreError::QuotaExceeded);

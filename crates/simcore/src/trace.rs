@@ -177,6 +177,16 @@ pub enum TraceEventKind {
         /// Credit in bytes granted for this visit.
         credit: u64,
     },
+    /// A backend dispatch was deferred because a policy rate limit had
+    /// exhausted the domain's token bucket.
+    RateLimitDefer {
+        /// Throttled domain.
+        dom: u32,
+        /// Request id whose service start was deferred.
+        req: u64,
+        /// Deferral in microseconds until enough tokens accrue.
+        delay_us: u64,
+    },
     /// The host storage subsystem dispatched a request to the device.
     DeviceDispatch {
         /// Request id.
@@ -338,6 +348,19 @@ pub enum Decision {
         epoch: u64,
         /// Newest epoch the guest has already accepted for this channel.
         last_seen: u64,
+    },
+    /// A policy-pipeline rule emitted an action. Opt-in per policy set
+    /// (`trace_rules`); the built-in sets leave it off so their decision
+    /// streams stay byte-identical to the pre-pipeline planes.
+    RuleFired {
+        /// Stage that hosted the rule.
+        stage: &'static str,
+        /// Rule name.
+        rule: &'static str,
+        /// Action discriminant, e.g. `"flush"` or `"rate_limit"`.
+        action: &'static str,
+        /// Target domain.
+        dom: u32,
     },
 }
 
@@ -571,6 +594,17 @@ fn render_decision(out: &mut String, d: &Decision) {
                 "decision stale_command dom {dom}: epoch={epoch} last_seen={last_seen}"
             );
         }
+        Decision::RuleFired {
+            stage,
+            rule,
+            action,
+            dom,
+        } => {
+            let _ = write!(
+                out,
+                "decision rule_fired dom {dom}: stage={stage} rule={rule} action={action}"
+            );
+        }
     }
 }
 
@@ -635,6 +669,9 @@ pub fn render_event(out: &mut String, ev: &TraceEvent) {
         }
         TraceEventKind::DrrVisit { core, dom, credit } => {
             let _ = write!(out, "iocore {core} drr_visit dom {dom} credit={credit}B");
+        }
+        TraceEventKind::RateLimitDefer { dom, req, delay_us } => {
+            let _ = write!(out, "dom {dom} rate_limit_defer req {req} {delay_us}us");
         }
         TraceEventKind::DeviceDispatch {
             req,
@@ -831,6 +868,11 @@ fn chrome_fields(kind: &TraceEventKind) -> ChromeEvent<'_> {
             tid: *dom,
             args: vec![("core", U(u64::from(*core))), ("credit", U(*credit))],
         },
+        TraceEventKind::RateLimitDefer { dom, req, delay_us } => ChromeEvent {
+            name: "rate_limit_defer",
+            tid: *dom,
+            args: vec![("req", U(*req)), ("delay_us", U(*delay_us))],
+        },
         TraceEventKind::DeviceDispatch {
             req,
             dom,
@@ -908,6 +950,7 @@ fn chrome_fields(kind: &TraceEventKind) -> ChromeEvent<'_> {
                 Decision::PlaneCrash => ("decision_plane_crash", 0),
                 Decision::PlaneRecover { .. } => ("decision_plane_recover", 0),
                 Decision::StaleCommand { dom, .. } => ("decision_stale_command", *dom),
+                Decision::RuleFired { dom, .. } => ("decision_rule_fired", *dom),
             };
             ChromeEvent {
                 name,

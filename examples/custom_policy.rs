@@ -1,60 +1,58 @@
-//! Writing your own control plane.
+//! Writing your own policy rule.
 //!
 //! IOrchestra's framework is deliberately open ("it can be easily applied
 //! to other issues that require cross-domain collaboration" — paper §1).
-//! This example implements a tiny custom policy on the same hook surface
-//! the built-in planes use: a *write-back governor* that simply syncs any
-//! guest whose dirty pages exceed a fixed budget, and compares it to
-//! running with no policy at all.
+//! This example implements a user-defined rule on the policy API the
+//! built-in planes use: a *burst tamer* that rate-limits any guest whose
+//! I/O rate spikes past a budget and lifts the cap once it calms down.
+//! The rule only decides; the [`PolicyEngine`] owns enforcement (here the
+//! ring-push rate limiter behind [`Action::RateLimit`]).
 //!
 //! ```text
 //! cargo run --release --example custom_policy
 //! ```
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use iorchestra_suite::guestos::KernelSignal;
-use iorchestra_suite::hypervisor::{
-    Cluster, ControlPlane, DomainId, IoPathMode, Machine, MachineConfig, Sched, VmSpec,
+use iorchestra_suite::core::policy::EnforcementPoint;
+use iorchestra_suite::core::{
+    Action, IOrchestraConfig, PolicyCtx, PolicyEngine, PolicySet, Rule, Stage,
 };
+use iorchestra_suite::hypervisor::{Cluster, DomainId, IoPathMode, MachineConfig, VmSpec};
 use iorchestra_suite::simcore::{SimDuration, SimTime, Simulation};
 use iorchestra_suite::workloads::{recorder, spawn_fileserver, FsParams, VmRef};
 
-/// Sync any guest holding more than `budget_pages` dirty pages, checked on
-/// every monitoring tick.
-struct DirtyBudgetGovernor {
-    budget_pages: u64,
-    syncs_issued: u64,
+/// Cap any guest whose I/O rate bursts past `budget_bps`; lift the cap
+/// once it falls back under half the budget.
+struct BurstTamer {
+    budget_bps: u64,
+    cap_bps: u64,
+    last_bytes: BTreeMap<DomainId, u64>,
+    capped: BTreeSet<DomainId>,
 }
 
-impl ControlPlane for DirtyBudgetGovernor {
+impl Rule for BurstTamer {
     fn name(&self) -> &'static str {
-        "dirty-budget-governor"
+        "burst-tamer"
     }
 
-    fn tick_period(&self) -> Option<SimDuration> {
-        Some(SimDuration::from_millis(100))
-    }
-
-    fn on_kernel_signal(
-        &mut self,
-        m: &mut Machine,
-        s: &mut Sched,
-        dom: DomainId,
-        sig: KernelSignal,
-    ) {
-        // Keep stock congestion behaviour; this policy is flush-only.
-        if sig == KernelSignal::CongestionQuery {
-            m.cp_enter_congestion(s, dom);
-        }
-    }
-
-    fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
-        for dom in m.domain_ids() {
-            let dirty = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
-            if dirty > self.budget_pages {
-                self.syncs_issued += 1;
-                m.cp_remote_sync(s, dom);
+    fn on_tick(&mut self, ctx: &PolicyCtx<'_>, out: &mut Vec<Action>) {
+        let ticks_per_sec = 1000 / ctx.cfg().tick.as_millis().max(1);
+        for dom in ctx.machine().domain_ids() {
+            let total = ctx.machine().io_bytes(dom);
+            let last = self.last_bytes.insert(dom, total).unwrap_or(total);
+            let rate = (total - last) * ticks_per_sec;
+            if rate > self.budget_bps && self.capped.insert(dom) {
+                out.push(Action::RateLimit {
+                    dom,
+                    bytes_per_sec: Some(self.cap_bps),
+                });
+            } else if rate < self.budget_bps / 2 && self.capped.remove(&dom) {
+                out.push(Action::RateLimit {
+                    dom,
+                    bytes_per_sec: None,
+                });
             }
         }
     }
@@ -65,14 +63,15 @@ fn run(custom: bool) -> (f64, u64) {
     let (cl, s) = sim.parts_mut();
     let idx = cl.add_machine(MachineConfig::paper_testbed(9, IoPathMode::Paravirt));
     if custom {
-        cl.install_control(
-            s,
-            idx,
-            Box::new(DirtyBudgetGovernor {
-                budget_pages: 8192, // 32 MiB
-                syncs_issued: 0,
+        let set = PolicySet::custom("burst-tamer", IOrchestraConfig::new(9)).stage(
+            Stage::new("tamer", EnforcementPoint::RingPush).rule(BurstTamer {
+                budget_bps: 64 << 20, // trip above 64 MiB/s...
+                cap_bps: 32 << 20,    // ...cap at 32 MiB/s until calm
+                last_bytes: BTreeMap::new(),
+                capped: BTreeSet::new(),
             }),
         );
+        cl.install_control(s, idx, Box::new(PolicyEngine::new(set)));
     }
     let rec = recorder(SimTime::from_secs(1));
     for v in 0..4u64 {
@@ -106,7 +105,7 @@ fn run(custom: bool) -> (f64, u64) {
 
 fn main() {
     let (plain_bps, plain_writes) = run(false);
-    let (gov_bps, gov_writes) = run(true);
+    let (tamed_bps, tamed_writes) = run(true);
     println!("4 file-server VMs in request waves, 8 simulated seconds\n");
     println!(
         "{:<24} {:>14} {:>18}",
@@ -118,11 +117,12 @@ fn main() {
     );
     println!(
         "{:<24} {:>14.1} {:>18}",
-        "dirty-budget governor", gov_bps, gov_writes
+        "burst-tamer rule", tamed_bps, tamed_writes
     );
     println!(
-        "\nThe governor drains dirty pages early through cp_remote_sync — the same \
-         machine verb IOrchestra's Algorithm 1 uses — smoothing device traffic \
-         without touching the guest kernels."
+        "\nThe rule is ~30 lines and only *decides*: it watches per-domain I/O \
+         rates through the read-only PolicyCtx and emits Action::RateLimit. \
+         The engine enforces the cap at the ring-push point with the same \
+         mechanism the built-in policy sets use — no control-plane plumbing."
     );
 }

@@ -17,6 +17,17 @@ cargo test -q --offline --workspace
 # are #[ignore]d there and run here in release.
 cargo test -q --offline -p iorch-bench --release --test convergence -- --include-ignored
 
+# Policy-redesign byte-identity oracle: every plane expressed as a policy
+# set must replay every tracedump scenario byte-identically to the frozen
+# legacy plane, seed-swept (the exhaustive sweep is #[ignore]d in debug).
+cargo test -q --offline -p iorch-bench --release --test policy_equivalence -- --include-ignored
+
+# Named-policy-set ablation sweep: all seven sets must provision and
+# complete the bursty run on one engine (IORCH_ABLATION=named keeps the
+# parameter ablations out of the gate).
+cargo build --release --offline -p iorch-bench --benches
+IORCH_ABLATION=named cargo bench --offline -p iorch-bench --bench exp_ablation
+
 # The trace recorder must also build and pass with the instrumentation
 # compiled out (the production hot-path configuration).
 export RUSTFLAGS="${RUSTFLAGS:-} --cfg iorch_trace_off"
