@@ -4,8 +4,11 @@
 //! and writes `BENCH_hotpath.json` at the repo root.
 //!
 //! Exits non-zero if the gate fails:
-//!   * store write, store read, and per-tick control-plane cost must be
-//!     at least 2x faster than the seed baseline;
+//!   * store write, store read, watch fan-out, batched fan-out, and
+//!     per-tick control-plane cost must be at least 2x faster than the
+//!     seed baseline;
+//!   * scheduler churn (timer-wheel engine) must be at least 2x faster
+//!     than the frozen binary-heap engine (`iorch_simcore::event_legacy`);
 //!   * store-write cost must be sub-linear in non-matching watches
 //!     (1 vs 256 watchers on disjoint subtrees within 1.5x).
 //!
@@ -15,6 +18,7 @@
 use iorch_bench::timing::{Sample, Timer};
 use iorch_hypervisor::xenstore_legacy::XenStore as LegacyStore;
 use iorch_hypervisor::{DomainId, Perms, XenStore, DOM0};
+use iorch_simcore::event_legacy::Scheduler as LegacyScheduler;
 use iorch_simcore::{SimDuration, Simulation};
 use iorchestra::keys::{self, val, DomainKeys};
 
@@ -141,7 +145,11 @@ fn bench_watch_fanout(t: &Timer) -> Pair {
     let current = t.time("watch_fanout/current", || {
         n = (n + 1) & 0xff;
         s.write(dom, &k.nr_dirty, val::uint(n)).unwrap();
-        s.take_events().len()
+        // Drain-and-recycle, as the machine's delivery sweep does.
+        let evs = s.take_events();
+        let count = evs.len();
+        s.recycle_events(evs);
+        count
     });
 
     let mut s = setup_legacy(1);
@@ -203,15 +211,23 @@ fn bench_control_tick(t: &Timer) -> Pair {
     }
 }
 
-/// Scheduler churn: schedule-then-cancel timeout patterns, the shape that
-/// leaked tombstones in the seed scheduler. Current-only (the seed
-/// scheduler differs in memory growth, not per-op time).
-fn bench_scheduler_churn(t: &Timer) -> Sample {
+/// Timers kept in flight per scheduler-churn cycle — the ROADMAP's
+/// 1k-domain scale point, one timeout per domain.
+const CHURN_TIMERS: u64 = 1024;
+
+/// Scheduler churn: schedule-then-cancel timeout patterns at the
+/// 1k-domain scale target, the shape that dominated the event engine's
+/// cost. Current is the timer wheel (O(1) schedule, direct-slot cancel,
+/// amortized O(1) pop); baseline is the frozen binary-heap engine with
+/// its tombstone set (`iorch_simcore::event_legacy`), which pays O(log n)
+/// sifts plus tombstone hashing at this depth. One cycle = 1024
+/// schedules, 512 cancellations, drain to completion.
+fn bench_scheduler_churn(t: &Timer) -> Pair {
     let mut sim: Simulation<u64> = Simulation::new(0u64);
-    t.time("scheduler_churn", || {
+    let current = t.time("scheduler_churn/current", || {
         let sched = sim.scheduler_mut();
-        let mut tokens = Vec::with_capacity(64);
-        for i in 0..64u64 {
+        let mut tokens = Vec::with_capacity(CHURN_TIMERS as usize);
+        for i in 0..CHURN_TIMERS {
             tokens.push(sched.schedule_in(SimDuration::from_micros(i + 1), move |w, _| *w += 1));
         }
         for tok in tokens.iter().step_by(2) {
@@ -219,7 +235,75 @@ fn bench_scheduler_churn(t: &Timer) -> Sample {
         }
         sim.run_to_completion();
         *sim.world()
-    })
+    });
+
+    let mut sched: LegacyScheduler<u64> = LegacyScheduler::new();
+    let mut world = 0u64;
+    let baseline = t.time("scheduler_churn/seed", || {
+        let mut tokens = Vec::with_capacity(CHURN_TIMERS as usize);
+        for i in 0..CHURN_TIMERS {
+            tokens.push(sched.schedule_in(SimDuration::from_micros(i + 1), move |w, _| *w += 1));
+        }
+        for tok in tokens.iter().step_by(2) {
+            sched.cancel(*tok);
+        }
+        while let Some((_, cb)) = sched.pop_next() {
+            cb(&mut world, &mut sched);
+        }
+        world
+    });
+    Pair {
+        name: "scheduler_churn",
+        current,
+        baseline,
+    }
+}
+
+/// Batched watch delivery: 8 writes landing at the same sim instant under
+/// an 8-watcher subtree. Current drains all 64 events in ONE sweep and
+/// recycles the buffer (the machine's coalesced XenBus delivery); seed
+/// pays one drain per write, growing a fresh `Vec` each time. One cycle =
+/// 8 writes + delivery.
+fn bench_watch_fanout_batched(t: &Timer) -> Pair {
+    const WATCHERS: usize = 8;
+    const WRITES: u64 = 8;
+    let (mut s, ks) = setup_new(1);
+    let k = &ks[0];
+    let dom = DomainId(1);
+    for _ in 0..WATCHERS {
+        s.watch(DOM0, &k.virt_dev);
+    }
+    let mut n = 0u64;
+    let current = t.time("watch_fanout_batched/current", || {
+        for _ in 0..WRITES {
+            n = (n + 1) & 0xff;
+            s.write(dom, &k.nr_dirty, val::uint(n)).unwrap();
+        }
+        let evs = s.take_events();
+        let count = evs.len();
+        s.recycle_events(evs);
+        count
+    });
+
+    let mut s = setup_legacy(1);
+    for _ in 0..WATCHERS {
+        s.watch(DOM0, keys::nr_dirty(dom));
+    }
+    let mut n = 0u64;
+    let baseline = t.time("watch_fanout_batched/seed", || {
+        let mut count = 0;
+        for _ in 0..WRITES {
+            n = (n + 1) & 0xff;
+            s.write(dom, &keys::nr_dirty(dom), n.to_string()).unwrap();
+            count += s.take_events().len();
+        }
+        count
+    });
+    Pair {
+        name: "watch_fanout_batched",
+        current,
+        baseline,
+    }
 }
 
 /// Store-write cost with 1 vs 256 watchers on disjoint subtrees: the
@@ -274,6 +358,7 @@ fn main() {
     let write = bench_store_write(&t);
     let read = bench_store_read(&t);
     let fanout = bench_watch_fanout(&t);
+    let batched = bench_watch_fanout_batched(&t);
     let tick = bench_control_tick(&t);
     let churn = bench_scheduler_churn(&t);
     let (scale_one, scale_many, scale_ctx) = bench_watch_scaling(&t);
@@ -281,7 +366,9 @@ fn main() {
     write.report();
     read.report();
     fanout.report();
+    batched.report();
     tick.report();
+    churn.report();
     scale_ctx.report();
     println!(
         "{:<24} 1 watcher {:>9.1} ns/op   256 disjoint {:>9.1} ns/op   ratio {:>5.2}x",
@@ -289,11 +376,6 @@ fn main() {
         scale_one.ns_per_iter(),
         scale_many.ns_per_iter(),
         scale_many.ns_per_iter() / scale_one.ns_per_iter()
-    );
-    println!(
-        "{:<24} {:>9.1} ns/cycle (64 events, half cancelled)",
-        "scheduler_churn",
-        churn.ns_per_iter()
     );
 
     let ratio = scale_many.ns_per_iter() / scale_one.ns_per_iter();
@@ -306,25 +388,26 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"store_write\": {},\n  \"store_read\": {},\n  \"watch_fanout\": {},\n  \"control_tick\": {},\n  \"write_256_spectators\": {},\n  \"watch_scaling\": {{\"one_watcher_ns\": {:.2}, \"disjoint_256_ns\": {:.2}, \"ratio\": {:.3}}},\n  \"scheduler_churn_ns_per_cycle\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"hotpath\",\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"store_write\": {},\n  \"store_read\": {},\n  \"watch_fanout\": {},\n  \"watch_fanout_batched\": {},\n  \"control_tick\": {},\n  \"scheduler_churn\": {},\n  \"write_256_spectators\": {},\n  \"watch_scaling\": {{\"one_watcher_ns\": {:.2}, \"disjoint_256_ns\": {:.2}, \"ratio\": {:.3}}}\n}}\n",
         t.warmup.as_millis(),
         t.measure.as_millis(),
         pair_json(&write),
         pair_json(&read),
         pair_json(&fanout),
+        pair_json(&batched),
         pair_json(&tick),
+        pair_json(&churn),
         pair_json(&scale_ctx),
         scale_one.ns_per_iter(),
         scale_many.ns_per_iter(),
         ratio,
-        churn.ns_per_iter(),
     );
     std::fs::write(JSON_PATH, &json).expect("write BENCH_hotpath.json");
     println!("\nwrote {JSON_PATH}");
 
     // The gate.
     let mut failed = Vec::new();
-    for p in [&write, &read, &tick] {
+    for p in [&write, &read, &fanout, &batched, &tick, &churn] {
         if p.speedup() < 2.0 {
             failed.push(format!("{}: speedup {:.2}x < 2.0x", p.name, p.speedup()));
         }

@@ -3,7 +3,7 @@
 //! The prototype's XenStore layout (paper Fig. 3): each domain owns
 //! `/local/domain/<id>/virt-dev/…` where the collaborative state lives.
 
-use std::sync::{Arc, OnceLock};
+use std::rc::Rc;
 
 use iorch_hypervisor::{DomainId, StorePath, XenStore};
 
@@ -227,44 +227,43 @@ impl DomainKeys {
 
 /// Cached store-value encodings for the hot flag and counter writes.
 ///
-/// The store holds values as `Arc<str>`; encoding `"0"`, `"1"` and small
+/// The store holds values as `Rc<str>`; encoding `"0"`, `"1"` and small
 /// counters through this module means the per-tick republishes pass a
 /// shared allocation straight through to the tree and every watch event.
+/// The table is thread-local because the store's `Rc<str>` values are
+/// single-threaded by design — the whole simulation is.
 pub mod val {
-    use super::{Arc, OnceLock};
+    use super::Rc;
 
     const SMALL: u64 = 256;
 
-    fn small_table() -> &'static [Arc<str>] {
-        static TABLE: OnceLock<Vec<Arc<str>>> = OnceLock::new();
-        TABLE.get_or_init(|| {
-            (0..SMALL)
-                .map(|n| Arc::from(n.to_string().as_str()))
-                .collect()
-        })
+    thread_local! {
+        static TABLE: Vec<Rc<str>> = (0..SMALL)
+            .map(|n| Rc::from(n.to_string().as_str()))
+            .collect();
     }
 
     /// `"0"` — the dominant flag value.
-    pub fn zero() -> Arc<str> {
+    pub fn zero() -> Rc<str> {
         uint(0)
     }
 
     /// `"1"` — the other flag value.
-    pub fn one() -> Arc<str> {
+    pub fn one() -> Rc<str> {
         uint(1)
     }
 
     /// A boolean flag as `"1"`/`"0"`.
-    pub fn flag(v: bool) -> Arc<str> {
+    pub fn flag(v: bool) -> Rc<str> {
         uint(v as u64)
     }
 
     /// Decimal encoding of an unsigned counter; values below 256 come from
     /// a shared table, larger ones allocate.
-    pub fn uint(n: u64) -> Arc<str> {
-        match small_table().get(n as usize) {
-            Some(v) => Arc::clone(v),
-            None => Arc::from(n.to_string().as_str()),
+    pub fn uint(n: u64) -> Rc<str> {
+        match TABLE.with(|t| t.get(n as usize).map(Rc::clone)) {
+            Some(v) => v,
+            None => Rc::from(n.to_string().as_str()),
         }
     }
 }
@@ -370,6 +369,6 @@ mod tests {
         assert_eq!(&*val::uint(255), "255");
         assert_eq!(&*val::uint(1_000_000), "1000000");
         // Small values share one allocation.
-        assert!(std::sync::Arc::ptr_eq(&val::uint(7), &val::uint(7)));
+        assert!(std::rc::Rc::ptr_eq(&val::uint(7), &val::uint(7)));
     }
 }

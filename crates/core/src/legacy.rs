@@ -12,7 +12,7 @@
 //! here is wired into [`SystemKind`](crate::SystemKind) provisioning.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::rc::Rc;
 
 use iorch_guestos::KernelSignal;
 use iorch_hypervisor::{
@@ -298,7 +298,7 @@ impl LegacyIOrchestraPlane {
             .write_if_changed(DOM0, &k.state_fail_streak, val::zero());
     }
 
-    fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
+    fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Rc<str>) {
         // The guest driver writes through its own credentials — permission
         // violations would surface here.
         let _ = m.store.write(dom, path, v);
@@ -308,7 +308,7 @@ impl LegacyIOrchestraPlane {
     /// already holds the value, so an idle domain puts zero traffic on the
     /// XenBus channel per tick. Only used for keys no policy callback
     /// consumes (the control keys always publish).
-    fn guest_publish(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
+    fn guest_publish(m: &mut Machine, dom: DomainId, path: &StorePath, v: Rc<str>) {
         let _ = m.store.write_if_changed(dom, path, v);
     }
 

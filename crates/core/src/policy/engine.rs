@@ -21,7 +21,7 @@
 //!   watches, per-tick reconciliation, FIFO relief wake.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::rc::Rc;
 
 use iorch_guestos::KernelSignal;
 use iorch_hypervisor::{
@@ -163,7 +163,7 @@ impl PolicyEngine {
         self.epoch
     }
 
-    fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
+    fn guest_write(m: &mut Machine, dom: DomainId, path: &StorePath, v: Rc<str>) {
         // The guest driver writes through its own credentials — permission
         // violations would surface here.
         let _ = m.store.write(dom, path, v);
@@ -173,7 +173,7 @@ impl PolicyEngine {
     /// already holds the value, so an idle domain puts zero traffic on the
     /// XenBus channel per tick. Only used for keys no policy callback
     /// consumes (the control keys always publish).
-    fn guest_publish(m: &mut Machine, dom: DomainId, path: &StorePath, v: Arc<str>) {
+    fn guest_publish(m: &mut Machine, dom: DomainId, path: &StorePath, v: Rc<str>) {
         let _ = m.store.write_if_changed(dom, path, v);
     }
 

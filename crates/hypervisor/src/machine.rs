@@ -13,7 +13,7 @@
 //! methods — exactly the paper's monitoring/management-module split.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::rc::Rc;
 
 use iorch_guestos::{CompletedOp, FileOp, GuestConfig, GuestKernel, KernelSignal, OpClass, OpId};
 use iorch_metrics::LatencyHistogram;
@@ -598,6 +598,21 @@ impl Cluster {
         m.kick_iocore(s, core_idx);
     }
 
+    /// One XenBus delivery sweep: every watch event of one flush arrives
+    /// in a single scheduled callback instead of one callback per event.
+    /// Per-event behaviour (crashed-plane gating, trace, control-plane
+    /// dispatch, result drain) is unchanged — the sweep simply calls the
+    /// per-event path in batch order, which is exactly the order the
+    /// per-event callbacks fired in before (consecutive scheduler
+    /// sequence numbers at one instant). The drained buffer is recycled
+    /// into the store.
+    fn store_delivery_batch(cl: &mut Cluster, idx: usize, s: &mut Sched, mut evs: Vec<WatchEvent>) {
+        for ev in evs.drain(..) {
+            Cluster::store_delivery(cl, idx, s, ev);
+        }
+        cl.machines[idx].store.recycle_events(evs);
+    }
+
     fn store_delivery(cl: &mut Cluster, idx: usize, s: &mut Sched, ev: WatchEvent) {
         let m = &mut cl.machines[idx];
         // A crashed plane's XenBus channel is dead: events addressed to
@@ -611,7 +626,7 @@ impl Cluster {
             s.now(),
             TraceEventKind::XenBusDeliver {
                 dom: ev.owner.0,
-                path: Arc::clone(&ev.path),
+                path: Rc::clone(&ev.path),
                 value: ev.value.clone(),
             }
         );
@@ -1043,14 +1058,18 @@ impl Machine {
             bus = plan.bus_unreliable(s.now());
         }
         let mut events = self.store.take_events();
-        if let Some(b) = bus {
+        // All events of one flush share the same delivery instant, so they
+        // coalesce into ONE scheduled sweep instead of one scheduler entry
+        // per (write x watcher). The sweep preserves the exact per-event
+        // firing order of the old design: the per-event callbacks carried
+        // consecutive sequence numbers at one timestamp, so nothing could
+        // ever interleave between them.
+        let batch = if let Some(b) = bus {
             if b.reorder && events.len() > 1 {
                 events.reverse();
             }
-        }
-        for ev in events {
-            let mut duplicate = None;
-            if let Some(b) = bus {
+            let mut out = Vec::with_capacity(events.len());
+            for ev in events.drain(..) {
                 self.bus_seq += 1;
                 let seq = self.bus_seq;
                 if b.drop_1_in != 0 && seq.is_multiple_of(b.drop_1_in) {
@@ -1058,7 +1077,7 @@ impl Machine {
                         s.now(),
                         TraceEventKind::XenBusDrop {
                             dom: ev.owner.0,
-                            path: Arc::clone(&ev.path),
+                            path: Rc::clone(&ev.path),
                             value: ev.value.clone(),
                         }
                     );
@@ -1069,22 +1088,29 @@ impl Machine {
                         s.now(),
                         TraceEventKind::XenBusDup {
                             dom: ev.owner.0,
-                            path: Arc::clone(&ev.path),
+                            path: Rc::clone(&ev.path),
                             value: ev.value.clone(),
                         }
                     );
-                    duplicate = Some(ev.clone());
+                    // The duplicate rides right behind the original, as it
+                    // did when both were scheduled back to back.
+                    out.push(ev.clone());
+                    out.push(ev);
+                    continue;
                 }
+                out.push(ev);
             }
-            s.schedule_in(delay, move |cl: &mut Cluster, s| {
-                Cluster::store_delivery(cl, idx, s, ev);
-            });
-            if let Some(dup) = duplicate {
-                s.schedule_in(delay, move |cl: &mut Cluster, s| {
-                    Cluster::store_delivery(cl, idx, s, dup);
-                });
-            }
+            self.store.recycle_events(events);
+            out
+        } else {
+            events
+        };
+        if batch.is_empty() {
+            return;
         }
+        s.schedule_in(delay, move |cl: &mut Cluster, s| {
+            Cluster::store_delivery_batch(cl, idx, s, batch);
+        });
     }
 
     // ---- control-plane action helpers (the guest driver + management

@@ -18,9 +18,9 @@
 //! per-operation allocation the seed implementation made has been removed:
 //!
 //! * Paths are walked with an iterator — no per-op `Vec<&str>`.
-//! * [`StorePath`] interns a validated path as an `Arc<str>`; policy code
+//! * [`StorePath`] interns a validated path as an `Rc<str>`; policy code
 //!   parses its keys once per domain and clones them for free.
-//! * Values live as `Arc<str>`; watch-event payloads share them instead of
+//! * Values live as `Rc<str>`; watch-event payloads share them instead of
 //!   cloning a `String` per subscriber, and [`XenStore::read_ref`] borrows
 //!   straight out of the tree.
 //! * Watches are indexed by their full prefix. A write enumerates the
@@ -37,7 +37,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::rc::Rc;
 
 use iorch_simcore::trace::TraceEventKind;
 use iorch_simcore::{trace_event, SimTime};
@@ -198,7 +198,7 @@ fn path_segments(path: &str) -> std::str::Split<'_, char> {
 /// every tick.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StorePath {
-    full: Arc<str>,
+    full: Rc<str>,
 }
 
 impl StorePath {
@@ -206,7 +206,7 @@ impl StorePath {
     pub fn parse(path: &str) -> Result<Self, StoreError> {
         validate_path(path)?;
         Ok(StorePath {
-            full: Arc::from(path),
+            full: Rc::from(path),
         })
     }
 
@@ -216,8 +216,8 @@ impl StorePath {
     }
 
     /// A shared copy of the underlying string (refcount bump, no copy).
-    pub fn shared(&self) -> Arc<str> {
-        Arc::clone(&self.full)
+    pub fn shared(&self) -> Rc<str> {
+        Rc::clone(&self.full)
     }
 
     /// Iterate the path's segments.
@@ -254,14 +254,14 @@ impl fmt::Debug for StorePath {
 /// Anything the store accepts as a path argument.
 ///
 /// Strings are validated and walked in place; a [`StorePath`] additionally
-/// hands the store a shareable `Arc<str>` so firing a watch never copies
+/// hands the store a shareable `Rc<str>` so firing a watch never copies
 /// the path.
 pub trait AsStorePath {
     /// The path as a string slice.
     fn path_str(&self) -> &str;
     /// A pre-interned shared copy, if one exists. `None` means the store
     /// allocates one lazily — and only if a watch actually fires.
-    fn to_shared(&self) -> Option<Arc<str>> {
+    fn to_shared(&self) -> Option<Rc<str>> {
         None
     }
 }
@@ -288,7 +288,7 @@ impl AsStorePath for StorePath {
     fn path_str(&self) -> &str {
         &self.full
     }
-    fn to_shared(&self) -> Option<Arc<str>> {
+    fn to_shared(&self) -> Option<Rc<str>> {
         Some(self.shared())
     }
 }
@@ -297,12 +297,12 @@ impl AsStorePath for &StorePath {
     fn path_str(&self) -> &str {
         &self.full
     }
-    fn to_shared(&self) -> Option<Arc<str>> {
+    fn to_shared(&self) -> Option<Rc<str>> {
         Some(self.shared())
     }
 }
 
-/// Anything the store accepts as a value argument. Cached `Arc<str>`
+/// Anything the store accepts as a value argument. Cached `Rc<str>`
 /// encodings (see `iorchestra::keys::val`) pass through with a refcount
 /// bump; borrowed strings are copied once, at the final write site.
 pub trait IntoStoreValue {
@@ -310,24 +310,24 @@ pub trait IntoStoreValue {
     /// committing to an allocation).
     fn value_str(&self) -> &str;
     /// Convert into the stored representation.
-    fn into_value(self) -> Arc<str>;
+    fn into_value(self) -> Rc<str>;
 }
 
-impl IntoStoreValue for Arc<str> {
+impl IntoStoreValue for Rc<str> {
     fn value_str(&self) -> &str {
         self
     }
-    fn into_value(self) -> Arc<str> {
+    fn into_value(self) -> Rc<str> {
         self
     }
 }
 
-impl IntoStoreValue for &Arc<str> {
+impl IntoStoreValue for &Rc<str> {
     fn value_str(&self) -> &str {
         self
     }
-    fn into_value(self) -> Arc<str> {
-        Arc::clone(self)
+    fn into_value(self) -> Rc<str> {
+        Rc::clone(self)
     }
 }
 
@@ -335,8 +335,8 @@ impl IntoStoreValue for &str {
     fn value_str(&self) -> &str {
         self
     }
-    fn into_value(self) -> Arc<str> {
-        Arc::from(self)
+    fn into_value(self) -> Rc<str> {
+        Rc::from(self)
     }
 }
 
@@ -344,8 +344,8 @@ impl IntoStoreValue for String {
     fn value_str(&self) -> &str {
         self
     }
-    fn into_value(self) -> Arc<str> {
-        Arc::from(self)
+    fn into_value(self) -> Rc<str> {
+        Rc::from(self)
     }
 }
 
@@ -353,8 +353,8 @@ impl IntoStoreValue for &String {
     fn value_str(&self) -> &str {
         self
     }
-    fn into_value(self) -> Arc<str> {
-        Arc::from(self.as_str())
+    fn into_value(self) -> Rc<str> {
+        Rc::from(self.as_str())
     }
 }
 
@@ -364,7 +364,7 @@ impl IntoStoreValue for &String {
 
 #[derive(Clone, Debug)]
 struct Node {
-    value: Option<Arc<str>>,
+    value: Option<Rc<str>>,
     perms: Perms,
     children: BTreeMap<String, Node>,
 }
@@ -385,7 +385,7 @@ pub struct WatchId(pub u64);
 
 /// A queued watch firing: `path` changed, notify `owner`.
 ///
-/// The payload strings are shared (`Arc<str>`): when several watches match
+/// The payload strings are shared (`Rc<str>`): when several watches match
 /// one write, every event references the same path and value allocation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WatchEvent {
@@ -394,9 +394,9 @@ pub struct WatchEvent {
     /// Domain to notify.
     pub owner: DomainId,
     /// The path that was written or removed.
-    pub path: Arc<str>,
+    pub path: Rc<str>,
     /// New value (`None` for a removal).
-    pub value: Option<Arc<str>>,
+    pub value: Option<Rc<str>>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -416,14 +416,32 @@ pub struct XenStore {
     /// Watches bucketed by their full prefix string. A write looks up each
     /// ancestor prefix of its path — O(depth) probes, independent of how
     /// many watches are registered elsewhere in the tree.
-    watch_index: HashMap<Arc<str>, Vec<Watch>>,
+    watch_index: HashMap<Rc<str>, Vec<Watch>>,
     /// Reverse map for `unwatch`.
-    watch_prefixes: BTreeMap<u64, Arc<str>>,
+    watch_prefixes: BTreeMap<u64, Rc<str>>,
     next_watch: u64,
     pending: Vec<WatchEvent>,
-    /// Reused hit buffer for `fire_watches` (watch id, owner).
+    /// Recycled event buffer: [`XenStore::take_events`] hands `pending`
+    /// out and installs this (empty, capacity retained) in its place;
+    /// [`XenStore::recycle_events`] returns a drained buffer here. Keeps
+    /// the write→flush→deliver cycle allocation-free at steady state.
+    spare_events: Vec<WatchEvent>,
+    /// Reused hit buffer for `fire_watches` (watch id, owner), doubling as
+    /// a one-entry fan-out memo: while `memo_key` matches the written
+    /// path's shared `Rc` (by pointer) and `memo_epoch` matches
+    /// `watch_epoch`, the buffer is reused verbatim — repeated writes to
+    /// one hot key (the common control-loop pattern) skip the ancestor
+    /// prefix probes and the sort entirely.
     scratch_hits: Vec<(u64, DomainId)>,
-    txns: BTreeMap<u64, Vec<(DomainId, StorePath, Arc<str>)>>,
+    /// Path the memo in `scratch_hits` was computed for. Holding a clone
+    /// of the `Rc` pins the allocation, so the pointer identity check
+    /// can never alias a freed-and-reused address.
+    memo_key: Option<Rc<str>>,
+    /// Value of `watch_epoch` when the memo was computed.
+    memo_epoch: u64,
+    /// Bumped on every watch-set mutation, invalidating the memo.
+    watch_epoch: u64,
+    txns: BTreeMap<u64, Vec<(DomainId, StorePath, Rc<str>)>>,
     next_txn: u64,
     write_counts: BTreeMap<DomainId, u64>,
     /// Per-domain count of denied write-type operations (write /
@@ -469,7 +487,11 @@ impl XenStore {
             watch_prefixes: BTreeMap::new(),
             next_watch: 0,
             pending: Vec::new(),
+            spare_events: Vec::new(),
             scratch_hits: Vec::new(),
+            memo_key: None,
+            memo_epoch: 0,
+            watch_epoch: 0,
             txns: BTreeMap::new(),
             next_txn: 0,
             write_counts: BTreeMap::new(),
@@ -661,7 +683,7 @@ impl XenStore {
             self.trace_now,
             TraceEventKind::StoreDenied {
                 dom: caller.0,
-                path: Arc::from(path),
+                path: Rc::from(path),
             }
         );
     }
@@ -699,12 +721,12 @@ impl XenStore {
         node.value.as_deref().ok_or(StoreError::NotFound)
     }
 
-    /// Read a value as a shared `Arc<str>` (refcount bump, no copy).
+    /// Read a value as a shared `Rc<str>` (refcount bump, no copy).
     pub fn read_shared<P: AsStorePath>(
         &self,
         caller: DomainId,
         path: P,
-    ) -> Result<Arc<str>, StoreError> {
+    ) -> Result<Rc<str>, StoreError> {
         let path = path.path_str();
         validate_path(path)?;
         let node = self.lookup(path).ok_or(StoreError::NotFound)?;
@@ -780,7 +802,7 @@ impl XenStore {
                 }
             };
             let value = value.into_value();
-            node.value = Some(Arc::clone(&value));
+            node.value = Some(Rc::clone(&value));
             (value, created, node.perms.owner)
         };
         self.account_owned(created_owner, created as i64);
@@ -791,8 +813,8 @@ impl XenStore {
                 dom: caller.0,
                 path: path
                     .to_shared()
-                    .unwrap_or_else(|| Arc::from(path.path_str())),
-                value: Arc::clone(&value),
+                    .unwrap_or_else(|| Rc::from(path.path_str())),
+                value: Rc::clone(&value),
             }
         );
         self.fire_watches(path_str, path.to_shared(), Some(value));
@@ -966,14 +988,15 @@ impl XenStore {
     pub fn watch<P: AsStorePath>(&mut self, owner: DomainId, prefix: P) -> WatchId {
         let id = WatchId(self.next_watch);
         self.next_watch += 1;
-        let key: Arc<str> = prefix
+        let key: Rc<str> = prefix
             .to_shared()
-            .unwrap_or_else(|| Arc::from(prefix.path_str()));
-        self.watch_prefixes.insert(id.0, Arc::clone(&key));
+            .unwrap_or_else(|| Rc::from(prefix.path_str()));
+        self.watch_prefixes.insert(id.0, Rc::clone(&key));
         self.watch_index
             .entry(key)
             .or_default()
             .push(Watch { id, owner });
+        self.watch_epoch += 1;
         id
     }
 
@@ -988,6 +1011,7 @@ impl XenStore {
                 self.watch_index.remove(&*prefix);
             }
         }
+        self.watch_epoch += 1;
         true
     }
 
@@ -1022,57 +1046,80 @@ impl XenStore {
     /// the degenerate `""`). Instead of scanning every watch, the path's
     /// ancestor prefixes are looked up directly; events are emitted in
     /// watch-registration order, exactly as the scan produced them.
-    fn fire_watches(&mut self, path: &str, shared: Option<Arc<str>>, value: Option<Arc<str>>) {
+    fn fire_watches(&mut self, path: &str, shared: Option<Rc<str>>, value: Option<Rc<str>>) {
         if self.watch_index.is_empty() {
             return;
         }
-        let XenStore {
-            watch_index,
-            scratch_hits,
-            pending,
-            ..
-        } = self;
-        scratch_hits.clear();
-        {
-            let mut probe = |prefix: &str| {
-                if let Some(bucket) = watch_index.get(prefix) {
-                    for w in bucket {
-                        scratch_hits.push((w.id.0, w.owner));
-                    }
-                }
+        let memo_valid = self.memo_epoch == self.watch_epoch
+            && match (&self.memo_key, &shared) {
+                (Some(k), Some(p)) => Rc::ptr_eq(k, p),
+                _ => false,
             };
-            probe("");
-            probe("/");
-            if path != "/" {
-                let bytes = path.as_bytes();
-                for i in 1..bytes.len() {
-                    if bytes[i] == b'/' {
-                        probe(&path[..i]);
+        if !memo_valid {
+            let XenStore {
+                watch_index,
+                scratch_hits,
+                ..
+            } = self;
+            scratch_hits.clear();
+            {
+                let mut probe = |prefix: &str| {
+                    if let Some(bucket) = watch_index.get(prefix) {
+                        for w in bucket {
+                            scratch_hits.push((w.id.0, w.owner));
+                        }
                     }
+                };
+                probe("");
+                probe("/");
+                if path != "/" {
+                    let bytes = path.as_bytes();
+                    for i in 1..bytes.len() {
+                        if bytes[i] == b'/' {
+                            probe(&path[..i]);
+                        }
+                    }
+                    probe(path);
                 }
-                probe(path);
             }
+            // Registration order == ascending watch id (the seed scanned
+            // its watch list in push order, which is the same order).
+            self.scratch_hits.sort_unstable_by_key(|&(id, _)| id);
+            // Interned paths carry a stable shared Rc — memoize the hit
+            // list against it (an empty hit list is a valid memo too).
+            self.memo_key = shared.as_ref().map(Rc::clone);
+            self.memo_epoch = self.watch_epoch;
         }
-        if scratch_hits.is_empty() {
+        if self.scratch_hits.is_empty() {
             return;
         }
-        // Registration order == ascending watch id (the seed scanned its
-        // watch list in push order, which is the same order).
-        scratch_hits.sort_unstable_by_key(|&(id, _)| id);
-        let shared = shared.unwrap_or_else(|| Arc::from(path));
-        for &(id, owner) in scratch_hits.iter() {
-            pending.push(WatchEvent {
+        let shared = shared.unwrap_or_else(|| Rc::from(path));
+        for &(id, owner) in self.scratch_hits.iter() {
+            self.pending.push(WatchEvent {
                 watch: WatchId(id),
                 owner,
-                path: Arc::clone(&shared),
+                path: Rc::clone(&shared),
                 value: value.clone(),
             });
         }
     }
 
     /// Drain queued watch events (the machine delivers them over XenBus).
+    /// The recycled spare buffer (see [`XenStore::recycle_events`]) is
+    /// installed in place of `pending`, so the steady-state delivery
+    /// cycle reuses one allocation instead of growing a fresh `Vec` per
+    /// flush.
     pub fn take_events(&mut self) -> Vec<WatchEvent> {
-        std::mem::take(&mut self.pending)
+        std::mem::replace(&mut self.pending, std::mem::take(&mut self.spare_events))
+    }
+
+    /// Return a drained delivery buffer so its capacity is reused by the
+    /// next [`XenStore::take_events`].
+    pub fn recycle_events(&mut self, mut buf: Vec<WatchEvent>) {
+        buf.clear();
+        if buf.capacity() > self.spare_events.capacity() {
+            self.spare_events = buf;
+        }
     }
 
     /// Whether any watch events are queued.
@@ -1108,7 +1155,7 @@ impl XenStore {
         let path = StorePath {
             full: path
                 .to_shared()
-                .unwrap_or_else(|| Arc::from(path.path_str())),
+                .unwrap_or_else(|| Rc::from(path.path_str())),
         };
         buf.push((caller, path, value.into_value()));
         Ok(())
@@ -1315,7 +1362,7 @@ mod tests {
         let evs = s.take_events();
         assert_eq!(evs.len(), 1);
         // The event shares the interned path allocation.
-        assert!(Arc::ptr_eq(&evs[0].path, &key.shared()));
+        assert!(Rc::ptr_eq(&evs[0].path, &key.shared()));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::rc::Rc;
 
 use crate::SimTime;
 
@@ -215,25 +215,25 @@ pub enum TraceEventKind {
         /// Writing domain.
         dom: u32,
         /// Full path.
-        path: Arc<str>,
+        path: Rc<str>,
         /// Value written.
-        value: Arc<str>,
+        value: Rc<str>,
     },
     /// A store write-type operation was denied by permissions.
     StoreDenied {
         /// Offending domain.
         dom: u32,
         /// Path it tried to touch.
-        path: Arc<str>,
+        path: Rc<str>,
     },
     /// A watch event was delivered to its owner over the XenBus channel.
     XenBusDeliver {
         /// Notified domain.
         dom: u32,
         /// Path that changed.
-        path: Arc<str>,
+        path: Rc<str>,
         /// New value (`None` for a removal).
-        value: Option<Arc<str>>,
+        value: Option<Rc<str>>,
     },
     /// An unreliable XenBus dropped a watch event instead of delivering it
     /// (injected by [`FaultKind::BusUnreliable`](crate::faults::FaultKind)).
@@ -241,9 +241,9 @@ pub enum TraceEventKind {
         /// Domain that would have been notified.
         dom: u32,
         /// Path that changed.
-        path: Arc<str>,
+        path: Rc<str>,
         /// Value that was lost (`None` for a removal).
-        value: Option<Arc<str>>,
+        value: Option<Rc<str>>,
     },
     /// An unreliable XenBus delivered a watch event a second time
     /// (injected by [`FaultKind::BusUnreliable`](crate::faults::FaultKind)).
@@ -251,9 +251,9 @@ pub enum TraceEventKind {
         /// Notified domain.
         dom: u32,
         /// Path that changed.
-        path: Arc<str>,
+        path: Rc<str>,
         /// Duplicated value (`None` for a removal).
-        value: Option<Arc<str>>,
+        value: Option<Rc<str>>,
     },
     // ---- control plane ----------------------------------------------
     /// A management-module decision, with the inputs that drove it.
@@ -1115,8 +1115,8 @@ mod tests {
                 1_500,
                 TraceEventKind::StoreWrite {
                     dom: 1,
-                    path: Arc::from("/local/domain/1/device/virt-dev/congested"),
-                    value: Arc::from("1"),
+                    path: Rc::from("/local/domain/1/device/virt-dev/congested"),
+                    value: Rc::from("1"),
                 },
             ),
             ev(

@@ -28,6 +28,16 @@ cargo test -q --offline -p iorch-bench --release --test policy_equivalence -- --
 cargo build --release --offline -p iorch-bench --benches
 IORCH_ABLATION=named cargo bench --offline -p iorch-bench --bench exp_ablation
 
+# Timer-wheel differential oracle: the wheel scheduler must fire the
+# exact same events in the exact same order as the frozen binary-heap
+# engine, across randomized op scripts (run in release for seed volume).
+cargo test -q --offline -p iorch-simcore --release --test scheduler_differential
+
+# Hot-path perf gate: regenerates BENCH_hotpath.json at full measure and
+# fails if any gated row (store write/read, watch fan-out, batched
+# fan-out, control tick, scheduler churn) drops below its threshold.
+scripts/bench_hotpath.sh
+
 # The trace recorder must also build and pass with the instrumentation
 # compiled out (the production hot-path configuration).
 export RUSTFLAGS="${RUSTFLAGS:-} --cfg iorch_trace_off"
