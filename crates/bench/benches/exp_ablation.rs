@@ -1,232 +1,7 @@
-//! Ablations of IOrchestra's design choices (DESIGN.md §5):
-//!
-//! * the flush idleness threshold (paper: bandwidth < 1/10 of capacity);
-//! * the congestion wake interleave (paper: uniform 0–99 ms);
-//! * the co-scheduler weight-update policy (paper: 1 s period or >50%
-//!   ratio change);
-//! * the DRR quantum round length.
-
-use std::rc::Rc;
-
-use iorch_bench::{bursty_run, RunCfg};
-use iorch_hypervisor::{Cluster, VmSpec};
-use iorch_metrics::{fmt_pct, fmt_us, Table};
-use iorch_simcore::{SimDuration, SimTime, Simulation};
-use iorch_workloads::{recorder, spawn_ycsb, VmRef, YcsbParams};
-use iorchestra::{
-    FunctionSet, IOrchestraConfig, IOrchestraPlane, PolicyEngine, PolicySet, SystemKind,
-};
-
-/// Run the bursty-writes scenario with a custom-configured IOrchestra
-/// plane (full function set unless restricted).
-fn bursty_with_cfg(mk: impl FnOnce(IOrchestraConfig) -> IOrchestraConfig, rate: f64) -> f64 {
-    bursty_with_set(
-        PolicySet::iorchestra(mk(IOrchestraConfig::new(42))),
-        iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true },
-        rate,
-    )
-}
-
-/// Run the bursty-writes scenario under an arbitrary policy set — the
-/// named-set sweep runs every plane the engine knows through here.
-fn bursty_with_set(set: PolicySet, mode: iorch_hypervisor::IoPathMode, rate: f64) -> f64 {
-    let mut sim = Simulation::new(Cluster::new());
-    let (cl, s) = sim.parts_mut();
-    let idx = cl.add_machine(iorch_hypervisor::MachineConfig::paper_testbed(42, mode));
-    cl.install_control(s, idx, Box::new(PolicyEngine::new(set)));
-    let a = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |g| {
-        g.wb.periodic_interval = SimDuration::from_millis(1000);
-        g.wb.dirty_expire = SimDuration::from_millis(3000);
-    });
-    let b = cl.create_domain(s, idx, VmSpec::new(2, 4).with_disk_gb(20), |g| {
-        g.wb.periodic_interval = SimDuration::from_millis(1000);
-        g.wb.dirty_expire = SimDuration::from_millis(3000);
-    });
-    let rec = recorder(SimTime::from_secs(2));
-    let mut p = YcsbParams::ycsb1(rate, 42).with_burst(SimDuration::from_millis(50));
-    p.memtable_flush_bytes = 2 << 20;
-    spawn_ycsb(
-        cl,
-        s,
-        &[
-            VmRef {
-                machine: idx,
-                dom: a,
-            },
-            VmRef {
-                machine: idx,
-                dom: b,
-            },
-        ],
-        None,
-        p,
-        Rc::clone(&rec),
-    );
-    sim.run_until(SimTime::from_secs(10));
-    let v = rec.borrow().hist.p999().as_micros_f64();
-    v
-}
+//! Design-choice ablations (DESIGN.md §5) — thin shim over the
+//! declarative runner (`ablation`). `IORCH_ABLATION=named` restricts the
+//! run to the named-policy-set sweep, as tier1.sh uses it.
 
 fn main() {
-    let rate = 600.0;
-
-    // --- Ablation 0: every named policy set on one engine ---
-    // (`IORCH_ABLATION=named` runs only this table; tier1.sh uses it to
-    // sweep the policy sets without paying for the parameter ablations.)
-    let mut t0 = Table::new(
-        "Ablation — named policy sets (YCSB1 bursty p99.9, us)",
-        &["policy set", "p99.9 (us)"],
-    );
-    for name in [
-        "baseline",
-        "sdc",
-        "dif",
-        "flush_only",
-        "congestion_only",
-        "cosched_only",
-        "iorchestra",
-    ] {
-        let set = PolicySet::named(name, 42).expect("known policy set");
-        let mode = match name {
-            "sdc" => iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: false },
-            "cosched_only" | "iorchestra" => {
-                iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true }
-            }
-            _ => iorch_hypervisor::IoPathMode::Paravirt,
-        };
-        let v = bursty_with_set(set, mode, rate);
-        t0.row(vec![name.into(), format!("{v:.1}")]);
-    }
-    print!("{}", t0.render());
-    if std::env::var("IORCH_ABLATION").as_deref() == Ok("named") {
-        return;
-    }
-
-    // --- Ablation 1: congestion wake interleave ---
-    let mut t1 = Table::new(
-        "Ablation — congestion wake interleave (YCSB1 bursty p99.9, us)",
-        &["interleave", "p99.9 (us)"],
-    );
-    for (label, max_ms) in [
-        // 0 = no interleave at all: every sleeper wakes at the same
-        // instant (the true thundering herd; no RNG draw either).
-        ("none (thundering herd)", 0u64),
-        ("0-25 ms", 25),
-        ("0-99 ms (paper)", 99),
-        ("0-400 ms", 400),
-    ] {
-        let v = bursty_with_cfg(
-            |mut c| {
-                c.wake_interleave_max_ms = max_ms;
-                c
-            },
-            rate,
-        );
-        t1.row(vec![label.into(), format!("{v:.1}")]);
-    }
-    print!("{}", t1.render());
-
-    // --- Ablation 2: co-scheduler update policy ---
-    let mut t2 = Table::new(
-        "Ablation — weight update policy (Fig. 10a setting, 60% io threads)",
-        &["policy", "IOrchestra MB/s"],
-    );
-    for (label, interval_ms, threshold) in [
-        ("always (every tick)", 0u64, 0.0f64),
-        ("1 s or >50% change (paper)", 1000, 0.5),
-        ("never update", u64::MAX / 2_000_000, 1e18),
-    ] {
-        // Reuse cosched_run but with a tweaked plane via SystemKind is not
-        // parameterizable; build directly.
-        let mut sim = Simulation::new(Cluster::new());
-        let (cl, s) = sim.parts_mut();
-        let idx = cl.add_machine(iorch_hypervisor::MachineConfig::paper_testbed(
-            42,
-            iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true },
-        ));
-        let mut pcfg = IOrchestraConfig::new(42).with_functions(FunctionSet::cosched_only());
-        pcfg.weight_update_interval = SimDuration::from_millis(interval_ms.min(1 << 40));
-        pcfg.weight_change_threshold = threshold;
-        cl.install_control(s, idx, Box::new(IOrchestraPlane::new(pcfg)));
-        let dom = cl.create_domain(s, idx, VmSpec::new(10, 10).with_disk_gb(60), |_| {});
-        let vm = VmRef { machine: idx, dom };
-        let rec = recorder(SimTime::from_secs(1));
-        iorch_workloads::spawn_multistream(
-            cl,
-            s,
-            vm,
-            iorch_workloads::MultiStreamParams {
-                streams: 6,
-                file_size: 2 << 30,
-                read_size: 1 << 20,
-                first_vcpu: 0,
-                seed: 42,
-            },
-            Rc::clone(&rec),
-        );
-        sim.run_until(SimTime::from_secs(6));
-        let now = sim.now();
-        let bps = rec.borrow().throughput_bps(now);
-        t2.row(vec![label.into(), format!("{:.1}", bps / 1e6)]);
-    }
-    print!("{}", t2.render());
-
-    // --- Ablation 3: DRR round length (quantum scale) ---
-    let mut t3 = Table::new(
-        "Ablation — DRR round length (quantum = BW_max * share * round)",
-        &["round", "IOrchestra MB/s"],
-    );
-    for (label, us) in [
-        ("100 us", 100u64),
-        ("1 ms (default)", 1000),
-        ("10 ms", 10_000),
-        ("100 ms", 100_000),
-    ] {
-        let mut sim = Simulation::new(Cluster::new());
-        let (cl, s) = sim.parts_mut();
-        let idx = cl.add_machine(iorch_hypervisor::MachineConfig::paper_testbed(
-            42,
-            iorch_hypervisor::IoPathMode::DedicatedCores { per_socket: true },
-        ));
-        let mut pcfg = IOrchestraConfig::new(42).with_functions(FunctionSet::cosched_only());
-        pcfg.drr_round = SimDuration::from_micros(us);
-        cl.install_control(s, idx, Box::new(IOrchestraPlane::new(pcfg)));
-        let dom = cl.create_domain(s, idx, VmSpec::new(10, 10).with_disk_gb(60), |_| {});
-        let rec = recorder(SimTime::from_secs(1));
-        iorch_workloads::spawn_multistream(
-            cl,
-            s,
-            VmRef { machine: idx, dom },
-            iorch_workloads::MultiStreamParams {
-                streams: 6,
-                file_size: 2 << 30,
-                read_size: 1 << 20,
-                first_vcpu: 0,
-                seed: 42,
-            },
-            Rc::clone(&rec),
-        );
-        sim.run_until(SimTime::from_secs(6));
-        let now = sim.now();
-        let bps = rec.borrow().throughput_bps(now);
-        t3.row(vec![label.into(), format!("{:.1}", bps / 1e6)]);
-    }
-    print!("{}", t3.render());
-
-    // --- Reference point: headline systems on the same bursty load ---
-    let mut t4 = Table::new(
-        "Reference — headline systems on the same bursty load (p99.9, us)",
-        &["system", "p99.9"],
-    );
-    for k in SystemKind::headline() {
-        let h = bursty_run(
-            k,
-            rate,
-            SimDuration::from_millis(50),
-            RunCfg::new(42).with_measure(SimDuration::from_secs(8)),
-        );
-        t4.row(vec![k.label().into(), fmt_us(h.p999())]);
-    }
-    print!("{}", t4.render());
-    let _ = fmt_pct(0.0);
+    iorch_bench::exp::bench_main(&["ablation"]);
 }

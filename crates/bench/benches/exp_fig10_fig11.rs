@@ -1,92 +1,6 @@
-//! Fig. 10 — inter-domain I/O co-scheduling: (a) I/O-throughput
-//! improvement at various I/O-thread intensities in a 10-VCPU
-//! cross-socket VM; (b) improvement in completed VMs under dynamic
-//! arrivals; (c) average CPU utilization vs arrival rate.
-//! Fig. 11 — I/O-throughput improvement at various arrival rates
-//! (SDC vs IOrchestra, both relative to baseline).
-
-use iorch_bench::{arrivals_run, cosched_run, RunCfg};
-use iorch_metrics::{fmt_pct, throughput_improvement_pct, Table};
-use iorch_simcore::SimDuration;
-use iorchestra::SystemKind;
+//! Figs. 10/11 co-scheduling — thin shim over the declarative runner
+//! (`fig10a` and `fig10bc_fig11`).
 
 fn main() {
-    // --- Fig. 10a: mixed intensity in one big VM ---
-    let cfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(1))
-        .with_measure(SimDuration::from_secs(5));
-    let mut t = Table::new(
-        "Fig. 10a — I/O throughput improvement vs %% of I/O threads (IOrchestra vs SDC)",
-        &["% io threads", "SDC MB/s", "IOrchestra MB/s", "improvement"],
-    );
-    for io_threads in [2u32, 4, 6, 8] {
-        let sdc = cosched_run(SystemKind::Sdc, io_threads, cfg);
-        let io = cosched_run(SystemKind::IOrchestra, io_threads, cfg);
-        t.row(vec![
-            format!("{}%", io_threads * 10),
-            format!("{:.1}", sdc / 1e6),
-            format!("{:.1}", io / 1e6),
-            fmt_pct(throughput_improvement_pct(sdc, io)),
-        ]);
-    }
-    print!("{}", t.render());
-    println!(
-        "paper shape: 2-14% improvement, largest at moderate intensity (40-60%) where \
-         single-core SDC is most unbalanced.\n"
-    );
-
-    // --- Fig. 10b/10c + Fig. 11: dynamic arrivals ---
-    let lambdas = [4.0f64, 8.0, 12.0, 16.0, 20.0];
-    let acfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(2))
-        .with_measure(SimDuration::from_secs(118));
-    let mut b = Table::new(
-        "Fig. 10b — improvement in VMs completed vs λ",
-        &["λ", "SDC", "IOrchestra"],
-    );
-    let mut c = Table::new(
-        "Fig. 10c — average CPU utilization vs λ",
-        &["λ", "baseline", "SDC", "IOrchestra"],
-    );
-    let mut f11 = Table::new(
-        "Fig. 11 — I/O throughput improvement over baseline vs λ",
-        &["λ", "SDC", "IOrchestra"],
-    );
-    for &l in &lambdas {
-        let base = arrivals_run(SystemKind::Baseline, l, acfg);
-        let sdc = arrivals_run(SystemKind::Sdc, l, acfg);
-        let io = arrivals_run(SystemKind::IOrchestra, l, acfg);
-        let imp = |x: u64| {
-            if base.completed == 0 {
-                0.0
-            } else {
-                (x as f64 - base.completed as f64) / base.completed as f64 * 100.0
-            }
-        };
-        b.row(vec![
-            format!("{l:.0}"),
-            fmt_pct(imp(sdc.completed)),
-            fmt_pct(imp(io.completed)),
-        ]);
-        c.row(vec![
-            format!("{l:.0}"),
-            fmt_pct(base.cpu_utilization * 100.0),
-            fmt_pct(sdc.cpu_utilization * 100.0),
-            fmt_pct(io.cpu_utilization * 100.0),
-        ]);
-        f11.row(vec![
-            format!("{l:.0}"),
-            fmt_pct(throughput_improvement_pct(base.io_bps, sdc.io_bps)),
-            fmt_pct(throughput_improvement_pct(base.io_bps, io.io_bps)),
-        ]);
-    }
-    print!("{}", b.render());
-    println!("paper shape: IOrchestra's completed-VM gain grows with λ to ~6.6%; SDC lags.\n");
-    print!("{}", c.render());
-    println!(
-        "paper shape: baseline lowest at small λ (no spinning core); at high λ baseline \
-         and IOrchestra exceed SDC, whose single-socket restriction strands capacity.\n"
-    );
-    print!("{}", f11.render());
-    println!("paper shape: SDC's gain collapses at high λ; IOrchestra's roughly doubles it.");
+    iorch_bench::exp::bench_main(&["fig10a", "fig10bc_fig11"]);
 }

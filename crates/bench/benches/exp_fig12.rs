@@ -1,36 +1,6 @@
-//! Fig. 12 — YCSB1 99.9th-percentile latency under bursty writes with
-//! synchronized burst periods of 50 and 100 ms (peak rate 10× average),
-//! for Baseline / SDC / DIF / IOrchestra.
-
-use iorch_bench::{bursty_run, RunCfg};
-use iorch_metrics::{fmt_us, Table};
-use iorch_simcore::SimDuration;
-use iorchestra::SystemKind;
+//! Fig. 12 bursty writes — thin shim over the declarative runner
+//! (`fig12`).
 
 fn main() {
-    let systems = SystemKind::headline();
-    let rates = [200.0f64, 500.0, 1000.0, 1500.0, 2000.0, 3000.0];
-    let cfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(2))
-        .with_measure(SimDuration::from_secs(8));
-    for burst_ms in [50u64, 100] {
-        let mut t = Table::new(
-            format!("Fig. 12 — YCSB1 99.9th pct latency (us), {burst_ms} ms bursts"),
-            &["req/s", "Baseline", "SDC", "DIF", "IOrchestra"],
-        );
-        for &r in &rates {
-            let mut row = vec![format!("{r:.0}")];
-            for k in systems {
-                let h = bursty_run(k, r, SimDuration::from_millis(burst_ms), cfg);
-                row.push(fmt_us(h.p999()));
-            }
-            t.row(row);
-        }
-        print!("{}", t.render());
-    }
-    println!(
-        "paper shape: the baseline tail blows past 1 ms at ~800 (50 ms bursts) and \
-         ~500 req/s (100 ms); DIF beats SDC on this write-heavy load; IOrchestra \
-         sustains the highest rate under 1 ms (average gain ~31.8%)."
-    );
+    iorch_bench::exp::bench_main(&["fig12"]);
 }

@@ -1,114 +1,5 @@
-//! Fig. 4 (a–f): latency at different workload intensities and
-//! applications — Olio + two Cassandra stores (YCSB1, YCSB2) running
-//! concurrently on one host under Baseline / SDC / DIF / IOrchestra.
-//!
-//! (a,d) Olio mean and 99.9th-percentile latency vs number of clients;
-//! (b,e) YCSB1 vs requests/second; (c,f) YCSB2 vs requests/second.
-
-use iorch_bench::{fig4_run, Fig4Out, RunCfg};
-use iorch_metrics::{fmt_ms, fmt_us, LatencyHistogram, Table};
-use iorchestra::SystemKind;
-
-/// Merge the distributions of several seeded runs (the paper averages
-/// over repeated runs; merging histograms pools the samples).
-fn fig4_merged(kind: SystemKind, clients: u32, r1: f64, r2: f64) -> Fig4Out {
-    let mut out: Option<Fig4Out> = None;
-    for seed in [42u64, 1042, 2042] {
-        let run = fig4_run(kind, clients, r1, r2, RunCfg::new(seed));
-        match &mut out {
-            None => out = Some(run),
-            Some(acc) => {
-                acc.olio_total.merge(&run.olio_total);
-                acc.olio_web.merge(&run.olio_web);
-                acc.olio_db.merge(&run.olio_db);
-                acc.olio_file.merge(&run.olio_file);
-                acc.ycsb1.merge(&run.ycsb1);
-                acc.ycsb2.merge(&run.ycsb2);
-            }
-        }
-    }
-    out.unwrap()
-}
+//! Fig. 4 (a–f) — thin shim over the declarative runner (`fig4`).
 
 fn main() {
-    let systems = SystemKind::headline();
-
-    // --- (a, d): Olio vs clients, stores fixed at 1500 rps ---
-    let clients = [50u32, 100, 150, 200, 250, 300];
-    let mut mean_t = Table::new(
-        "Fig. 4a — Olio mean latency (ms) vs clients",
-        &["clients", "Baseline", "SDC", "DIF", "IOrchestra"],
-    );
-    let mut tail_t = Table::new(
-        "Fig. 4d — Olio 99.9th pct latency (ms) vs clients",
-        &["clients", "Baseline", "SDC", "DIF", "IOrchestra"],
-    );
-    for &c in &clients {
-        let outs: Vec<LatencyHistogram> = systems
-            .iter()
-            .map(|k| fig4_merged(*k, c, 1500.0, 1500.0).olio_total)
-            .collect();
-        let mut mrow = vec![c.to_string()];
-        let mut trow = vec![c.to_string()];
-        for h in &outs {
-            mrow.push(fmt_ms(h.mean()));
-            trow.push(fmt_ms(h.p999()));
-        }
-        mean_t.row(mrow);
-        tail_t.row(trow);
-    }
-    print!("{}", mean_t.render());
-    print!("{}", tail_t.render());
-
-    // --- (b, e) and (c, f): YCSB vs rate, Olio fixed at 150 clients ---
-    let rates = [500.0f64, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0];
-    for (name_mean, name_tail, pick) in [
-        (
-            "Fig. 4b — YCSB1 mean latency (us) vs req/s",
-            "Fig. 4e — YCSB1 99.9th pct latency (us) vs req/s",
-            0usize,
-        ),
-        (
-            "Fig. 4c — YCSB2 mean latency (us) vs req/s",
-            "Fig. 4f — YCSB2 99.9th pct latency (us) vs req/s",
-            1usize,
-        ),
-    ] {
-        let mut mean_t = Table::new(
-            name_mean,
-            &["req/s", "Baseline", "SDC", "DIF", "IOrchestra"],
-        );
-        let mut tail_t = Table::new(
-            name_tail,
-            &["req/s", "Baseline", "SDC", "DIF", "IOrchestra"],
-        );
-        for &r in &rates {
-            let outs: Vec<LatencyHistogram> = systems
-                .iter()
-                .map(|k| {
-                    let out = fig4_merged(*k, 150, r, r);
-                    if pick == 0 {
-                        out.ycsb1
-                    } else {
-                        out.ycsb2
-                    }
-                })
-                .collect();
-            let mut mrow = vec![format!("{r:.0}")];
-            let mut trow = vec![format!("{r:.0}")];
-            for h in &outs {
-                mrow.push(fmt_us(h.mean()));
-                trow.push(fmt_us(h.p999()));
-            }
-            mean_t.row(mrow);
-            tail_t.row(trow);
-        }
-        print!("{}", mean_t.render());
-        print!("{}", tail_t.render());
-    }
-    println!(
-        "paper shapes: IOrchestra lowest on every series; overall mean ~9% and 99.9th ~12% \
-         below baseline; YCSB1 gains (13/16%) exceed YCSB2's; SDC helps means via lower \
-         per-request overhead, DIF helps the write-heavy store."
-    );
+    iorch_bench::exp::bench_main(&["fig4"]);
 }

@@ -1,88 +1,6 @@
-//! Fig. 5 — YCSB1/YCSB2 latency distributions at 3000 req/s, baseline vs
-//! IOrchestra. Fig. 6 — per-tier latency distributions of Olio (web /
-//! database / file server) at full load.
-
-use iorch_bench::{fig4_run, Fig4Out, RunCfg};
-use iorch_metrics::{cdf_at_fractions, fmt_us, standard_grid, LatencyHistogram, Table};
-use iorchestra::SystemKind;
-
-fn cdf_table(title: &str, base: &LatencyHistogram, iorch: &LatencyHistogram) -> Table {
-    let grid = standard_grid();
-    let b = cdf_at_fractions(base, &grid);
-    let i = cdf_at_fractions(iorch, &grid);
-    let mut t = Table::new(title, &["pct", "Baseline (us)", "IOrchestra (us)"]);
-    for (bp, ip) in b.iter().zip(&i) {
-        t.row(vec![
-            format!("{:.0}%", bp.fraction * 100.0),
-            fmt_us(bp.value),
-            fmt_us(ip.value),
-        ]);
-    }
-    t
-}
+//! Figs. 5/6 latency distributions — thin shim over the declarative
+//! runner (`fig5_fig6`).
 
 fn main() {
-    let cfg = RunCfg::new(42);
-    let base: Fig4Out = fig4_run(SystemKind::Baseline, 300, 3000.0, 3000.0, cfg);
-    let iorch: Fig4Out = fig4_run(SystemKind::IOrchestra, 300, 3000.0, 3000.0, cfg);
-
-    // Fig. 5: store latency CDFs at 3000 req/s.
-    print!(
-        "{}",
-        cdf_table(
-            "Fig. 5a — YCSB1 latency CDF @3000 req/s",
-            &base.ycsb1,
-            &iorch.ycsb1
-        )
-        .render()
-    );
-    print!(
-        "{}",
-        cdf_table(
-            "Fig. 5b — YCSB2 latency CDF @3000 req/s",
-            &base.ycsb2,
-            &iorch.ycsb2
-        )
-        .render()
-    );
-
-    // Fig. 6: Olio per-tier CDFs.
-    print!(
-        "{}",
-        cdf_table(
-            "Fig. 6a — Olio web tier latency CDF",
-            &base.olio_web,
-            &iorch.olio_web
-        )
-        .render()
-    );
-    print!(
-        "{}",
-        cdf_table(
-            "Fig. 6b — Olio database tier latency CDF",
-            &base.olio_db,
-            &iorch.olio_db
-        )
-        .render()
-    );
-    print!(
-        "{}",
-        cdf_table(
-            "Fig. 6c — Olio file-server tier latency CDF",
-            &base.olio_file,
-            &iorch.olio_file
-        )
-        .render()
-    );
-
-    let imp = |b: &LatencyHistogram, i: &LatencyHistogram| {
-        (b.mean().as_secs_f64() - i.mean().as_secs_f64()) / b.mean().as_secs_f64() * 100.0
-    };
-    println!(
-        "mean improvements — overall Olio: {:.1}%  db tier: {:.1}%  file tier: {:.1}%  \
-         (paper: 11.2%, 21.6%, 19.8%; I/O tiers improve more than end-to-end)",
-        imp(&base.olio_total, &iorch.olio_total),
-        imp(&base.olio_db, &iorch.olio_db),
-        imp(&base.olio_file, &iorch.olio_file),
-    );
+    iorch_bench::exp::bench_main(&["fig5_fig6"]);
 }

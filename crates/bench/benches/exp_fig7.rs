@@ -1,45 +1,5 @@
-//! Fig. 7 — normalized mean I/O latency of mpiBLAST and YCSB1 at
-//! different cluster sizes (1–8 machines), under SDC / DIF / IOrchestra
-//! relative to Baseline.
-
-use iorch_bench::{scaleout_run, RunCfg, ScaleApp};
-use iorch_metrics::{fmt_ratio, normalized, Table};
-use iorch_simcore::SimDuration;
-use iorchestra::SystemKind;
+//! Fig. 7 scale-out — thin shim over the declarative runner (`fig7`).
 
 fn main() {
-    let machines = [1usize, 2, 4, 6, 8];
-    let cfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(1))
-        .with_measure(SimDuration::from_secs(3));
-    for (app, title) in [
-        (
-            ScaleApp::Blast,
-            "Fig. 7a — mpiBLAST normalized mean I/O latency",
-        ),
-        (
-            ScaleApp::Ycsb1,
-            "Fig. 7b — YCSB1 normalized mean I/O latency",
-        ),
-    ] {
-        let mut t = Table::new(title, &["machines", "IOrchestra", "SDC", "DIF"]);
-        for &n in &machines {
-            let base = scaleout_run(SystemKind::Baseline, n, app, cfg);
-            let io = scaleout_run(SystemKind::IOrchestra, n, app, cfg);
-            let sdc = scaleout_run(SystemKind::Sdc, n, app, cfg);
-            let dif = scaleout_run(SystemKind::Dif, n, app, cfg);
-            t.row(vec![
-                n.to_string(),
-                fmt_ratio(normalized(base, io)),
-                fmt_ratio(normalized(base, sdc)),
-                fmt_ratio(normalized(base, dif)),
-            ]);
-        }
-        print!("{}", t.render());
-    }
-    println!(
-        "paper shapes: IOrchestra ~0.87-0.90 across sizes (10.1% mpiBLAST, 12.9% YCSB1 \
-         average gains); YCSB1 absolute latency grows with machines from inter-node \
-         traffic while mpiBLAST's gain stays stable."
-    );
+    iorch_bench::exp::bench_main(&["fig7"]);
 }

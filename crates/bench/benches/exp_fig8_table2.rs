@@ -1,67 +1,6 @@
-//! Fig. 8 — FS write-throughput improvement from the flush function at
-//! various VM counts and dirty-page ratios (flush-only IOrchestra vs
-//! baseline). Table 2 — write-throughput improvement under dynamic VM
-//! arrivals at rates λ = 4..20 VMs/minute.
-
-use iorch_bench::{arrivals_run, flush_run, RunCfg};
-use iorch_metrics::{fmt_pct, throughput_improvement_pct, Table};
-use iorch_simcore::SimDuration;
-use iorchestra::{FunctionSet, SystemKind};
+//! Fig. 8 + Table 2 flushing — thin shim over the declarative runner
+//! (`fig8` and `table2`).
 
 fn main() {
-    // --- Fig. 8: VM count x dirty ratio grid ---
-    let vm_counts = [2usize, 6, 10, 14, 20];
-    let ratios = [0.10f64, 0.20, 0.30, 0.40];
-    let flush_only = SystemKind::IOrchestraWith(FunctionSet::flush_only());
-    let mut t = Table::new(
-        "Fig. 8 — FS write-throughput improvement (IOrchestra flush vs baseline)",
-        &["VMs", "10%", "20%", "30%", "40%"],
-    );
-    let cfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(2))
-        .with_measure(SimDuration::from_secs(5));
-    for &n in &vm_counts {
-        let mut row = vec![n.to_string()];
-        for &r in &ratios {
-            let base = flush_run(SystemKind::Baseline, n, r, cfg);
-            let io = flush_run(flush_only, n, r, cfg);
-            row.push(fmt_pct(throughput_improvement_pct(base, io)));
-        }
-        t.row(row);
-    }
-    print!("{}", t.render());
-    println!(
-        "paper shape: improvement grows with VM count and dirty ratio, \
-         peaking ~21% at 20 VMs / 40%; ~12.7% average across ratios at 20 VMs.\n"
-    );
-
-    // --- Table 2: arrival-rate sweep ---
-    let lambdas = [4.0f64, 8.0, 12.0, 16.0, 20.0];
-    // Metric note: the paper reports aggregate (application-level) write
-    // throughput of the dynamic mix; we report completed-VM payload
-    // throughput — at compressed time scales the raw device-write number
-    // degenerates (baseline guests often depart with their dirt never
-    // flushed, which is itself a durability observation).
-    let mut t2 = Table::new(
-        "Table 2 — app-throughput improvement vs arrival rate λ (VMs/min)",
-        &["λ", "baseline MB/s", "IOrchestra MB/s", "improvement"],
-    );
-    let acfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(2))
-        .with_measure(SimDuration::from_secs(58));
-    for &l in &lambdas {
-        let base = arrivals_run(SystemKind::Baseline, l, acfg);
-        let io = arrivals_run(SystemKind::IOrchestra, l, acfg);
-        t2.row(vec![
-            format!("{l:.0}"),
-            format!("{:.1}", base.app_bps / 1e6),
-            format!("{:.1}", io.app_bps / 1e6),
-            fmt_pct(throughput_improvement_pct(base.app_bps, io.app_bps)),
-        ]);
-    }
-    print!("{}", t2.render());
-    println!(
-        "paper: 6.6 / 19.1 / 24.5 / 29.8 / 30.6 % — improvement grows with λ as the \
-         dynamic mix leaves more idle bandwidth for proactive flushing."
-    );
+    iorch_bench::exp::bench_main(&["fig8", "table2"]);
 }

@@ -1,35 +1,6 @@
-//! Fig. 9 — latency of FS / WS / VS normalized to baseline at various VM
-//! counts, with only the collaborative congestion-control function
-//! enabled.
-
-use iorch_bench::{congestion_run, FbKind, RunCfg};
-use iorch_metrics::{fmt_ratio, normalized, Table};
-use iorch_simcore::SimDuration;
-use iorchestra::{FunctionSet, SystemKind};
+//! Fig. 9 congestion control — thin shim over the declarative runner
+//! (`fig9`).
 
 fn main() {
-    let vm_counts = [2usize, 6, 10, 14, 20];
-    let cong_only = SystemKind::IOrchestraWith(FunctionSet::congestion_only());
-    let mut t = Table::new(
-        "Fig. 9 — normalized mean latency (IOrchestra congestion-only / baseline)",
-        &["VMs", "FS", "WS", "VS"],
-    );
-    let cfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(2))
-        .with_measure(SimDuration::from_secs(5));
-    for &n in &vm_counts {
-        let mut row = vec![n.to_string()];
-        for fb in [FbKind::Fs, FbKind::Ws, FbKind::Vs] {
-            let base = congestion_run(SystemKind::Baseline, fb, n, cfg);
-            let io = congestion_run(cong_only, fb, n, cfg);
-            row.push(fmt_ratio(normalized(base, io)));
-        }
-        t.row(row);
-    }
-    print!("{}", t.render());
-    println!(
-        "paper shape: FS benefits most (down to ~0.90 — small mixed requests falsely \
-         trigger congestion avoidance); WS/VS closer to 1.0; all curves approach 1.0 \
-         as VM count grows and the device becomes genuinely congested."
-    );
+    iorch_bench::exp::bench_main(&["fig9"]);
 }

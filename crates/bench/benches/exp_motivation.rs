@@ -1,45 +1,6 @@
-//! §2 motivation experiment: falsely triggered congestion avoidance.
-//!
-//! Two VMs run streams of large sequential reads whose pipeline depth
-//! keeps the request queue above the 7/8 threshold, so stock Linux
-//! congestion avoidance fires although the host array has headroom. The
-//! measured latency is that of reads submitted into the falsely-congested
-//! queue: baseline submitters sleep in `congestion_wait`; IOrchestra's
-//! collaborative control releases them. The paper reports 220 ms → 160 ms
-//! (27% of the baseline); the reproduction target is that double-digit
-//! relative gap, not the absolute numbers (different op sizes).
-
-use iorch_bench::{motivation_run, RunCfg};
-use iorch_metrics::{fmt_ms, fmt_pct, Table};
-use iorch_simcore::SimDuration;
+//! §2 motivation experiment — thin shim over the declarative runner
+//! (`iorch_bench::exp`, experiment `motivation`).
 
 fn main() {
-    println!("== §2 motivation: congestion avoidance on vs collaborative ==");
-    let mut table = Table::new(
-        "Mean latency of reads entering the falsely-congested queue",
-        &["system", "mean (ms)", "congestion entries", "releases"],
-    );
-    let cfg = RunCfg::new(42)
-        .with_warmup(SimDuration::from_secs(1))
-        .with_measure(SimDuration::from_secs(5));
-    let base = motivation_run(false, cfg);
-    let iorch = motivation_run(true, cfg);
-    table.row(vec![
-        "Baseline (stock congestion avoidance)".into(),
-        fmt_ms(base.mean),
-        base.congestion_entries.to_string(),
-        "-".into(),
-    ]);
-    table.row(vec![
-        "IOrchestra (collaborative)".into(),
-        fmt_ms(iorch.mean),
-        iorch.congestion_entries.to_string(),
-        iorch.bypass_grants.to_string(),
-    ]);
-    print!("{}", table.render());
-    let imp = (base.mean.as_secs_f64() - iorch.mean.as_secs_f64()) / base.mean.as_secs_f64();
-    println!(
-        "improvement: {} (paper: 220 ms -> 160 ms, 27%)",
-        fmt_pct(imp * 100.0)
-    );
+    iorch_bench::exp::bench_main(&["motivation"]);
 }

@@ -1,0 +1,7 @@
+//! Live-telemetry demo — thin shim over the declarative runner
+//! (`telemetry`): streams one `[telemetry …]` p50/p99/SLO line per
+//! cadence window while the bursty YCSB1 run executes.
+
+fn main() {
+    iorch_bench::exp::bench_main(&["telemetry"]);
+}

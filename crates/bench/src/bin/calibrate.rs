@@ -94,7 +94,7 @@ fn main() {
                     SystemKind::IOrchestraWith(iorchestra::FunctionSet::flush_only()),
                 ] {
                     let cfg = RunCfg::new(42);
-                    let bps = flush_run(kind, n, ratio, cfg);
+                    let (bps, _ops) = flush_run(kind, n, ratio, cfg);
                     println!(
                         "[flush:{:<12}] {n:>2} VMs ratio={:.0}%: {:.1} MB/s",
                         kind.label(),
@@ -109,7 +109,7 @@ fn main() {
     if which == "all" || which == "cosched" {
         for kind in [SystemKind::Sdc, SystemKind::IOrchestra] {
             let cfg = RunCfg::new(42);
-            let bps = cosched_run(kind, 6, cfg);
+            let (bps, _ops) = cosched_run(kind, 6, cfg);
             println!(
                 "[cosched:{:<10}] 60% io threads: {:.1} MB/s",
                 kind.label(),
@@ -155,8 +155,8 @@ fn main() {
     if which == "all" || which == "scaleout" {
         for kind in [SystemKind::Baseline, SystemKind::IOrchestra] {
             let cfg = RunCfg::new(42).with_measure(SimDuration::from_secs(4));
-            let m1 = scaleout_run(kind, 1, ScaleApp::Ycsb1, cfg);
-            let m4 = scaleout_run(kind, 4, ScaleApp::Ycsb1, cfg);
+            let (m1, _) = scaleout_run(kind, 1, ScaleApp::Ycsb1, cfg);
+            let (m4, _) = scaleout_run(kind, 4, ScaleApp::Ycsb1, cfg);
             println!(
                 "[scaleout:{:<10}] ycsb1 n=1: {} n=4: {}",
                 kind.label(),
@@ -172,7 +172,7 @@ fn main() {
             SystemKind::IOrchestraWith(iorchestra::FunctionSet::congestion_only()),
         ] {
             let cfg = RunCfg::new(42);
-            let m = congestion_run(kind, FbKind::Fs, 8, cfg);
+            let (m, _) = congestion_run(kind, FbKind::Fs, 8, cfg);
             println!("[congestion:{:<12}] FS 8 VMs mean={}", kind.label(), m);
         }
     }

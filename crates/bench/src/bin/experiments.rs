@@ -1,0 +1,163 @@
+//! CLI driver for the declarative experiment registry.
+//!
+//! ```text
+//! experiments list
+//! experiments run <name>|all [--profile smoke|full] [--seed N] [--out DIR] [--quiet]
+//! experiments validate <DIR>
+//! ```
+//!
+//! `run` executes named experiments and writes per-figure JSON/CSV
+//! artifacts plus a summary under `<out>/<experiment>/`. `validate`
+//! checks every `.json` artifact under a directory against the
+//! `iorch-exp/v1` schema (required keys, finite numbers, nonzero sample
+//! counts) — the tier-1 gate runs a smoke sweep and then validates it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use iorch_bench::exp::{self, Profile};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  experiments list\n  experiments run <name>|all [--profile smoke|full] \
+         [--seed N] [--out DIR] [--quiet]\n  experiments validate <DIR>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for s in exp::registry() {
+                println!("{:<16} {}", s.name, s.title);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("validate") => match args.get(1) {
+            Some(dir) => validate(Path::new(dir)),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let mut profile = Profile::Smoke;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("target/experiments");
+    let mut quiet = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                match args.get(i).map(String::as_str).and_then(Profile::parse) {
+                    Some(p) => profile = p,
+                    None => return usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => seed = v,
+                    None => return usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => out = PathBuf::from(v),
+                    None => return usage(),
+                }
+            }
+            "--quiet" => quiet = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let specs: Vec<&exp::Spec> = if name == "all" {
+        exp::registry().iter().collect()
+    } else {
+        match exp::find(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown experiment {name:?}; `experiments list` shows the registry");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for spec in specs {
+        if !quiet {
+            println!(
+                "== {} [{} profile, seed {seed}] ==",
+                spec.title,
+                profile.name()
+            );
+        }
+        if let Err(e) = exp::run_spec(spec, profile, seed, &out, quiet) {
+            eprintln!("{}: artifact write failed: {e}", spec.name);
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("artifacts: {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn validate(dir: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    if let Err(e) = collect_json(dir, &mut files) {
+        eprintln!("cannot read {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no .json artifacts under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut bad = 0;
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", f.display());
+                bad += 1;
+                continue;
+            }
+        };
+        match exp::validate_artifact(&text) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", f.display());
+                bad += 1;
+            }
+        }
+    }
+    println!(
+        "validated {} artifacts under {}: {} bad",
+        files.len(),
+        dir.display(),
+        bad
+    );
+    if bad == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_json(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_json(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

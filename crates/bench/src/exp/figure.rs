@@ -1,0 +1,201 @@
+//! Figure data model and deterministic JSON/CSV artifact rendering.
+//!
+//! Every experiment produces [`Figure`]s — a titled grid of `rows ×
+//! columns` float values over one swept axis. The JSON rendering is the
+//! golden-summary surface: fixed key order, fixed row order, floats via
+//! Rust's shortest-roundtrip `Display`, so the same run bytes out the
+//! same artifact every time (the determinism suite diffs these files).
+
+use std::fmt::Write as _;
+
+/// One row of a figure: the x-axis value (already formatted) and one
+/// value per column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigRow {
+    /// X-axis label (e.g. "150" clients, "99%", "baseline").
+    pub x: String,
+    /// One value per figure column.
+    pub values: Vec<f64>,
+}
+
+/// A single figure/table of an experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure {
+    /// Stable artifact id (file stem), e.g. `fig4a`.
+    pub id: String,
+    /// Human title as printed above the rendered table.
+    pub title: String,
+    /// Name of the swept axis, e.g. `clients`.
+    pub x_axis: String,
+    /// Unit of the values: `ms`, `us`, `ratio`, `%`, `MB/s`, `mixed`.
+    pub unit: String,
+    /// Column (series) labels.
+    pub columns: Vec<String>,
+    /// Rows in sweep order.
+    pub rows: Vec<FigRow>,
+    /// Total measured samples (ops, arrivals, …) backing the figure.
+    /// The schema validator rejects artifacts where this is zero.
+    pub samples: u64,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_axis: impl Into<String>,
+        unit: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_axis: x_axis.into(),
+            unit: unit.into(),
+            columns,
+            rows: Vec::new(),
+            samples: 0,
+        }
+    }
+
+    /// Append a row, asserting shape and finiteness (the determinism
+    /// contract forbids NaN/inf from ever reaching an artifact).
+    pub fn row(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "figure {}: row width != column count",
+            self.id
+        );
+        for v in &values {
+            assert!(v.is_finite(), "figure {}: non-finite value {v}", self.id);
+        }
+        self.rows.push(FigRow {
+            x: x.into(),
+            values,
+        });
+    }
+
+    /// Render the per-figure JSON artifact (schema `iorch-exp/v1`).
+    pub fn to_json(&self, experiment: &str, profile: &str, seed: u64) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"iorch-exp/v1\",");
+        let _ = writeln!(s, "  \"experiment\": {},", json_str(experiment));
+        let _ = writeln!(s, "  \"profile\": {},", json_str(profile));
+        let _ = writeln!(s, "  \"seed\": {seed},");
+        let _ = writeln!(s, "  \"figure\": {},", json_str(&self.id));
+        let _ = writeln!(s, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(s, "  \"x_axis\": {},", json_str(&self.x_axis));
+        let _ = writeln!(s, "  \"unit\": {},", json_str(&self.unit));
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let cols: Vec<String> = self.columns.iter().map(|c| json_str(c)).collect();
+        let _ = writeln!(s, "  \"columns\": [{}],", cols.join(", "));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let vals: Vec<String> = r.values.iter().map(|v| json_num(*v)).collect();
+            let _ = write!(
+                s,
+                "    {{\"x\": {}, \"values\": [{}]}}",
+                json_str(&r.x),
+                vals.join(", ")
+            );
+            s.push_str(if i + 1 == self.rows.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Render the per-figure CSV artifact (same grid as the JSON).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(512);
+        let mut head = vec![csv_cell(&self.x_axis)];
+        head.extend(self.columns.iter().map(|c| csv_cell(c)));
+        s.push_str(&head.join(","));
+        s.push('\n');
+        for r in &self.rows {
+            let mut row = vec![csv_cell(&r.x)];
+            row.extend(r.values.iter().map(|v| json_num(*v)));
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// JSON string literal with minimal escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Deterministic JSON number: Rust's shortest-roundtrip `Display`, with
+/// integral floats written with no fraction (JSON has one number type).
+pub fn json_num(v: f64) -> String {
+    assert!(v.is_finite(), "non-finite value in artifact: {v}");
+    format!("{v}")
+}
+
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut f = Figure::new(
+            "t1",
+            "A \"quoted\" title",
+            "x",
+            "us",
+            vec!["a".into(), "b".into()],
+        );
+        f.row("1", vec![1.5, 2.0]);
+        f.samples = 3;
+        let j1 = f.to_json("exp", "smoke", 7);
+        let j2 = f.to_json("exp", "smoke", 7);
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\\\"quoted\\\""));
+        assert!(j1.contains("\"values\": [1.5, 2]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let mut f = Figure::new("t", "t", "x", "us", vec!["a".into()]);
+        f.row("1", vec![f64::NAN]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut f = Figure::new("t", "t", "x", "us", vec!["a,b".into()]);
+        f.row("1", vec![1.0]);
+        assert_eq!(f.to_csv(), "x,\"a,b\"\n1,1\n");
+    }
+}

@@ -1,0 +1,388 @@
+//! Minimal in-tree JSON parser and the artifact schema validator.
+//!
+//! The workspace builds fully offline with no external crates, so the
+//! `experiments validate` gate carries its own parser: standard JSON
+//! only (no NaN/Infinity tokens, no comments, no trailing commas), which
+//! doubles as the finite-numbers check — a non-finite value cannot even
+//! be expressed in the accepted grammar.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (f64 superset; always finite by construction).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (sorted map; duplicate keys rejected).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array value.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn lit(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut m = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(m));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        if m.insert(key.clone(), val).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut a = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(a));
+    }
+    loop {
+        a.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(a));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // '"'
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")
+                            .map_err(String::from)?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u codepoint")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so valid).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let n: f64 = s
+        .parse()
+        .map_err(|_| format!("invalid number {s:?} at byte {start}"))?;
+    if !n.is_finite() {
+        return Err(format!("non-finite number {s:?}"));
+    }
+    Ok(Json::Num(n))
+}
+
+// ====================================================================
+// Artifact schema validation
+// ====================================================================
+
+/// Validate one `iorch-exp/v1` figure artifact or `iorch-exp-summary/v1`
+/// summary: required keys, finite numbers (guaranteed by the grammar),
+/// row/column shape, nonzero sample counts.
+pub fn validate_artifact(text: &str) -> Result<(), String> {
+    let v = parse(text)?;
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    match schema {
+        "iorch-exp/v1" => validate_figure(&v),
+        "iorch-exp-summary/v1" => validate_summary(&v),
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<(), String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(|_| ())
+        .ok_or(format!("missing or non-string {key:?}"))
+}
+
+fn req_count(v: &Json, key: &str) -> Result<f64, String> {
+    let n = v
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or(format!("missing or non-numeric {key:?}"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{key:?} must be a non-negative integer, got {n}"));
+    }
+    Ok(n)
+}
+
+fn validate_figure(v: &Json) -> Result<(), String> {
+    for k in ["experiment", "profile", "figure", "title", "x_axis", "unit"] {
+        req_str(v, k)?;
+    }
+    req_count(v, "seed")?;
+    let samples = req_count(v, "samples")?;
+    if samples == 0.0 {
+        return Err("zero sample count".into());
+    }
+    let cols = v
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"columns\"")?;
+    if cols.is_empty() || cols.iter().any(|c| c.as_str().is_none()) {
+        return Err("\"columns\" must be a non-empty string array".into());
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"rows\"")?;
+    if rows.is_empty() {
+        return Err("empty \"rows\"".into());
+    }
+    for (i, r) in rows.iter().enumerate() {
+        r.get("x")
+            .and_then(Json::as_str)
+            .ok_or(format!("row {i}: missing \"x\""))?;
+        let vals = r
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or(format!("row {i}: missing \"values\""))?;
+        if vals.len() != cols.len() {
+            return Err(format!(
+                "row {i}: {} values for {} columns",
+                vals.len(),
+                cols.len()
+            ));
+        }
+        for (j, val) in vals.iter().enumerate() {
+            val.as_num()
+                .ok_or(format!("row {i} value {j}: not a number"))?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_summary(v: &Json) -> Result<(), String> {
+    for k in ["experiment", "title", "profile"] {
+        req_str(v, k)?;
+    }
+    req_count(v, "seed")?;
+    req_count(v, "repeats")?;
+    req_count(v, "warmup_ms")?;
+    req_count(v, "measure_ms")?;
+    let total = req_count(v, "total_samples")?;
+    if total == 0.0 {
+        return Err("zero total_samples".into());
+    }
+    let figs = v
+        .get("figures")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"figures\"")?;
+    if figs.is_empty() {
+        return Err("empty \"figures\"".into());
+    }
+    for (i, f) in figs.iter().enumerate() {
+        req_str(f, "figure").map_err(|e| format!("figures[{i}]: {e}"))?;
+        req_count(f, "rows").map_err(|e| format!("figures[{i}]: {e}"))?;
+        req_count(f, "columns").map_err(|e| format!("figures[{i}]: {e}"))?;
+        req_count(f, "samples").map_err(|e| format!("figures[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_own_artifacts() {
+        let mut f = crate::exp::Figure::new("f1", "title", "x", "us", vec!["a".into(), "b".into()]);
+        f.row("1", vec![1.25, -3.0]);
+        f.samples = 10;
+        let text = f.to_json("exp", "smoke", 42);
+        validate_artifact(&text).unwrap();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("figure").unwrap().as_str(), Some("f1"));
+        assert_eq!(
+            v.get("rows").unwrap().as_arr().unwrap()[0]
+                .get("values")
+                .unwrap()
+                .as_arr()
+                .unwrap()[0]
+                .as_num(),
+            Some(1.25)
+        );
+    }
+
+    #[test]
+    fn rejects_zero_samples_and_bad_shape() {
+        let mut f = crate::exp::Figure::new("f1", "t", "x", "us", vec!["a".into()]);
+        f.row("1", vec![1.0]);
+        let text = f.to_json("exp", "smoke", 42);
+        assert!(validate_artifact(&text)
+            .unwrap_err()
+            .contains("zero sample count"));
+    }
+
+    #[test]
+    fn rejects_non_finite_tokens() {
+        assert!(parse("{\"a\": NaN}").is_err());
+        assert!(parse("{\"a\": Infinity}").is_err());
+        assert!(parse("{\"a\": 1e999}").is_err());
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse("  {\"a\": [1, 2.5, {\"b\": \"x\\ny\"}], \"c\": null} ").unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_num(), Some(2.5));
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,60 @@
+//! Live-telemetry experiment glue: a bursty YCSB1 run with a
+//! [`TelemetryHub`] fed from both live streams — application op
+//! latencies via `recorder_live`, and device/decision events via the
+//! trace tap ([`iorch_simcore::trace::TapSession`]).
+//!
+//! The determinism contract (DESIGN.md §12) is load-bearing here: the
+//! tap and hub are pure observers, so running with telemetry attached
+//! produces the exact same simulation — byte-identical traces, identical
+//! histograms — as running without. `tests/experiment_determinism.rs`
+//! enforces this against the tracereplay scenarios.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use iorch_metrics::{LiveReport, TelemetryHub};
+use iorch_simcore::trace::TapSession;
+use iorch_simcore::SimDuration;
+use iorch_workloads::{recorder_live, spawn_ycsb, YcsbParams};
+use iorchestra::SystemKind;
+
+use crate::runner::{make_vm, single_machine, RunCfg};
+
+/// Run the Fig. 12-style bursty YCSB1 scenario (2-VM store, 50 ms
+/// bursts) with live telemetry attached: a hub cutting windows every
+/// `cadence`, fed by the workload recorder and the trace tap. Each
+/// completed window is printed as a `[telemetry …]` line. Returns the
+/// report stream and the measured op count.
+pub fn telemetry_run(
+    kind: SystemKind,
+    rate: f64,
+    cadence: SimDuration,
+    slo: SimDuration,
+    cfg: RunCfg,
+) -> (Vec<LiveReport>, u64) {
+    let hub = Rc::new(RefCell::new(
+        TelemetryHub::new(cadence, Some(slo))
+            .with_sink(Box::new(|r: &LiveReport| println!("{}", r.render()))),
+    ));
+    let (mut sim, idx) = single_machine(kind, cfg.seed);
+    let a = make_vm(&mut sim, idx, 2, 4, 20);
+    let b = make_vm(&mut sim, idx, 2, 4, 20);
+    let rec = recorder_live(cfg.record_after(), Rc::clone(&hub));
+    {
+        let (cl, s) = sim.parts_mut();
+        let p = YcsbParams::ycsb1(rate, cfg.seed ^ 0xbb).with_burst(SimDuration::from_millis(50));
+        spawn_ycsb(cl, s, &[a, b], None, p, Rc::clone(&rec));
+    }
+    // The tap feeds device dispatch/complete and control-plane decisions
+    // into the hub. It observes; it never mutates the simulation.
+    let tap_hub = Rc::clone(&hub);
+    let tap = TapSession::new(Box::new(move |t, kind| {
+        tap_hub.borrow_mut().on_trace(t, kind);
+    }));
+    sim.run_until(cfg.horizon());
+    drop(tap);
+    hub.borrow_mut().finish(sim.now());
+    let ops = rec.borrow().ops;
+    let reports = hub.borrow().reports().to_vec();
+    (reports, ops)
+}

@@ -1,12 +1,17 @@
 //! # iorch-bench — experiment harnesses for every table and figure
 //!
-//! One runner function per experiment family; each `[[bench]]` target
-//! (see `benches/`) sweeps the paper's parameter axis and prints the same
-//! rows/series the paper reports. Runs are deterministic given a seed;
-//! durations are scaled down from the paper's 10-minute/1-hour runs to
-//! seconds of simulated time (the steady-state shapes emerge well before
-//! that — see EXPERIMENTS.md).
+//! One runner function per experiment family ([`runner`]); the
+//! declarative layer ([`exp`]) registers every paper figure/table as a
+//! named [`exp::Spec`] — axes, repeats, spans and smoke/full profiles as
+//! data — executed by one engine that renders console tables and writes
+//! per-figure JSON/CSV artifacts. Each `exp_*` `[[bench]]` target is a
+//! thin shim over [`exp::bench_main`], and the `experiments` binary
+//! drives the same registry from the command line. Runs are
+//! deterministic given a seed; durations are scaled down from the
+//! paper's 10-minute/1-hour runs to seconds of simulated time (the
+//! steady-state shapes emerge well before that — see EXPERIMENTS.md).
 
+pub mod exp;
 pub mod runner;
 pub mod timing;
 pub mod tracereplay;

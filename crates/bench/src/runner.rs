@@ -48,11 +48,13 @@ impl RunCfg {
         self
     }
 
-    fn horizon(&self) -> SimTime {
+    /// End of the run: warm-up plus measured span.
+    pub fn horizon(&self) -> SimTime {
         SimTime::ZERO + self.warmup + self.measure
     }
 
-    fn record_after(&self) -> SimTime {
+    /// Instant recorders start keeping samples (end of warm-up).
+    pub fn record_after(&self) -> SimTime {
         SimTime::ZERO + self.warmup
     }
 }
@@ -79,7 +81,7 @@ pub fn single_machine(kind: SystemKind, seed: u64) -> (Simulation<Cluster>, usiz
     (sim, idx)
 }
 
-fn make_vm(
+pub(crate) fn make_vm(
     sim: &mut Simulation<Cluster>,
     idx: usize,
     vcpus: u32,
@@ -118,6 +120,8 @@ pub struct MotivationOut {
     pub congestion_entries: u64,
     /// Collaborative releases granted.
     pub bypass_grants: u64,
+    /// Probe reads recorded in the measured window (sample count).
+    pub ops: u64,
 }
 
 /// §2: two VMs run threads of large sequential reads whose pipeline depth
@@ -219,6 +223,7 @@ pub fn motivation_run(collaborative: bool, cfg: RunCfg) -> MotivationOut {
         );
     }
     let mean = rec.borrow().hist.mean();
+    let ops = rec.borrow().ops;
     let m = sim.world().machine(idx);
     let (mut entries, mut grants) = (0, 0);
     for dom in m.domain_ids() {
@@ -230,6 +235,7 @@ pub fn motivation_run(collaborative: bool, cfg: RunCfg) -> MotivationOut {
         mean,
         congestion_entries: entries,
         bypass_grants: grants,
+        ops,
     }
 }
 
@@ -347,8 +353,13 @@ pub enum ScaleApp {
 
 /// One Fig. 7 point: `machines` hosts, each with a Cloud9 VM, an
 /// mpiBLAST worker VM and a YCSB1 node VM; returns the mean I/O latency
-/// of the measured app.
-pub fn scaleout_run(kind: SystemKind, machines: usize, app: ScaleApp, cfg: RunCfg) -> SimDuration {
+/// of the measured app plus its recorded op count.
+pub fn scaleout_run(
+    kind: SystemKind,
+    machines: usize,
+    app: ScaleApp,
+    cfg: RunCfg,
+) -> (SimDuration, u64) {
     let mut sim = Simulation::new(Cluster::new());
     let net = Rc::new(RefCell::new(Network::new(
         machines + 1,
@@ -415,10 +426,11 @@ pub fn scaleout_run(kind: SystemKind, machines: usize, app: ScaleApp, cfg: RunCf
         );
     }
     sim.run_until(cfg.horizon());
-    match app {
-        ScaleApp::Blast => blast_rec.borrow().hist.mean(),
-        ScaleApp::Ycsb1 => ycsb_rec.borrow().hist.mean(),
-    }
+    let r = match app {
+        ScaleApp::Blast => blast_rec.borrow(),
+        ScaleApp::Ycsb1 => ycsb_rec.borrow(),
+    };
+    (r.hist.mean(), r.ops)
 }
 
 // ====================================================================
@@ -426,8 +438,9 @@ pub fn scaleout_run(kind: SystemKind, machines: usize, app: ScaleApp, cfg: RunCf
 // ====================================================================
 
 /// One Fig. 8 point: `n_vms` FS VMs (1 VCPU / 1 GB) at a given dirty
-/// ratio; returns aggregate write throughput in bytes/s (device-level).
-pub fn flush_run(kind: SystemKind, n_vms: usize, dirty_ratio: f64, cfg: RunCfg) -> f64 {
+/// ratio; returns aggregate write throughput in bytes/s (device-level)
+/// plus the recorded op count across all VMs.
+pub fn flush_run(kind: SystemKind, n_vms: usize, dirty_ratio: f64, cfg: RunCfg) -> (f64, u64) {
     let (mut sim, idx) = single_machine(kind, cfg.seed);
     let mut recs = Vec::new();
     for v in 0..n_vms {
@@ -486,7 +499,9 @@ pub fn flush_run(kind: SystemKind, n_vms: usize, dirty_ratio: f64, cfg: RunCfg) 
     }
     // Aggregate FS payload write throughput over the measured window.
     let now = sim.now();
-    recs.iter().map(|r| r.borrow().throughput_bps(now)).sum()
+    let bps = recs.iter().map(|r| r.borrow().throughput_bps(now)).sum();
+    let ops = recs.iter().map(|r| r.borrow().ops).sum();
+    (bps, ops)
 }
 
 /// Output of an arrival-process run (Table 2, Figs. 10b/10c/11).
@@ -558,8 +573,13 @@ pub enum FbKind {
 }
 
 /// One Fig. 9 point: `n_vms` 1-VCPU/1-GB VMs all running the same
-/// FileBench workload; returns the mean op latency.
-pub fn congestion_run(kind: SystemKind, fb: FbKind, n_vms: usize, cfg: RunCfg) -> SimDuration {
+/// FileBench workload; returns the mean op latency and the op count.
+pub fn congestion_run(
+    kind: SystemKind,
+    fb: FbKind,
+    n_vms: usize,
+    cfg: RunCfg,
+) -> (SimDuration, u64) {
     let (mut sim, idx) = single_machine(kind, cfg.seed);
     let rec = recorder(cfg.record_after());
     for v in 0..n_vms {
@@ -607,8 +627,8 @@ pub fn congestion_run(kind: SystemKind, fb: FbKind, n_vms: usize, cfg: RunCfg) -
         }
     }
     sim.run_until(cfg.horizon());
-    let mean = rec.borrow().hist.mean();
-    mean
+    let r = rec.borrow();
+    (r.hist.mean(), r.ops)
 }
 
 // ====================================================================
@@ -618,8 +638,8 @@ pub fn congestion_run(kind: SystemKind, fb: FbKind, n_vms: usize, cfg: RunCfg) -
 /// One Fig. 10a point: a 10-VCPU/10-GB VM running `io_threads` multi-
 /// stream readers (pinned to the first VCPUs, which land on socket 0)
 /// and `10 - io_threads` Cloud9 threads; returns I/O throughput in
-/// bytes/s.
-pub fn cosched_run(kind: SystemKind, io_threads: u32, cfg: RunCfg) -> f64 {
+/// bytes/s and the recorded op count.
+pub fn cosched_run(kind: SystemKind, io_threads: u32, cfg: RunCfg) -> (f64, u64) {
     let (mut sim, idx) = single_machine(kind, cfg.seed);
     let vm = make_vm(&mut sim, idx, 10, 10, 60);
     let rec = recorder(cfg.record_after());
@@ -656,8 +676,8 @@ pub fn cosched_run(kind: SystemKind, io_threads: u32, cfg: RunCfg) -> f64 {
     }
     sim.run_until(cfg.horizon());
     let now = sim.now();
-    let bps = rec.borrow().throughput_bps(now);
-    bps
+    let r = rec.borrow();
+    (r.throughput_bps(now), r.ops)
 }
 
 // ====================================================================
@@ -723,8 +743,9 @@ mod tests {
 
     #[test]
     fn congestion_smoke() {
-        let m = congestion_run(SystemKind::Baseline, FbKind::Ws, 2, tiny());
+        let (m, ops) = congestion_run(SystemKind::Baseline, FbKind::Ws, 2, tiny());
         assert!(m > SimDuration::ZERO);
+        assert!(ops > 0);
     }
 
     #[test]

@@ -11,17 +11,21 @@
 //! * [`TimeWeightedGauge`] / [`BusyTracker`] — CPU and device utilization
 //!   (paper Fig. 10c);
 //! * [`LatencySummary`] / [`Table`] — the row/series formatting used by
-//!   every bench harness.
+//!   every bench harness;
+//! * [`TelemetryHub`] / [`LiveReport`] — live fixed-cadence export of
+//!   p50/p99/SLO-violation streams for long runs (the `trace`-tap bridge).
 
 #![warn(missing_docs)]
 
 mod cdf;
+mod export;
 mod gauge;
 mod histogram;
 mod rate;
 mod summary;
 
 pub use cdf::{cdf, cdf_at_fractions, standard_grid, CdfPoint};
+pub use export::{shared_hub, LiveReport, ReportSink, SharedHub, TelemetryHub};
 pub use gauge::{BusyTracker, TimeWeightedGauge};
 pub use histogram::LatencyHistogram;
 pub use rate::{Throughput, WindowedRate};

@@ -1,0 +1,222 @@
+//! Edge-case coverage for the metrics crate: degenerate histograms,
+//! single-sample CDFs, rate-window wraparound, and the algebraic
+//! properties of histogram merging that the experiment runner's
+//! seed-pooling relies on (summing repeats in any order must yield the
+//! same figure values).
+
+use iorch_metrics::{
+    cdf, cdf_at_fractions, standard_grid, LatencyHistogram, LatencySummary, TelemetryHub,
+    WindowedRate,
+};
+use iorch_simcore::{SimDuration, SimTime};
+
+fn us(x: u64) -> SimDuration {
+    SimDuration::from_micros(x)
+}
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+// --- empty-histogram quantiles ---------------------------------------
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = LatencyHistogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+        assert_eq!(h.percentile(p), SimDuration::ZERO);
+    }
+    assert_eq!(h.median(), SimDuration::ZERO);
+    assert_eq!(h.p999(), SimDuration::ZERO);
+    assert_eq!(h.mean(), SimDuration::ZERO);
+    assert_eq!(h.min(), SimDuration::ZERO);
+    assert_eq!(h.fraction_below(us(1_000_000)), 0.0);
+    assert!(cdf(&h).is_empty());
+    let summary = LatencySummary::from_histogram(&h);
+    assert_eq!(summary.count, 0);
+    assert_eq!(summary.p999, SimDuration::ZERO);
+}
+
+#[test]
+fn empty_histogram_grid_sampling_is_all_zero() {
+    // cdf_at_fractions on an empty histogram must not panic and must
+    // report zero at every grid point — an empty smoke window renders as
+    // a flat zero curve, not garbage.
+    let points = cdf_at_fractions(&LatencyHistogram::new(), &standard_grid());
+    assert_eq!(points.len(), 21);
+    for p in &points {
+        assert_eq!(p.value, SimDuration::ZERO);
+    }
+}
+
+// --- single-sample CDF ------------------------------------------------
+
+#[test]
+fn single_sample_cdf_is_one_step() {
+    let mut h = LatencyHistogram::new();
+    h.record(us(250));
+    let points = cdf(&h);
+    assert_eq!(points.len(), 1, "one sample, one bucket, one CDF point");
+    assert!((points[0].fraction - 1.0).abs() < 1e-12);
+    // Every percentile of a single sample is that sample (clamped into
+    // the exact observed range, so bucket quantization cannot leak out).
+    for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+        assert_eq!(h.percentile(p), us(250));
+    }
+    let grid = cdf_at_fractions(&h, &standard_grid());
+    assert!(grid.iter().all(|pt| pt.value == us(250)));
+    assert_eq!(h.min(), us(250));
+    assert_eq!(h.max(), us(250));
+    assert_eq!(h.mean(), us(250));
+    assert_eq!(h.std_dev(), SimDuration::ZERO);
+}
+
+// --- rate window wraparound -------------------------------------------
+
+#[test]
+fn rate_window_wraparound_drops_old_events() {
+    let mut r = WindowedRate::new(SimDuration::from_millis(100));
+    // Fill the window, then advance far enough that every event has
+    // wrapped out, then keep recording: the window sum must reflect only
+    // the new epoch while the lifetime sum keeps the full history.
+    r.record(ms(10), 5);
+    r.record(ms(60), 7);
+    assert_eq!(r.sum_in_window(ms(60)), 12);
+    assert_eq!(r.sum_in_window(ms(500)), 0, "window fully wrapped");
+    r.record(ms(510), 3);
+    assert_eq!(r.sum_in_window(ms(510)), 3);
+    assert_eq!(r.lifetime_sum(), 15);
+    // A second wrap behaves identically — no residue from the first.
+    assert_eq!(r.sum_in_window(ms(1_000)), 0);
+    assert_eq!(r.rate_per_sec(ms(1_000)), 0.0);
+}
+
+#[test]
+fn rate_window_near_time_zero_saturates() {
+    // The cutoff `now - window` saturates at t=0: a query earlier than
+    // one full window after the epoch must keep everything recorded so
+    // far, not underflow.
+    let mut r = WindowedRate::new(SimDuration::from_secs(10));
+    r.record(ms(1), 100);
+    r.record(ms(2), 200);
+    assert_eq!(r.sum_in_window(ms(5)), 300);
+    let rate = r.rate_per_sec(ms(5));
+    assert!((rate - 30.0).abs() < 1e-9, "300 units / 10s window");
+}
+
+#[test]
+fn rate_window_boundary_is_inclusive_after_wrap() {
+    let mut r = WindowedRate::new(SimDuration::from_millis(50));
+    r.record(ms(200), 9);
+    // Event exactly at the cutoff (now - window == 200ms) stays...
+    assert_eq!(r.sum_in_window(ms(250)), 9);
+    // ...and leaves one tick later.
+    assert_eq!(r.sum_in_window(ms(251)), 0);
+}
+
+// --- merge algebra ----------------------------------------------------
+
+fn hist_from(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(us(s));
+    }
+    h
+}
+
+fn buckets(h: &LatencyHistogram) -> Vec<(SimDuration, u64)> {
+    h.iter_buckets().collect()
+}
+
+fn assert_hist_eq(a: &LatencyHistogram, b: &LatencyHistogram, what: &str) {
+    assert_eq!(buckets(a), buckets(b), "{what}: buckets differ");
+    assert_eq!(a.count(), b.count(), "{what}: counts differ");
+    assert_eq!(a.min(), b.min(), "{what}: min differs");
+    assert_eq!(a.max(), b.max(), "{what}: max differs");
+    assert_eq!(a.mean(), b.mean(), "{what}: mean differs");
+    for p in [50.0, 90.0, 99.0, 99.9] {
+        assert_eq!(a.percentile(p), b.percentile(p), "{what}: p{p} differs");
+    }
+}
+
+#[test]
+fn merge_is_commutative_bucket_for_bucket() {
+    let a = hist_from(&[10, 20, 20, 5_000, 90_000]);
+    let b = hist_from(&[1, 15, 400, 400, 2_000_000]);
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_hist_eq(&ab, &ba, "merge(a,b) vs merge(b,a)");
+}
+
+#[test]
+fn merge_is_associative_bucket_for_bucket() {
+    // The runner pools repeat seeds by folding merge left-to-right; the
+    // result must not depend on that grouping.
+    let a = hist_from(&[3, 33, 333]);
+    let b = hist_from(&[7, 77, 7_777, 777_777]);
+    let c = hist_from(&[42, 42_000]);
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_hist_eq(&left, &right, "(a+b)+c vs a+(b+c)");
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let a = hist_from(&[10, 500, 120_000]);
+    let mut merged = a.clone();
+    merged.merge(&LatencyHistogram::new());
+    assert_hist_eq(&merged, &a, "a + empty");
+    let mut from_empty = LatencyHistogram::new();
+    from_empty.merge(&a);
+    assert_hist_eq(&from_empty, &a, "empty + a");
+}
+
+#[test]
+fn merged_summary_is_order_independent() {
+    let a = hist_from(&[100, 200, 300, 90_000]);
+    let b = hist_from(&[50, 60, 1_000_000]);
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    let sa = LatencySummary::from_histogram(&ab);
+    let sb = LatencySummary::from_histogram(&ba);
+    assert_eq!(sa.count, sb.count);
+    assert_eq!(sa.mean, sb.mean);
+    assert_eq!(sa.std_dev, sb.std_dev);
+    assert_eq!(sa.p50, sb.p50);
+    assert_eq!(sa.p99, sb.p99);
+    assert_eq!(sa.p999, sb.p999);
+    assert_eq!(sa.max, sb.max);
+}
+
+// --- telemetry hub degenerate windows ----------------------------------
+
+#[test]
+fn telemetry_empty_run_finishes_with_no_reports() {
+    let mut hub = TelemetryHub::new(SimDuration::from_millis(100), None);
+    hub.finish(SimTime::ZERO);
+    assert!(hub.reports().is_empty());
+}
+
+#[test]
+fn telemetry_single_op_snapshot_matches_window() {
+    let mut hub = TelemetryHub::new(SimDuration::from_millis(100), Some(us(500)));
+    hub.record_op(ms(10), us(750)); // over SLO
+    let snap = hub.snapshot(ms(20));
+    assert_eq!(snap.ops, 1);
+    assert_eq!(snap.slo_violations, 1);
+    assert_eq!(snap.p50, us(750));
+    hub.finish(ms(20));
+    assert_eq!(hub.reports().len(), 1);
+    assert_eq!(hub.reports()[0].ops, 1);
+}

@@ -48,7 +48,12 @@ pub const DEFAULT_CAPACITY: usize = 1 << 20;
 thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static RECORDER: RefCell<Option<TraceRecorder>> = const { RefCell::new(None) };
+    static TAP_ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static TAP: RefCell<Option<Tap>> = const { RefCell::new(None) };
 }
+
+/// A live observer of trace events (see [`set_tap`]).
+pub type Tap = Box<dyn FnMut(SimTime, &TraceEventKind)>;
 
 /// One recorded event: a simulated timestamp plus a typed payload.
 #[derive(Clone, PartialEq, Debug)]
@@ -433,18 +438,51 @@ pub fn uninstall() -> Option<TraceRecorder> {
     RECORDER.with(|r| r.borrow_mut().take())
 }
 
-/// Whether [`trace_event!`](crate::trace_event) records on this thread. The [`COMPILED`] test
+/// Install a live tap on this thread: every event recorded via
+/// [`trace_event!`](crate::trace_event) is also handed to `tap` by reference,
+/// whether or not a ring recorder is installed. This is the metrics-export
+/// seam — a telemetry hub observes the event stream without retaining it.
+///
+/// Determinism contract: a tap is **read-only with respect to the
+/// simulation**. It receives borrowed events, never sees or touches the
+/// RNG, and adds no scheduler events, so installing one cannot change the
+/// (seed → trace) mapping; the ring contents with and without a tap are
+/// byte-identical. The tap itself must not emit trace events (re-entrant
+/// events are silently not delivered to the tap, though they still reach
+/// the ring). Replaces any previously installed tap.
+pub fn set_tap(tap: Tap) {
+    TAP.with(|t| *t.borrow_mut() = Some(tap));
+    TAP_ACTIVE.with(|a| a.set(true));
+}
+
+/// Remove the live tap, returning it (e.g. to extract accumulated state).
+pub fn clear_tap() -> Option<Tap> {
+    TAP_ACTIVE.with(|a| a.set(false));
+    TAP.with(|t| t.borrow_mut().take())
+}
+
+/// Whether [`trace_event!`](crate::trace_event) records on this thread —
+/// either into a ring recorder or into a live tap. The [`COMPILED`] test
 /// is first so the whole call folds to `false` when traced-off builds
 /// const-propagate it.
 #[inline(always)]
 pub fn enabled() -> bool {
-    COMPILED && ENABLED.with(|e| e.get())
+    COMPILED && (ENABLED.with(|e| e.get()) || TAP_ACTIVE.with(|a| a.get()))
 }
 
 /// Record an event. Call through [`trace_event!`](crate::trace_event), which guards on
 /// [`enabled()`] so disabled runs never construct the event value.
 #[cold]
 pub fn record(t: SimTime, kind: TraceEventKind) {
+    if TAP_ACTIVE.with(|a| a.get()) {
+        // Take the tap out while calling it so a tap that (incorrectly)
+        // emits trace events cannot re-enter itself.
+        let taken = TAP.with(|c| c.borrow_mut().take());
+        if let Some(mut f) = taken {
+            f(t, &kind);
+            TAP.with(|c| *c.borrow_mut() = Some(f));
+        }
+    }
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             rec.push(TraceEvent { t, kind });
@@ -487,6 +525,26 @@ impl Default for TraceSession {
 impl Drop for TraceSession {
     fn drop(&mut self) {
         let _ = uninstall();
+    }
+}
+
+/// RAII guard for a live tap: installs on construction, removes on drop.
+/// See [`set_tap`] for the determinism contract.
+pub struct TapSession {
+    _private: (),
+}
+
+impl TapSession {
+    /// Install `tap` as the thread's live observer.
+    pub fn new(tap: Tap) -> Self {
+        set_tap(tap);
+        TapSession { _private: () }
+    }
+}
+
+impl Drop for TapSession {
+    fn drop(&mut self) {
+        let _ = clear_tap();
     }
 }
 
@@ -1069,6 +1127,56 @@ mod tests {
             SimTime::ZERO,
             TraceEventKind::CongestionEnter { dom: explode() }
         );
+    }
+
+    #[test]
+    fn tap_observes_without_a_recorder() {
+        if !COMPILED {
+            return;
+        }
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let _guard = TapSession::new(Box::new(move |t, _kind| sink.borrow_mut().push(t)));
+        assert!(enabled());
+        crate::trace_event!(
+            SimTime::from_micros(3),
+            TraceEventKind::CongestionEnter { dom: 1 }
+        );
+        assert_eq!(*seen.borrow(), vec![SimTime::from_micros(3)]);
+        // No recorder was installed, so nothing was retained.
+        assert!(uninstall().is_none());
+        drop(_guard);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn tap_and_recorder_both_receive_and_ring_is_unchanged_by_tap() {
+        if !COMPILED {
+            return;
+        }
+        // Reference run: recorder only.
+        let session = TraceSession::with_capacity(16);
+        crate::trace_event!(
+            SimTime::from_micros(1),
+            TraceEventKind::CongestionEnter { dom: 9 }
+        );
+        let reference = session.finish().into_events();
+
+        // Same events with a tap installed: ring must be byte-identical.
+        let count = std::rc::Rc::new(Cell::new(0u32));
+        let c2 = std::rc::Rc::clone(&count);
+        let guard = TapSession::new(Box::new(move |_, _| c2.set(c2.get() + 1)));
+        let session = TraceSession::with_capacity(16);
+        crate::trace_event!(
+            SimTime::from_micros(1),
+            TraceEventKind::CongestionEnter { dom: 9 }
+        );
+        let tapped = session.finish().into_events();
+        drop(guard);
+        assert_eq!(reference, tapped);
+        assert_eq!(count.get(), 1);
     }
 
     #[test]

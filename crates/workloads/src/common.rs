@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use iorch_guestos::FileId;
 use iorch_hypervisor::{Cluster, DomainId};
-use iorch_metrics::LatencyHistogram;
+use iorch_metrics::{LatencyHistogram, SharedHub};
 use iorch_simcore::{SimDuration, SimTime};
 
 /// A VM somewhere in the cluster.
@@ -33,11 +33,17 @@ pub struct Recorder {
     pub finished: bool,
     /// Generators check this each cycle and stop when set.
     pub stopped: bool,
+    /// Optional live-telemetry hub; every recorded op (including warm-up
+    /// samples) is streamed to it before the `record_after` gate.
+    pub live: Option<SharedHub>,
 }
 
 impl Recorder {
     /// Record one operation.
     pub fn record(&mut self, now: SimTime, latency: SimDuration, bytes: u64) {
+        if let Some(hub) = &self.live {
+            hub.borrow_mut().record_op(now, latency);
+        }
         if now < self.record_after {
             return;
         }
@@ -79,7 +85,15 @@ pub fn recorder(record_after: SimTime) -> Rec {
         record_after,
         finished: false,
         stopped: false,
+        live: None,
     }))
+}
+
+/// Make a recorder that also streams every op to a live-telemetry hub.
+pub fn recorder_live(record_after: SimTime, hub: SharedHub) -> Rec {
+    let rec = recorder(record_after);
+    rec.borrow_mut().live = Some(hub);
+    rec
 }
 
 /// Create `count` files of `size` bytes on a VM's disk (setup phase; no

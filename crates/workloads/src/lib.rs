@@ -29,7 +29,7 @@ pub mod ycsb;
 pub use arrivals::{spawn_arrivals, ArrivalApp, ArrivalParams, ArrivalStats, StatsHandle};
 pub use blast::{spawn_blast, BlastParams};
 pub use cloud9::{spawn_cloud9, Cloud9Params};
-pub use common::{provision_files, recorder, Rec, Recorder, VmRef};
+pub use common::{provision_files, recorder, recorder_live, Rec, Recorder, VmRef};
 pub use filebench::{
     spawn_fileserver, spawn_multistream, spawn_videoserver, spawn_webserver, FsParams,
     MultiStreamParams, VsParams, WsParams,

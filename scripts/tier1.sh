@@ -28,6 +28,19 @@ cargo test -q --offline -p iorch-bench --release --test policy_equivalence -- --
 cargo build --release --offline -p iorch-bench --benches
 IORCH_ABLATION=named cargo bench --offline -p iorch-bench --bench exp_ablation
 
+# Declarative-runner smoke sweep: every named experiment runs at the
+# smoke profile and every emitted JSON artifact must pass schema
+# validation (required keys, finite numbers, nonzero sample counts).
+cargo build --release --offline -p iorch-bench --bin experiments
+rm -rf target/exp-smoke
+target/release/experiments run all --profile smoke --seed 42 --out target/exp-smoke --quiet
+target/release/experiments validate target/exp-smoke
+
+# Golden-summary regression suite: byte-identical smoke artifacts across
+# repeated runs and seeds {7, 42, 1337}, plus the live-telemetry
+# non-interference contract (the exhaustive sweep is #[ignore]d in debug).
+cargo test -q --offline -p iorch-bench --release --test experiment_determinism -- --include-ignored
+
 # Timer-wheel differential oracle: the wheel scheduler must fire the
 # exact same events in the exact same order as the frozen binary-heap
 # engine, across randomized op scripts (run in release for seed volume).
