@@ -3,14 +3,16 @@
 //! ```text
 //! experiments list
 //! experiments run <name>|all [--profile smoke|full] [--seed N] [--out DIR] [--quiet]
-//! experiments validate <DIR>
+//! experiments validate <DIR|FILE>
 //! ```
 //!
 //! `run` executes named experiments and writes per-figure JSON/CSV
-//! artifacts plus a summary under `<out>/<experiment>/`. `validate`
-//! checks every `.json` artifact under a directory against the
-//! `iorch-exp/v1` schema (required keys, finite numbers, nonzero sample
-//! counts) — the tier-1 gate runs a smoke sweep and then validates it.
+//! artifacts plus a summary under `<out>/<experiment>/`. `run all` skips
+//! wall-clock (`timing`) specs — those only run when named. `validate`
+//! checks every `.json` artifact under a directory (or one artifact
+//! file, e.g. `BENCH_scale.json`) against the `iorch-exp/v1` schema
+//! (required keys, finite numbers, nonzero sample counts) — the tier-1
+//! gate runs a smoke sweep and then validates it.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -20,7 +22,7 @@ use iorch_bench::exp::{self, Profile};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  experiments list\n  experiments run <name>|all [--profile smoke|full] \
-         [--seed N] [--out DIR] [--quiet]\n  experiments validate <DIR>"
+         [--seed N] [--out DIR] [--quiet]\n  experiments validate <DIR|FILE>"
     );
     ExitCode::from(2)
 }
@@ -81,7 +83,9 @@ fn run(args: &[String]) -> ExitCode {
         i += 1;
     }
     let specs: Vec<&exp::Spec> = if name == "all" {
-        exp::registry().iter().collect()
+        // Timing specs measure wall clock and are not byte-deterministic;
+        // they only run when named explicitly (tier1 names them).
+        exp::registry().iter().filter(|s| !s.timing).collect()
     } else {
         match exp::find(name) {
             Some(s) => vec![s],
@@ -110,7 +114,10 @@ fn run(args: &[String]) -> ExitCode {
 
 fn validate(dir: &Path) -> ExitCode {
     let mut files = Vec::new();
-    if let Err(e) = collect_json(dir, &mut files) {
+    if dir.is_file() {
+        // Single-artifact mode, e.g. `experiments validate BENCH_scale.json`.
+        files.push(dir.to_path_buf());
+    } else if let Err(e) = collect_json(dir, &mut files) {
         eprintln!("cannot read {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }

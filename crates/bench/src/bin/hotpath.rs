@@ -15,14 +15,13 @@
 //! Run via `scripts/bench_hotpath.sh` (release build). Set
 //! `IORCH_BENCH_QUICK=1` for a fast smoke run (same gate, noisier).
 
+use iorch_bench::exp::{gate, Figure};
 use iorch_bench::timing::{Sample, Timer};
 use iorch_hypervisor::xenstore_legacy::XenStore as LegacyStore;
 use iorch_hypervisor::{DomainId, Perms, XenStore, DOM0};
 use iorch_simcore::event_legacy::Scheduler as LegacyScheduler;
 use iorch_simcore::{SimDuration, Simulation};
 use iorchestra::keys::{self, val, DomainKeys};
-
-const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
 
 /// Domains the synthetic control plane manages.
 const DOMS: u32 = 16;
@@ -379,31 +378,43 @@ fn main() {
     );
 
     let ratio = scale_many.ns_per_iter() / scale_one.ns_per_iter();
-    let pair_json = |p: &Pair| {
-        format!(
-            "{{\"current_ns\": {:.2}, \"seed_ns\": {:.2}, \"speedup\": {:.3}}}",
-            p.current.ns_per_iter(),
-            p.baseline.ns_per_iter(),
-            p.speedup()
-        )
-    };
-    let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"store_write\": {},\n  \"store_read\": {},\n  \"watch_fanout\": {},\n  \"watch_fanout_batched\": {},\n  \"control_tick\": {},\n  \"scheduler_churn\": {},\n  \"write_256_spectators\": {},\n  \"watch_scaling\": {{\"one_watcher_ns\": {:.2}, \"disjoint_256_ns\": {:.2}, \"ratio\": {:.3}}}\n}}\n",
-        t.warmup.as_millis(),
-        t.measure.as_millis(),
-        pair_json(&write),
-        pair_json(&read),
-        pair_json(&fanout),
-        pair_json(&batched),
-        pair_json(&tick),
-        pair_json(&churn),
-        pair_json(&scale_ctx),
-        scale_one.ns_per_iter(),
-        scale_many.ns_per_iter(),
-        ratio,
+    // The artifact goes through the same schema-validated emitter as the
+    // experiment registry (iorch-exp/v1): one row per case, columns
+    // [current_ns, baseline_ns, ratio]. For the seed-comparison pairs
+    // "ratio" is the speedup over the seed implementation; for the
+    // watch_scaling row the baseline is the 1-watcher case and the ratio
+    // is the 256-spectator penalty (gated ≤ 1.5x, lower is better).
+    let mut fig = Figure::new(
+        "hotpath",
+        "Hot-path benchmark gate — optimized fast paths vs frozen seed",
+        "case",
+        "ns",
+        vec!["current_ns".into(), "baseline_ns".into(), "ratio".into()],
     );
-    std::fs::write(JSON_PATH, &json).expect("write BENCH_hotpath.json");
-    println!("\nwrote {JSON_PATH}");
+    for p in [&write, &read, &fanout, &batched, &tick, &churn, &scale_ctx] {
+        fig.row(
+            p.name,
+            vec![
+                p.current.ns_per_iter(),
+                p.baseline.ns_per_iter(),
+                p.speedup(),
+            ],
+        );
+        fig.samples += p.current.iters + p.baseline.iters;
+    }
+    fig.row(
+        "watch_scaling",
+        vec![scale_many.ns_per_iter(), scale_one.ns_per_iter(), ratio],
+    );
+    fig.samples += scale_one.iters;
+    let profile = if std::env::var_os("IORCH_BENCH_QUICK").is_some() {
+        "quick"
+    } else {
+        "full"
+    };
+    // Seedless wall-clock measurement; the schema's seed slot is 0.
+    let path = gate::write_root_artifact("BENCH_hotpath.json", &fig, "hotpath", profile, 0);
+    println!("\nwrote {}", path.display());
 
     // The gate.
     let mut failed = Vec::new();

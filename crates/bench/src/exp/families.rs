@@ -846,6 +846,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "paper: 220 ms -> 160 ms (27% improvement); the reproduction target is the \
                 double-digit relative gap, not the absolute numbers.",
         run: run_motivation,
@@ -870,6 +871,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: &[500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0],
         },
         slo: None,
+        timing: false,
         notes: "paper shapes: IOrchestra lowest on every series; overall mean ~9% and 99.9th \
                 ~12% below baseline; YCSB1 gains (13/16%) exceed YCSB2's.",
         run: run_fig4,
@@ -894,6 +896,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: &[3000.0],
         },
         slo: None,
+        timing: false,
         notes: "paper: mean improvements 11.2% (Olio), 21.6% (db tier), 19.8% (file tier); \
                 I/O tiers improve more than end-to-end.",
         run: run_fig5_fig6,
@@ -918,6 +921,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "paper shapes: IOrchestra ~0.87-0.90 across sizes (10.1% mpiBLAST, 12.9% \
                 YCSB1 average gains).",
         run: run_fig7,
@@ -942,6 +946,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: &[0.10, 0.20, 0.30, 0.40],
         },
         slo: None,
+        timing: false,
         notes: "paper shape: improvement grows with VM count and dirty ratio, peaking ~21% \
                 at 20 VMs / 40%.",
         run: run_fig8,
@@ -966,6 +971,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "paper: 6.6 / 19.1 / 24.5 / 29.8 / 30.6 % — improvement grows with λ. The \
                 smoke profile uses compressed spans with proportionally higher λ.",
         run: run_table2,
@@ -990,6 +996,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "paper shape: FS benefits most (down to ~0.90); WS/VS closer to 1.0; all \
                 curves approach 1.0 as the device becomes genuinely congested.",
         run: run_fig9,
@@ -1014,6 +1021,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "paper shape: 2-14% improvement, largest at moderate intensity (40-60%).",
         run: run_fig10a,
     },
@@ -1037,6 +1045,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "paper shapes: IOrchestra's completed-VM gain grows with λ to ~6.6%; SDC's \
                 I/O gain collapses at high λ while IOrchestra's roughly doubles it.",
         run: run_fig10bc_fig11,
@@ -1061,6 +1070,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: &[50.0, 100.0],
         },
         slo: None,
+        timing: false,
         notes: "paper shape: the baseline tail blows past 1 ms at ~800 (50 ms bursts) and \
                 ~500 req/s (100 ms); IOrchestra sustains the highest rate under 1 ms.",
         run: run_fig12,
@@ -1099,6 +1109,7 @@ pub static REGISTRY: &[Spec] = &[
             axis2: NONE,
         },
         slo: None,
+        timing: false,
         notes: "smoke (and IORCH_ABLATION=named) runs only the named-set sweep; the \
                 parameter ablations need the full profile.",
         run: run_ablation,
@@ -1123,9 +1134,37 @@ pub static REGISTRY: &[Spec] = &[
             axis2: &[500.0],
         },
         slo: Some(SimDuration::from_millis(1)),
+        timing: false,
         notes: "axis = YCSB1 req/s, axis2 = export cadence (ms); the run streams one \
                 [telemetry] line per window (see DESIGN.md §12 for the determinism \
                 contract: the tap never perturbs the RNG stream or trace identity).",
         run: run_telemetry,
+    },
+    Spec {
+        name: "scale",
+        title: "Control-plane scaling — tick cost at 16/128/1024 domains",
+        systems: &["IOrchestra"],
+        figures: &["scale"],
+        smoke: RunProfile {
+            warmup_ms: 0,
+            measure_ms: 0,
+            repeats: 1,
+            axis: &[16.0, 128.0, 1024.0],
+            axis2: &[16.0, 4096.0, 128.0],
+        },
+        full: RunProfile {
+            warmup_ms: 0,
+            measure_ms: 0,
+            repeats: 1,
+            axis: &[16.0, 128.0, 1024.0],
+            axis2: &[32.0, 65536.0, 1024.0],
+        },
+        slo: None,
+        timing: true,
+        notes: "axis = live domains, axis2 = [warmup, steady, churn] tick counts; \
+                measures wall-clock ns/tick (steady state and 1% tenant churn) and \
+                emits BENCH_scale.json with the 4x steady-state scaling gate. \
+                Wall-clock: excluded from `run all` and the golden sweeps.",
+        run: crate::exp::scale::run_scale,
     },
 ];

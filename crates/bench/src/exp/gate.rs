@@ -1,0 +1,51 @@
+//! Shared repo-root benchmark-artifact emission for the perf gates.
+//!
+//! `BENCH_hotpath.json` and `BENCH_scale.json` used to be (or would have
+//! been) hand-rolled `format!` JSON; both now render through the same
+//! [`Figure`] model as every experiment artifact (schema `iorch-exp/v1`)
+//! and are self-checked against [`validate_artifact`] before they touch
+//! disk, so `experiments validate` accepts them and a schema drift fails
+//! the emitting gate itself rather than the downstream validation step.
+
+use std::path::{Path, PathBuf};
+
+use super::{validate_artifact, Figure};
+
+/// The repository root (two levels above the bench crate), where the
+/// `BENCH_*.json` gate artifacts live.
+pub fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Render `figure` as a schema-validated `iorch-exp/v1` artifact and
+/// write it to `<repo root>/<file>`. Panics (failing the calling gate) if
+/// the rendering does not pass the same validator `experiments validate`
+/// applies, or if the write fails.
+pub fn write_root_artifact(
+    file: &str,
+    figure: &Figure,
+    experiment: &str,
+    profile: &str,
+    seed: u64,
+) -> PathBuf {
+    let text = figure.to_json(experiment, profile, seed);
+    validate_artifact(&text)
+        .unwrap_or_else(|e| panic!("{file}: generated artifact fails its own schema: {e}"));
+    let path = repo_root().join(file);
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "fails its own schema")]
+    fn zero_sample_artifacts_never_reach_disk() {
+        let mut f = Figure::new("g", "gate", "case", "ns", vec!["v".into()]);
+        f.row("x", vec![1.0]);
+        // samples left at 0: the validator must reject it before the write.
+        write_root_artifact("BENCH_should_not_exist.json", &f, "gate", "smoke", 7);
+    }
+}

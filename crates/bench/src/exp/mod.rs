@@ -18,7 +18,9 @@
 
 mod families;
 mod figure;
+pub mod gate;
 mod json;
+mod scale;
 mod telemetry;
 
 pub use figure::{json_num, json_str, FigRow, Figure};
@@ -94,6 +96,12 @@ pub struct Spec {
     pub full: RunProfile,
     /// Latency SLO used by live telemetry, if the experiment has one.
     pub slo: Option<SimDuration>,
+    /// This spec measures wall-clock time (`std::time::Instant`), so its
+    /// artifacts are *not* byte-deterministic across runs. Timing specs
+    /// are excluded from `experiments run all` and from the golden
+    /// determinism sweeps — they must be run by name (the tier-1 script
+    /// does), and they gate on thresholds instead of byte identity.
+    pub timing: bool,
     /// Trailing note printed after the tables (paper shapes).
     pub notes: &'static str,
     /// The family function: resolves the context into figures.

@@ -207,7 +207,7 @@ pub fn motivation_run(collaborative: bool, cfg: RunCfg) -> MotivationOut {
             rec.borrow().ops
         );
         let m = sim.world().machine(idx);
-        for dom in m.domain_ids() {
+        for dom in m.domains() {
             let k = &m.domain(dom).unwrap().kernel;
             eprintln!(
                 "  dom{} congested={} stats={:?}",
@@ -226,7 +226,7 @@ pub fn motivation_run(collaborative: bool, cfg: RunCfg) -> MotivationOut {
     let ops = rec.borrow().ops;
     let m = sim.world().machine(idx);
     let (mut entries, mut grants) = (0, 0);
-    for dom in m.domain_ids() {
+    for dom in m.domains() {
         let k = &m.domain(dom).unwrap().kernel;
         entries += k.congestion_entries();
         grants += k.bypass_grants();
@@ -302,7 +302,7 @@ pub fn fig4_run(
     sim.run_until(cfg.horizon());
     if std::env::var("IORCH_PROBE").is_ok() {
         let m = sim.world().machine(idx);
-        for dom in m.domain_ids() {
+        for dom in m.domains() {
             let h = m.io_latency(dom);
             eprintln!(
                 "  dom{} io_lat mean={:?} n={} bytes={}MB",
@@ -487,7 +487,7 @@ pub fn flush_run(kind: SystemKind, n_vms: usize, dirty_ratio: f64, cfg: RunCfg) 
             m.storage.queue_depth(),
             m.storage.is_congested()
         );
-        for dom in m.domain_ids().into_iter().take(3) {
+        for dom in m.domains().take(3) {
             let k = &m.domain(dom).unwrap().kernel;
             eprintln!(
                 "  dom{} dirty_pages={} stats={:?}",

@@ -37,7 +37,8 @@ fn steady_state(sim: &mut Simulation<Cluster>, idx: usize) -> Vec<DomFacts> {
     let (cl, _s) = sim.parts_mut();
     let m = cl.machine_mut(idx);
     let mut out = Vec::new();
-    for dom in m.domain_ids() {
+    let doms: Vec<_> = m.domains().collect();
+    for dom in doms {
         let flag = |m: &iorch_hypervisor::Machine, path: String| {
             m.store
                 .read_ref(DOM0, path.as_str())
@@ -222,7 +223,8 @@ fn duplicated_commands_are_discarded_by_epoch() {
     // The protocol still works under 2x bus traffic: every domain drains.
     let (cl, _s) = sim.parts_mut();
     let m = cl.machine_mut(idx);
-    for dom in m.domain_ids() {
+    let doms: Vec<_> = m.domains().collect();
+    for dom in doms {
         assert_eq!(
             m.kernel_mut(dom).map(|k| k.dirty_pages()),
             Some(0),

@@ -95,6 +95,11 @@ fn smoke_goldens_subset() {
 #[ignore = "exhaustive seed sweep; run in release via tier1.sh"]
 fn smoke_goldens_all_experiments_seed_swept() {
     for spec in exp::registry() {
+        if spec.timing {
+            // Wall-clock specs (e.g. `scale`) are not byte-deterministic;
+            // they gate on thresholds from tier1.sh instead.
+            continue;
+        }
         for seed in [7u64, 42, 1337] {
             assert_golden(spec.name, seed);
         }

@@ -14,7 +14,7 @@
 //! eighth of the history, not all of it (the old tumbling implementation
 //! reset the whole count on the first write after expiry).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use iorch_hypervisor::DomainId;
 use iorch_simcore::{SimDuration, SimTime};
@@ -106,6 +106,10 @@ pub struct AnomalyDetector {
     /// Sub-window width in nanoseconds (window / BUCKETS, at least 1).
     sub_ns: u64,
     doms: BTreeMap<DomainId, DomState>,
+    /// Eagerly-maintained mirror of the flagged domains, so the per-tick
+    /// [`flagged`](Self::flagged) sweep is O(flagged) — empty in the
+    /// steady state — instead of a walk over every tracked domain.
+    flagged: BTreeSet<DomainId>,
 }
 
 impl AnomalyDetector {
@@ -115,6 +119,7 @@ impl AnomalyDetector {
             sub_ns: (params.window.as_nanos() / BUCKETS as u64).max(1),
             params,
             doms: BTreeMap::new(),
+            flagged: BTreeSet::new(),
         }
     }
 
@@ -130,6 +135,7 @@ impl AnomalyDetector {
         let st = self.doms.entry(dom).or_default();
         if st.writes.add(n, now, self.sub_ns) > self.params.max_writes_per_window {
             st.flagged = true;
+            self.flagged.insert(dom);
         }
         st.flagged
     }
@@ -140,6 +146,7 @@ impl AnomalyDetector {
         let st = self.doms.entry(dom).or_default();
         if st.denied.add(n, now, self.sub_ns) > self.params.max_denied_per_window {
             st.flagged = true;
+            self.flagged.insert(dom);
         }
         st.flagged
     }
@@ -149,13 +156,10 @@ impl AnomalyDetector {
         self.doms.get(&dom).is_some_and(|s| s.flagged)
     }
 
-    /// All flagged domains.
-    pub fn flagged(&self) -> Vec<DomainId> {
-        self.doms
-            .iter()
-            .filter(|(_, s)| s.flagged)
-            .map(|(&d, _)| d)
-            .collect()
+    /// All flagged domains, ascending by id. Borrows the eager mirror —
+    /// no walk, no allocation.
+    pub fn flagged(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.flagged.iter().copied()
     }
 
     /// Clear a domain's flag and history (operator intervention).
@@ -163,11 +167,13 @@ impl AnomalyDetector {
         if let Some(s) = self.doms.get_mut(&dom) {
             *s = DomState::default();
         }
+        self.flagged.remove(&dom);
     }
 
     /// Forget a domain entirely (teardown).
     pub fn remove(&mut self, dom: DomainId) {
         self.doms.remove(&dom);
+        self.flagged.remove(&dom);
     }
 }
 
@@ -205,7 +211,7 @@ mod tests {
             flagged = det.on_write(DomainId(2), t(10));
         }
         assert!(flagged);
-        assert_eq!(det.flagged(), vec![DomainId(2)]);
+        assert_eq!(det.flagged().collect::<Vec<_>>(), vec![DomainId(2)]);
     }
 
     #[test]

@@ -219,7 +219,7 @@ impl LegacyIOrchestraPlane {
 
     /// Domains flagged by the anomaly detector.
     pub fn flagged_domains(&self) -> Vec<DomainId> {
-        self.anomaly.flagged()
+        self.anomaly.flagged().collect()
     }
 
     /// Currently quarantined domains.
@@ -969,7 +969,7 @@ impl ControlPlane for LegacyIOrchestraPlane {
         // Consequence of a flag: quarantine (Baseline behaviour, keys
         // ignored) until an operator clears it. Usually already handled
         // above; this catches domains still flagged from older windows.
-        for dom in self.anomaly.flagged() {
+        for dom in self.anomaly.flagged().collect::<Vec<_>>() {
             self.quarantine(m, dom, now, "anomaly flag");
         }
         // Unacked flush commands lose their slot, with backoff/quarantine.

@@ -41,6 +41,13 @@ pub struct AnomalyRule {
     detector: AnomalyDetector,
     write_count_base: BTreeMap<DomainId, u64>,
     denied_base: BTreeMap<DomainId, u64>,
+    /// Store-wide `(write_total, denied_total)` at the last per-domain
+    /// sweep. Both counters are monotonic, so an unchanged pair proves
+    /// every per-domain delta is zero and the sweep can be skipped — the
+    /// steady-state tick does no per-domain work here. Domain creation
+    /// bumps `write_total` (the boot `has_dirty_pages` write), so a new
+    /// domain's base is always seeded on the tick that first sees it.
+    last_totals: Option<(u64, u64)>,
 }
 
 impl AnomalyRule {
@@ -51,6 +58,7 @@ impl AnomalyRule {
             detector: AnomalyDetector::new(params),
             write_count_base: BTreeMap::new(),
             denied_base: BTreeMap::new(),
+            last_totals: None,
         }
     }
 }
@@ -63,27 +71,31 @@ impl Rule for AnomalyRule {
     fn on_tick(&mut self, ctx: &PolicyCtx<'_>, out: &mut Vec<Action>) {
         let m = ctx.machine();
         let now = ctx.now();
-        for dom in m.domain_ids() {
-            let count = m.store.write_count(dom);
-            let base = self.write_count_base.insert(dom, count).unwrap_or(0);
-            let delta = count.saturating_sub(base);
-            let denied = m.store.denied_count(dom);
-            let denied_base = self.denied_base.insert(dom, denied).unwrap_or(0);
-            let denied_delta = denied.saturating_sub(denied_base);
-            if ctx.is_quarantined(dom) {
-                continue;
-            }
-            if delta > 0 && self.detector.on_writes(dom, delta, now) {
-                out.push(Action::Quarantine {
-                    dom,
-                    reason: "write-rate budget",
-                });
-            }
-            if denied_delta > 0 && self.detector.on_denied(dom, denied_delta, now) {
-                out.push(Action::Quarantine {
-                    dom,
-                    reason: "denied-rate budget",
-                });
+        let totals = (m.store.write_total(), m.store.denied_total());
+        if self.last_totals != Some(totals) {
+            self.last_totals = Some(totals);
+            for dom in m.domains() {
+                let count = m.store.write_count(dom);
+                let base = self.write_count_base.insert(dom, count).unwrap_or(0);
+                let delta = count.saturating_sub(base);
+                let denied = m.store.denied_count(dom);
+                let denied_base = self.denied_base.insert(dom, denied).unwrap_or(0);
+                let denied_delta = denied.saturating_sub(denied_base);
+                if ctx.is_quarantined(dom) {
+                    continue;
+                }
+                if delta > 0 && self.detector.on_writes(dom, delta, now) {
+                    out.push(Action::Quarantine {
+                        dom,
+                        reason: "write-rate budget",
+                    });
+                }
+                if denied_delta > 0 && self.detector.on_denied(dom, denied_delta, now) {
+                    out.push(Action::Quarantine {
+                        dom,
+                        reason: "denied-rate budget",
+                    });
+                }
             }
         }
         // Domains still flagged from older windows. Usually duplicates of
@@ -111,16 +123,18 @@ impl Rule for AnomalyRule {
         self.detector = AnomalyDetector::new(self.params);
         self.write_count_base.clear();
         self.denied_base.clear();
+        self.last_totals = None;
     }
 
     fn on_recover(&mut self, ctx: &PolicyCtx<'_>) {
         // Bases seed at the *current* counters: traffic that happened
         // while dom0 was down is not a post-recovery burst.
         let m = ctx.machine();
-        for dom in m.domain_ids() {
+        for dom in m.domains() {
             self.write_count_base.insert(dom, m.store.write_count(dom));
             self.denied_base.insert(dom, m.store.denied_count(dom));
         }
+        self.last_totals = Some((m.store.write_total(), m.store.denied_total()));
     }
 }
 
@@ -157,7 +171,12 @@ impl Rule for FlushArgmaxRule {
         // when tracing is on (the Vec is only built while tracing).
         let mut candidates: Vec<(u32, u64)> = Vec::new();
         let tracing = iorch_simcore::trace::enabled();
-        for dom in m.domain_ids() {
+        // The engine's dirty set is the scan: domains whose published
+        // `has_dirty_pages` flag is down can never enter the argmax, and
+        // the set is ascending by id, so the winner (first strict maximum)
+        // matches a full ascending scan. The store re-read below keeps the
+        // flag authoritative even if something else wrote it.
+        for &dom in ctx.dirty_domains() {
             if ctx.flush_in_flight(dom) || ctx.is_quarantined(dom) || ctx.in_flush_backoff(dom) {
                 continue;
             }
@@ -215,7 +234,7 @@ impl Rule for DifBroadcastRule {
             return;
         }
         let m = ctx.machine();
-        for dom in m.domain_ids() {
+        for dom in m.domains() {
             let dirty = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
             if dirty > 0 {
                 out.push(Action::Flush {
@@ -304,14 +323,13 @@ impl Rule for CoschedRule {
         for c in &m.iocores {
             lat_by_socket.insert(c.socket(), c.avg_latency().as_micros_f64());
         }
-        let dom_ids = m.domain_ids();
-        let vm_share = 1.0 / dom_ids.len().max(1) as f64;
+        let vm_share = 1.0 / m.domain_count().max(1) as f64;
         let device_bw = m.storage.device_bandwidth();
         let sockets = m.topology.sockets();
         let interval_due =
             now.saturating_since(self.last_weight_push) >= cfg.weight_update_interval;
         let mut pushed = false;
-        for dom in dom_ids {
+        for dom in m.domains() {
             if ctx.is_quarantined(dom) {
                 continue;
             }

@@ -19,8 +19,19 @@
 //! * `adjudicates`: some rule [`adjudicates`](Rule::adjudicates), so the
 //!   engine runs the full Algorithm 2 machinery — `congested`-key
 //!   watches, per-tick reconciliation, FIFO relief wake.
+//!
+//! # Steady-state cost
+//!
+//! Per-domain state lives in a slot-indexed [`PlaneSlab`] (DESIGN.md
+//! §13), and every recurring sweep is driven by a dirty set: the
+//! reconciliation, flush-deadline, dirty-page-republish and health
+//! sweeps visit only domains marked by store watches, kernel signals or
+//! fault paths since the previous tick. A quiescent domain costs a
+//! control tick nothing, so steady-state tick cost is O(changed) rather
+//! than O(live) — the `scale` experiment gates this at 1024 domains.
+//! Recovery and the denied-counter health path are the two sweeps
+//! allowed to request an explicit full scan.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use iorch_guestos::KernelSignal;
@@ -34,6 +45,7 @@ use crate::keys::{self, val, DomainKeys};
 use crate::monitor::{MonitorReport, MonitoringModule};
 use crate::planes::PlaneStats;
 
+use super::slab::PlaneSlab;
 use super::{Action, EnforcementPoint, Feed, FlushMode, PolicyCtx, PolicySet, Rule, Verdict};
 
 /// Executes a [`PolicySet`]: evaluates its staged rules once per control
@@ -50,35 +62,22 @@ pub struct PolicyEngine {
     adjudicates: bool,
     rng: SimRng,
     monitor: MonitoringModule,
-    /// When each outstanding `release_request` command was issued. The
-    /// per-tick reconciliation sweep re-issues a grant still sitting
-    /// unaccepted in the store past `release_ack_timeout` — epochs make
-    /// the re-issue idempotent, so a dropped bus delivery cannot strand a
-    /// sleeping guest.
-    release_pending: BTreeMap<DomainId, SimTime>,
-    /// In-flight `flush_now` commands and their ack deadlines.
-    flush_in_progress: BTreeMap<DomainId, SimTime>,
-    /// Domains in retry backoff after flush timeouts.
-    flush_backoff_until: BTreeMap<DomainId, SimTime>,
-    /// Consecutive unacked flushes per domain (reset on ack).
-    flush_fail_streak: BTreeMap<DomainId, u32>,
-    /// Cumulative flush timeouts per domain (health counter).
-    flush_timeouts_by_dom: BTreeMap<DomainId, u64>,
-    /// Quarantined domains: their store events and monitoring keys are
-    /// ignored and they get Baseline behaviour until an operator clears
-    /// them through the `/iorchestra/control` channel.
-    quarantined: BTreeSet<DomainId>,
-    /// Last health tuple published per domain (flush_timeouts,
-    /// quarantined, store_denied) — the store is only touched on change,
-    /// so a healthy steady-state tick publishes nothing.
-    health_published: BTreeMap<DomainId, (u64, bool, u64)>,
+    /// Slot-indexed per-domain state plus the dirty sets driving every
+    /// recurring sweep (release/flush/backoff/quarantine/health state
+    /// that used to live in seven parallel `BTreeMap`s).
+    slab: PlaneSlab,
     /// VMs whose congestion was confirmed (host really congested), woken
-    /// FIFO when the host is relieved.
+    /// FIFO when the host is relieved. Kept as a `Vec` because wake order
+    /// is FIFO; membership tests go through the slot's `in_fifo` bit.
     congested_fifo: Vec<DomainId>,
     manager_watch_registered: bool,
-    /// Interned per-domain store paths, built once at attach so the
-    /// per-tick loops below never `format!` a path.
-    domain_keys: BTreeMap<DomainId, DomainKeys>,
+    /// `Machine::domain_generation` at the last slab resync; a tick whose
+    /// generation matches skips the domain sweep entirely.
+    synced_gen: Option<u64>,
+    /// Store-wide denied total at the last health publication. While it
+    /// holds still, no domain's denied counter moved and the health sweep
+    /// can stay on the dirty set; when it moves, a full scan is legal.
+    denied_total_seen: u64,
     /// Command generation, persisted under [`keys::STATE_EPOCH`]. Every
     /// `flush_now`/`release_request` command carries a fresh epoch; a
     /// restarted plane resumes at `persisted + 1`, so guest drivers can
@@ -112,16 +111,11 @@ impl PolicyEngine {
             collaborative,
             feeds_dirty,
             adjudicates,
-            release_pending: BTreeMap::new(),
-            flush_in_progress: BTreeMap::new(),
-            flush_backoff_until: BTreeMap::new(),
-            flush_fail_streak: BTreeMap::new(),
-            flush_timeouts_by_dom: BTreeMap::new(),
-            quarantined: BTreeSet::new(),
-            health_published: BTreeMap::new(),
+            slab: PlaneSlab::default(),
             congested_fifo: Vec::new(),
             manager_watch_registered: false,
-            domain_keys: BTreeMap::new(),
+            synced_gen: None,
+            denied_total_seen: 0,
             epoch: 0,
             stats: PlaneStats::default(),
             set,
@@ -140,7 +134,7 @@ impl PolicyEngine {
 
     /// Currently quarantined domains.
     pub fn quarantined_domains(&self) -> Vec<DomainId> {
-        self.quarantined.iter().copied().collect()
+        self.slab.quarantined_domains()
     }
 
     /// Read an unsigned counter from the plane's persisted state subtree
@@ -177,13 +171,27 @@ impl PolicyEngine {
         let _ = m.store.write_if_changed(dom, path, v);
     }
 
-    fn keys_for(
-        domain_keys: &mut BTreeMap<DomainId, DomainKeys>,
+    /// Borrow the interned keys for `dom`, falling back to a transient
+    /// set held in `tmp` when the domain has no live slot. The fallback
+    /// is the cold path for stale bus deliveries addressed to destroyed
+    /// domains, whose store sequences must still match the legacy plane.
+    fn keys_or<'k>(
+        slab: &'k mut PlaneSlab,
+        m: &Machine,
         dom: DomainId,
-    ) -> &mut DomainKeys {
-        domain_keys
-            .entry(dom)
-            .or_insert_with(|| DomainKeys::new(dom))
+        tmp: &'k mut Option<DomainKeys>,
+    ) -> &'k mut DomainKeys {
+        slab.ensure(m, dom);
+        match slab.slot_mut(m, dom).and_then(|s| s.keys.as_mut()) {
+            Some(k) => k,
+            None => tmp.insert(DomainKeys::new(dom)),
+        }
+    }
+
+    /// Whether a domain is quarantined (slot bit; unknown domains are
+    /// not).
+    fn is_quarantined(&self, m: &Machine, dom: DomainId) -> bool {
+        self.slab.slot(m, dom).is_some_and(|s| s.quarantined)
     }
 
     /// Notify every rule in the set (lifecycle fan-out).
@@ -200,28 +208,40 @@ impl PolicyEngine {
     /// operator clears it. Persisted, so a dom0 restart cannot
     /// un-quarantine an anomalous guest.
     fn quarantine(&mut self, m: &mut Machine, dom: DomainId, now: SimTime, reason: &'static str) {
-        if self.quarantined.insert(dom) {
-            self.stats.quarantines += 1;
-            self.congested_fifo.retain(|&d| d != dom);
-            self.release_pending.remove(&dom);
-            self.flush_in_progress.remove(&dom);
-            self.flush_backoff_until.remove(&dom);
-            if self.collaborative {
-                let k = Self::keys_for(&mut self.domain_keys, dom);
-                let _ = m
-                    .store
-                    .write_if_changed(DOM0, &k.state_quarantined, val::one());
-                // The cancelled in-flight flush must not be resurrected by
-                // a later recovery scan.
-                let _ = m
-                    .store
-                    .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
+        let newly = match self.slab.slot_mut(m, dom) {
+            Some(slot) if !slot.quarantined => {
+                slot.quarantined = true;
+                slot.release_pending = None;
+                slot.flush_in_progress = None;
+                slot.flush_backoff_until = None;
+                slot.in_fifo = false;
+                slot.attention = false;
+                true
             }
-            trace_event!(
-                now,
-                TraceEventKind::Decision(Decision::Quarantine { dom: dom.0, reason })
-            );
+            _ => false,
+        };
+        if !newly {
+            return;
         }
+        self.stats.quarantines += 1;
+        self.congested_fifo.retain(|&d| d != dom);
+        self.slab.mark_health(m, dom);
+        if self.collaborative {
+            let mut tmp = None;
+            let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.state_quarantined, val::one());
+            // The cancelled in-flight flush must not be resurrected by
+            // a later recovery scan.
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
+        }
+        trace_event!(
+            now,
+            TraceEventKind::Decision(Decision::Quarantine { dom: dom.0, reason })
+        );
     }
 
     /// Operator clear (a dom0 write of `"1"` to
@@ -229,18 +249,28 @@ impl PolicyEngine {
     /// collaboration. A strict no-op for a domain that is not quarantined
     /// — no rule notification, no store writes, no trace.
     fn clear_quarantine(&mut self, m: &mut Machine, dom: DomainId, now: SimTime) {
-        if !self.quarantined.remove(&dom) {
-            return;
+        match self.slab.slot_mut(m, dom) {
+            Some(slot) if slot.quarantined => {
+                slot.quarantined = false;
+                slot.flush_fail_streak = 0;
+                slot.flush_backoff_until = None;
+            }
+            _ => return,
         }
         trace_event!(
             now,
             TraceEventKind::Decision(Decision::QuarantineCleared { dom: dom.0 })
         );
         Self::each_rule(&mut self.set, |r| r.on_quarantine_cleared(dom));
-        self.flush_fail_streak.remove(&dom);
-        self.flush_backoff_until.remove(&dom);
+        self.slab.mark_health(m, dom);
+        if self.adjudicates {
+            // A `congested` flag raised while quarantined was ignored; the
+            // reconciliation sweep must look again now.
+            self.slab.mark_attention(m, dom);
+        }
         if self.collaborative {
-            let k = Self::keys_for(&mut self.domain_keys, dom);
+            let mut tmp = None;
+            let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
             let _ = m
                 .store
                 .write_if_changed(DOM0, &k.state_quarantined, val::zero());
@@ -266,11 +296,8 @@ impl PolicyEngine {
         {
             let PolicyEngine {
                 set,
-                quarantined,
-                flush_in_progress,
-                flush_backoff_until,
+                slab,
                 congested_fifo,
-                domain_keys,
                 stats,
                 ..
             } = self;
@@ -280,10 +307,7 @@ impl PolicyEngine {
                 report,
                 machine: &*m,
                 cfg: &*cfg,
-                quarantined: &*quarantined,
-                flush_in_progress: &*flush_in_progress,
-                flush_backoff_until: &*flush_backoff_until,
-                domain_keys: &*domain_keys,
+                slab: &*slab,
                 congested_fifo: &congested_fifo[..],
                 stats: &*stats,
             };
@@ -341,7 +365,8 @@ impl PolicyEngine {
                 // pick these up; for the simulated guests the machine
                 // applies them directly).
                 if self.collaborative {
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let mut tmp = None;
+                    let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                     for (sk, w) in route.iter().enumerate() {
                         let _ = m
                             .store
@@ -380,11 +405,18 @@ impl PolicyEngine {
                 // A rule that raced the quarantine/ack bookkeeping within
                 // this tick loses; built-in rules pre-filter via ctx, so
                 // this guard never fires for them.
-                if self.quarantined.contains(&dom) || self.flush_in_progress.contains_key(&dom) {
+                if self
+                    .slab
+                    .slot(m, dom)
+                    .is_some_and(|sl| sl.quarantined || sl.flush_in_progress.is_some())
+                {
                     return;
                 }
                 let deadline = now + self.set.cfg.flush_ack_timeout;
-                self.flush_in_progress.insert(dom, deadline);
+                if let Some(slot) = self.slab.slot_mut(m, dom) {
+                    slot.flush_in_progress = Some(deadline);
+                    self.slab.mark_flush_active(dom);
+                }
                 self.stats.flushes_triggered += 1;
                 trace_event!(
                     now,
@@ -399,7 +431,8 @@ impl PolicyEngine {
                 // that expires through the normal timeout path, never a
                 // command the recovered plane does not know about.
                 let epoch = self.next_epoch(m);
-                let k = Self::keys_for(&mut self.domain_keys, dom);
+                let mut tmp = None;
+                let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                 let _ = m.store.write(DOM0, &k.state_flush_epoch, val::uint(epoch));
                 let _ = m.store.write(
                     DOM0,
@@ -432,9 +465,16 @@ impl PolicyEngine {
             })
         );
         let epoch = self.next_epoch(m);
-        let k = Self::keys_for(&mut self.domain_keys, dom);
-        let _ = m.store.write(DOM0, &k.release_request, val::uint(epoch));
-        self.release_pending.insert(dom, now);
+        {
+            let mut tmp = None;
+            let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
+            let _ = m.store.write(DOM0, &k.release_request, val::uint(epoch));
+        }
+        if let Some(slot) = self.slab.slot_mut(m, dom) {
+            slot.release_pending = Some(now);
+        }
+        // The ack-timeout re-issue lives in the reconciliation sweep.
+        self.slab.mark_attention(m, dom);
     }
 
     /// Ask the set's adjudicating rules for a verdict on one raised
@@ -444,11 +484,8 @@ impl PolicyEngine {
     fn poll_verdict(&mut self, m: &Machine, now: SimTime, dom: DomainId) -> Verdict {
         let PolicyEngine {
             set,
-            quarantined,
-            flush_in_progress,
-            flush_backoff_until,
+            slab,
             congested_fifo,
-            domain_keys,
             stats,
             ..
         } = self;
@@ -458,10 +495,7 @@ impl PolicyEngine {
             report: None,
             machine: m,
             cfg: &*cfg,
-            quarantined: &*quarantined,
-            flush_in_progress: &*flush_in_progress,
-            flush_backoff_until: &*flush_backoff_until,
-            domain_keys: &*domain_keys,
+            slab: &*slab,
             congested_fifo: &congested_fifo[..],
             stats: &*stats,
         };
@@ -494,8 +528,14 @@ impl PolicyEngine {
                         host_qdepth: m.storage.queue_depth() as u32,
                     })
                 );
-                if !self.congested_fifo.contains(&dom) {
+                if !self.slab.slot(m, dom).is_some_and(|sl| sl.in_fifo) {
                     self.congested_fifo.push(dom);
+                    if let Some(slot) = self.slab.slot_mut(m, dom) {
+                        slot.in_fifo = true;
+                    }
+                    // Confirmed domains stay under reconciliation watch
+                    // until their `congested` flag drops.
+                    self.slab.mark_attention(m, dom);
                 }
             }
             Verdict::Release => self.grant_release(m, now, dom),
@@ -505,33 +545,41 @@ impl PolicyEngine {
     /// Expire `flush_now` ack deadlines: an unresponsive guest loses its
     /// slot (the next policy run picks the next-dirtiest domain), backs
     /// off exponentially, and is quarantined after
-    /// `flush_max_retries` consecutive timeouts.
+    /// `flush_max_retries` consecutive timeouts. Visits only domains
+    /// with a command in flight (ascending, like the map scan it
+    /// replaced).
     fn expire_flush_deadlines(&mut self, m: &mut Machine, now: SimTime) {
-        let expired: Vec<DomainId> = self
-            .flush_in_progress
-            .iter()
-            .filter(|&(_, &deadline)| now >= deadline)
-            .map(|(&d, _)| d)
-            .collect();
-        for dom in expired {
-            self.flush_in_progress.remove(&dom);
+        let mut active = self.slab.take_flush_active();
+        if active.is_empty() {
+            self.slab.restore_flush_active(active);
+            return;
+        }
+        active.retain(|&dom| {
+            let (timeouts, streak) = match self.slab.slot_mut(m, dom) {
+                Some(slot) => {
+                    let Some(deadline) = slot.flush_in_progress else {
+                        // Acked (or quarantined) since it was listed.
+                        return false;
+                    };
+                    if now < deadline {
+                        return true;
+                    }
+                    slot.flush_in_progress = None;
+                    slot.flush_timeouts += 1;
+                    slot.flush_fail_streak += 1;
+                    (slot.flush_timeouts, slot.flush_fail_streak)
+                }
+                None => return false,
+            };
             self.stats.flush_timeouts += 1;
-            let timeouts = {
-                let t = self.flush_timeouts_by_dom.entry(dom).or_insert(0);
-                *t += 1;
-                *t
-            };
-            let streak = {
-                let s = self.flush_fail_streak.entry(dom).or_insert(0);
-                *s += 1;
-                *s
-            };
             trace_event!(
                 now,
                 TraceEventKind::Decision(Decision::FlushTimeout { dom: dom.0, streak })
             );
+            self.slab.mark_health(m, dom);
             {
-                let k = Self::keys_for(&mut self.domain_keys, dom);
+                let mut tmp = None;
+                let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                 let _ = m
                     .store
                     .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
@@ -546,100 +594,169 @@ impl PolicyEngine {
                 self.quarantine(m, dom, now, "flush-timeout streak");
             } else {
                 let shift = (streak - 1).min(6);
-                self.flush_backoff_until.insert(
-                    dom,
-                    now + self.set.cfg.flush_retry_backoff * (1u64 << shift),
-                );
+                let until = now + self.set.cfg.flush_retry_backoff * (1u64 << shift);
+                if let Some(slot) = self.slab.slot_mut(m, dom) {
+                    slot.flush_backoff_until = Some(until);
+                }
             }
-        }
+            false
+        });
+        self.slab.restore_flush_active(active);
     }
 
     /// Publish per-domain health counters under `/iorchestra/health/<id>`.
-    /// Pure change-detection in plane memory: a steady-state tick performs
-    /// zero store operations.
+    /// Dirty-set driven: only domains whose timeout/quarantine state moved
+    /// are visited — unless the store's global denied total moved, in
+    /// which case any domain's denied counter may have changed and a full
+    /// scan is the explicit, legal fallback (denials are rare and already
+    /// a misbehaviour signal). A steady-state tick performs zero store
+    /// operations either way.
     fn publish_health(&mut self, m: &mut Machine) {
-        for dom in m.domain_ids() {
-            let tuple = (
-                self.flush_timeouts_by_dom.get(&dom).copied().unwrap_or(0),
-                self.quarantined.contains(&dom),
-                m.store.denied_count(dom),
-            );
-            if self.health_published.get(&dom) == Some(&tuple) {
-                continue;
+        let denied_total = m.store.denied_total();
+        if denied_total != self.denied_total_seen {
+            self.denied_total_seen = denied_total;
+            let mut scratch = self.slab.take_scratch();
+            scratch.extend(m.domains());
+            for &dom in &scratch {
+                self.publish_health_one(m, dom);
             }
-            let prev = self.health_published.insert(dom, tuple);
-            let k = Self::keys_for(&mut self.domain_keys, dom);
-            let (timeouts, quarantined, denied) = tuple;
-            // `write_if_changed` (not plain writes): after a recovery the
-            // in-memory `health_published` map is empty, and republishing a
-            // value the store already holds must stay silent.
-            if prev.map(|p| p.0) != Some(timeouts) {
-                let _ =
-                    m.store
-                        .write_if_changed(DOM0, &k.health_flush_timeouts, val::uint(timeouts));
-            }
-            if prev.map(|p| p.1) != Some(quarantined) {
-                let _ =
-                    m.store
-                        .write_if_changed(DOM0, &k.health_quarantined, val::flag(quarantined));
-            }
-            if prev.map(|p| p.2) != Some(denied) {
-                let _ = m
-                    .store
-                    .write_if_changed(DOM0, &k.health_store_denied, val::uint(denied));
-            }
+            self.slab.restore_scratch(scratch);
+            // The full scan supersedes every pending dirty entry.
+            self.slab.clear_health_dirty();
+            return;
+        }
+        let dirty = self.slab.take_health_dirty();
+        for &dom in &dirty {
+            self.publish_health_one(m, dom);
         }
     }
 
-    /// The reconciliation half of the lossy-bus hardening: every tick,
-    /// re-read each collaborating domain's congestion keys straight from
-    /// the store and repair whatever the bus lost. A raised `congested`
-    /// flag nobody adjudicated (dropped guest-to-dom0 event, or a wake
-    /// FIFO that died with a crashed plane) is adjudicated now; a granted
+    /// Publish one domain's health tuple if it moved since last publish.
+    fn publish_health_one(&mut self, m: &mut Machine, dom: DomainId) {
+        let denied = m.store.denied_count(dom);
+        let (tuple, prev) = match self.slab.slot_mut(m, dom) {
+            Some(slot) => {
+                slot.health_dirty = false;
+                let tuple = (slot.flush_timeouts, slot.quarantined, denied);
+                if slot.health_published == Some(tuple) {
+                    return;
+                }
+                (tuple, slot.health_published.replace(tuple))
+            }
+            None => return,
+        };
+        let Some(k) = self.slab.slot(m, dom).and_then(|s| s.keys.as_ref()) else {
+            return;
+        };
+        let (timeouts, quarantined, denied) = tuple;
+        // `write_if_changed` (not plain writes): after a recovery the
+        // in-memory published tuples are gone, and republishing a value
+        // the store already holds must stay silent.
+        if prev.map(|p| p.0) != Some(timeouts) {
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.health_flush_timeouts, val::uint(timeouts));
+        }
+        if prev.map(|p| p.1) != Some(quarantined) {
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.health_quarantined, val::flag(quarantined));
+        }
+        if prev.map(|p| p.2) != Some(denied) {
+            let _ = m
+                .store
+                .write_if_changed(DOM0, &k.health_store_denied, val::uint(denied));
+        }
+    }
+
+    /// The reconciliation half of the lossy-bus hardening: re-read the
+    /// congestion keys of every domain under attention straight from the
+    /// store and repair whatever the bus lost. A raised `congested` flag
+    /// nobody adjudicated (dropped guest-to-dom0 event, or a wake FIFO
+    /// that died with a crashed plane) is adjudicated now; a granted
     /// release still unaccepted past the ack timeout (dropped dom0-to-
     /// guest delivery) is re-issued under a fresh epoch, which the guest's
     /// epoch cursor makes idempotent.
+    ///
+    /// The attention set is marked at every site that raises or could
+    /// raise a `congested` flag the engine knows about — the engine's own
+    /// `congested=1` write on a kernel query, grants, FIFO entry,
+    /// quarantine clears, the recovery scan — and a domain stays under
+    /// attention until a visit observes its flag down. Domains outside
+    /// the set provably have nothing to reconcile, so the steady-state
+    /// sweep is O(attention), allocation-free, and never clones a key.
     fn reconcile_congestion(&mut self, m: &mut Machine, now: SimTime) {
-        for dom in m.domain_ids() {
-            if self.quarantined.contains(&dom) {
-                continue;
-            }
-            let (congested_key, release_key) = {
-                let k = Self::keys_for(&mut self.domain_keys, dom);
-                (k.congested.clone(), k.release_request.clone())
+        if self.slab.attention_is_empty() {
+            return;
+        }
+        enum Fix {
+            Drop,
+            Keep,
+            Adjudicate,
+            Regrant,
+        }
+        let mut att = self.slab.take_attention();
+        att.retain(|&dom| {
+            let fix = match self.slab.slot(m, dom) {
+                Some(slot) if slot.attention && !slot.quarantined => {
+                    let k = slot.keys.as_ref().expect("live slot has keys");
+                    let asking = m
+                        .store
+                        .read_ref(DOM0, &k.congested)
+                        .map(|v| v == "1")
+                        .unwrap_or(false);
+                    if !asking {
+                        Fix::Drop
+                    } else if slot.in_fifo {
+                        // Confirmed: the staggered wake on relief owns
+                        // this domain.
+                        Fix::Keep
+                    } else {
+                        let granted = m
+                            .store
+                            .read_ref(DOM0, &k.release_request)
+                            .map(|v| v != "0")
+                            .unwrap_or(false);
+                        if !granted {
+                            // Raised but never adjudicated: the query
+                            // event was lost.
+                            Fix::Adjudicate
+                        } else {
+                            match slot.release_pending {
+                                Some(issued) if now < issued + self.set.cfg.release_ack_timeout => {
+                                    Fix::Keep
+                                }
+                                // The grant delivery was dropped (or
+                                // predates this plane incarnation):
+                                // re-issue under a fresh epoch.
+                                _ => Fix::Regrant,
+                            }
+                        }
+                    }
+                }
+                // Dead, recycled, or de-marked (quarantined) since listed.
+                _ => Fix::Drop,
             };
-            let asking = m
-                .store
-                .read_ref(DOM0, &congested_key)
-                .map(|v| v == "1")
-                .unwrap_or(false);
-            if !asking {
-                self.release_pending.remove(&dom);
-                continue;
-            }
-            if self.congested_fifo.contains(&dom) {
-                // Confirmed: the staggered wake on relief owns this domain.
-                continue;
-            }
-            let granted = m
-                .store
-                .read_ref(DOM0, &release_key)
-                .map(|v| v != "0")
-                .unwrap_or(false);
-            if !granted {
-                // Raised but never adjudicated: the query event was lost.
-                self.adjudicate_congestion(m, now, dom);
-                continue;
-            }
-            match self.release_pending.get(&dom) {
-                Some(&issued) if now < issued + self.set.cfg.release_ack_timeout => {}
-                _ => {
-                    // The grant delivery was dropped (or predates this
-                    // plane incarnation): re-issue under a fresh epoch.
+            match fix {
+                Fix::Drop => {
+                    if let Some(slot) = self.slab.slot_mut(m, dom) {
+                        slot.release_pending = None;
+                        slot.attention = false;
+                    }
+                    false
+                }
+                Fix::Keep => true,
+                Fix::Adjudicate => {
+                    self.adjudicate_congestion(m, now, dom);
+                    true
+                }
+                Fix::Regrant => {
                     self.grant_release(m, now, dom);
+                    true
                 }
             }
-        }
+        });
+        self.slab.restore_attention(att);
     }
 
     fn run_congestion_relief(&mut self, m: &mut Machine, s: &mut Sched) {
@@ -652,6 +769,9 @@ impl PolicyEngine {
         let mut offset = SimDuration::ZERO;
         let now = s.now();
         for dom in std::mem::take(&mut self.congested_fifo) {
+            if let Some(slot) = self.slab.slot_mut(m, dom) {
+                slot.in_fifo = false;
+            }
             // `wake_interleave_max_ms == 0` means a true simultaneous wake
             // (the DESIGN.md §5 "no interleave" ablation point): no draw at
             // all, so the RNG stream is untouched too.
@@ -668,7 +788,12 @@ impl PolicyEngine {
                     offset_ms: offset.as_millis(),
                 })
             );
-            let congested_key = Self::keys_for(&mut self.domain_keys, dom).congested.clone();
+            let congested_key = {
+                let mut tmp = None;
+                Self::keys_or(&mut self.slab, m, dom, &mut tmp)
+                    .congested
+                    .clone()
+            };
             s.schedule_in(offset, move |cl: &mut Cluster, s| {
                 cl.cp_action(s, idx, move |m, s| {
                     // The plane that scheduled this wake may have crashed in
@@ -683,6 +808,23 @@ impl PolicyEngine {
                 });
             });
         }
+    }
+
+    /// Bring the slab in line with the machine's domain set. The
+    /// generation counter makes the steady-state case O(1): a tick during
+    /// which no domain was created or destroyed skips the sweep entirely.
+    /// Covers planes attached after domains already existed (tests,
+    /// mid-run install) and churn the plane never heard about.
+    fn resync_domains(&mut self, m: &Machine) {
+        let gen = m.domain_generation();
+        if self.synced_gen == Some(gen) {
+            return;
+        }
+        self.synced_gen = Some(gen);
+        for dom in m.domains() {
+            self.slab.ensure(m, dom);
+        }
+        self.slab.prune(m);
     }
 }
 
@@ -705,9 +847,10 @@ impl ControlPlane for PolicyEngine {
             self.manager_watch_registered = true;
         }
         // Guest-driver registration: defaults + a watch on its own subtree.
-        // The DomainKeys built here is the one the per-tick loops reuse for
-        // the domain's whole lifetime.
-        let k = Self::keys_for(&mut self.domain_keys, dom);
+        // The slot (and its interned DomainKeys) built here is the one the
+        // dirty-set sweeps reuse for the domain's whole lifetime.
+        let mut tmp = None;
+        let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
         Self::guest_write(m, dom, &k.flush_now, val::zero());
         Self::guest_write(m, dom, &k.congested, val::zero());
         Self::guest_write(m, dom, &k.release_request, val::zero());
@@ -717,18 +860,12 @@ impl ControlPlane for PolicyEngine {
     fn on_domain_destroyed(&mut self, m: &mut Machine, _s: &mut Sched, dom: DomainId) {
         if self.collaborative {
             // Drop the persisted state subtree so a later recovery scan (or
-            // a recycled domain id) cannot inherit a dead domain's history.
+            // a recycled domain slot) cannot inherit a dead domain's
+            // history.
             let _ = m.store.remove(DOM0, keys::state_base(dom).as_str());
         }
-        self.flush_in_progress.remove(&dom);
-        self.flush_backoff_until.remove(&dom);
-        self.flush_fail_streak.remove(&dom);
-        self.flush_timeouts_by_dom.remove(&dom);
-        self.quarantined.remove(&dom);
-        self.health_published.remove(&dom);
+        self.slab.remove(dom);
         self.congested_fifo.retain(|&d| d != dom);
-        self.release_pending.remove(&dom);
-        self.domain_keys.remove(&dom);
         Self::each_rule(&mut self.set, |r| r.on_domain_destroyed(dom));
     }
 
@@ -739,7 +876,17 @@ impl ControlPlane for PolicyEngine {
         dom: DomainId,
         sig: KernelSignal,
     ) {
-        if !self.collaborative || self.quarantined.contains(&dom) {
+        if self.feeds_dirty {
+            // Mirror the kernel's dirty-page edge before any quarantine
+            // gating: the signal stream is reliable and is what keeps the
+            // republish sweep's dirty set exact — a quarantined domain's
+            // transitions must keep tracking so collaboration resumes
+            // correctly when an operator clears it.
+            if let KernelSignal::DirtyStatusChanged(has) = sig {
+                self.slab.set_kernel_dirty(m, dom, has);
+            }
+        }
+        if !self.collaborative || self.is_quarantined(m, dom) {
             // Non-collaborative sets — and quarantined domains under a
             // collaborative one (graceful degradation) — get stock
             // Baseline behaviour: congestion means sleeping, and nothing
@@ -753,11 +900,16 @@ impl ControlPlane for PolicyEngine {
             KernelSignal::DirtyStatusChanged(has) => {
                 if self.feeds_dirty {
                     let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let mut tmp = None;
+                    let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                     // Monitoring keys: no callback consumes them, so a
                     // value the store already holds is not republished.
                     Self::guest_publish(m, dom, &k.has_dirty_pages, val::flag(has));
                     Self::guest_publish(m, dom, &k.nr_dirty, val::uint(nr));
+                    // This is the only post-boot writer of the store's
+                    // has_dirty flag, so updating the mirror here keeps
+                    // `PolicyCtx::dirty_domains` exact.
+                    self.slab.set_store_dirty(m, dom, has);
                 }
             }
             KernelSignal::CongestionQuery => {
@@ -768,21 +920,33 @@ impl ControlPlane for PolicyEngine {
                     // key: it always publishes, because the management
                     // module must re-answer even a repeated query.
                     m.cp_enter_congestion(s, dom);
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
-                    Self::guest_write(m, dom, &k.congested, val::one());
+                    {
+                        let mut tmp = None;
+                        let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
+                        Self::guest_write(m, dom, &k.congested, val::one());
+                    }
+                    // The engine itself raised the flag in the store, so
+                    // the reconciliation sweep will adjudicate it even if
+                    // the watch delivery is lost.
+                    self.slab.mark_attention(m, dom);
                 } else {
                     m.cp_enter_congestion(s, dom);
                 }
             }
             KernelSignal::CongestionCleared => {
                 if self.adjudicates {
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let mut tmp = None;
+                    let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                     Self::guest_write(m, dom, &k.congested, val::zero());
                     self.congested_fifo.retain(|&d| d != dom);
+                    if let Some(slot) = self.slab.slot_mut(m, dom) {
+                        slot.in_fifo = false;
+                    }
                 }
             }
             KernelSignal::RemoteSyncCompleted => {
-                let k = Self::keys_for(&mut self.domain_keys, dom);
+                let mut tmp = None;
+                let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                 Self::guest_write(m, dom, &k.flush_now, val::zero());
             }
         }
@@ -811,9 +975,9 @@ impl ControlPlane for PolicyEngine {
         let Some(dom) = keys::domain_of_path(&ev.path) else {
             return;
         };
-        if self.quarantined.contains(&dom) {
+        if self.is_quarantined(m, dom) {
             // The management module ignores a quarantined domain's keys
-            // entirely — its watch-event spam costs one hash probe here.
+            // entirely — its watch-event spam costs one slot probe here.
             return;
         }
         if ev.owner == DOM0 {
@@ -826,32 +990,46 @@ impl ControlPlane for PolicyEngine {
                 // per-tick reconciliation sweep may have adjudicated this
                 // query already (e.g. when the raising event was delayed),
                 // in which case this delivery is a no-op.
-                let k = Self::keys_for(&mut self.domain_keys, dom);
-                let still_asking = m
-                    .store
-                    .read_ref(DOM0, &k.congested)
-                    .map(|v| v == "1")
-                    .unwrap_or(false);
-                let granted = m
-                    .store
-                    .read_ref(DOM0, &k.release_request)
-                    .map(|v| v != "0")
-                    .unwrap_or(false);
-                if still_asking && !granted && !self.congested_fifo.contains(&dom) {
+                let (still_asking, granted) = {
+                    let mut tmp = None;
+                    let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
+                    (
+                        m.store
+                            .read_ref(DOM0, &k.congested)
+                            .map(|v| v == "1")
+                            .unwrap_or(false),
+                        m.store
+                            .read_ref(DOM0, &k.release_request)
+                            .map(|v| v != "0")
+                            .unwrap_or(false),
+                    )
+                };
+                let in_fifo = self.slab.slot(m, dom).is_some_and(|sl| sl.in_fifo);
+                if still_asking && !granted && !in_fifo {
+                    // Defensive mark: however this flag got raised, keep
+                    // the domain under reconciliation watch until it drops.
+                    self.slab.mark_attention(m, dom);
                     self.adjudicate_congestion(m, s.now(), dom);
                 }
             } else if keys::is_key(&ev.path, "flush_now") && ev.value.as_deref() == Some("0") {
                 // The guest acked (wrote flush_now back to 0): the flush
                 // completed, so the domain is in good standing again.
-                if self.flush_in_progress.remove(&dom).is_some() {
+                let had_in_flight = self
+                    .slab
+                    .slot_mut(m, dom)
+                    .is_some_and(|slot| slot.flush_in_progress.take().is_some());
+                if had_in_flight {
                     trace_event!(
                         s.now(),
                         TraceEventKind::Decision(Decision::FlushAck { dom: dom.0 })
                     );
                 }
-                self.flush_fail_streak.remove(&dom);
-                self.flush_backoff_until.remove(&dom);
-                let k = Self::keys_for(&mut self.domain_keys, dom);
+                if let Some(slot) = self.slab.slot_mut(m, dom) {
+                    slot.flush_fail_streak = 0;
+                    slot.flush_backoff_until = None;
+                }
+                let mut tmp = None;
+                let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                 let _ = m
                     .store
                     .write_if_changed(DOM0, &k.state_flush_epoch, val::zero());
@@ -899,7 +1077,8 @@ impl ControlPlane for PolicyEngine {
                 let last_seen = kernel.release_epoch_seen();
                 if accepted {
                     m.cp_grant_bypass(s, dom);
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let mut tmp = None;
+                    let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                     Self::guest_write(m, dom, &k.release_request, val::zero());
                     Self::guest_write(m, dom, &k.congested, val::zero());
                 } else {
@@ -920,11 +1099,9 @@ impl ControlPlane for PolicyEngine {
         let now = s.now();
         let report = self.monitor.sample(m, now);
         if self.collaborative {
-            // Interned paths for every live domain, so rules can read
-            // through `ctx.keys()` without a formatting allocation.
-            for dom in m.domain_ids() {
-                Self::keys_for(&mut self.domain_keys, dom);
-            }
+            // Slots (and interned paths) for every live domain; O(1) via
+            // the generation check when no domain churned since last tick.
+            self.resync_domains(&*m);
         }
         // Admission stages (anomaly budgets → quarantine).
         self.eval_point(m, s, now, Some(&report), EnforcementPoint::QueueAdmission);
@@ -935,17 +1112,32 @@ impl ControlPlane for PolicyEngine {
         }
         if self.feeds_dirty {
             // Guest drivers republish their dirty-page counts each period
-            // so the argmax in Algorithm 1 works from fresh numbers.
-            for dom in m.domain_ids() {
-                if self.quarantined.contains(&dom) {
-                    continue;
+            // so the argmax in Algorithm 1 works from fresh numbers. The
+            // sweep visits only domains whose kernel actually holds dirty
+            // pages (the signal-fed mirror): for every other domain the
+            // count is 0 and the legacy full scan skipped it anyway.
+            let mut dirty = self.slab.take_kernel_dirty();
+            dirty.retain(|&dom| {
+                match self.slab.slot(m, dom) {
+                    Some(slot) if slot.kernel_dirty => {
+                        if slot.quarantined {
+                            // Not republished while quarantined, but stays
+                            // tracked so collaboration resumes on clear.
+                            return true;
+                        }
+                    }
+                    // Dirty pages gone (or domain dead) since listed.
+                    _ => return false,
                 }
                 let nr = m.domain(dom).map(|d| d.kernel.dirty_pages()).unwrap_or(0);
                 if nr > 0 {
-                    let k = Self::keys_for(&mut self.domain_keys, dom);
+                    let mut tmp = None;
+                    let k = Self::keys_or(&mut self.slab, m, dom, &mut tmp);
                     Self::guest_publish(m, dom, &k.nr_dirty, val::uint(nr));
                 }
-            }
+                true
+            });
+            self.slab.restore_kernel_dirty(dirty);
         }
         // Command-issue stages (flush argmax, congestion adjudication).
         self.eval_point(m, s, now, Some(&report), EnforcementPoint::CommandIssue);
@@ -976,17 +1168,12 @@ impl ControlPlane for PolicyEngine {
         // recovery scan rebuilds what was persisted.
         self.rng = SimRng::new(self.set.cfg.seed ^ 0x10c);
         self.monitor = MonitoringModule::new();
-        self.flush_in_progress.clear();
-        self.flush_backoff_until.clear();
-        self.flush_fail_streak.clear();
-        self.flush_timeouts_by_dom.clear();
-        self.quarantined.clear();
-        self.health_published.clear();
+        self.slab.clear();
         self.congested_fifo.clear();
         self.manager_watch_registered = false;
-        self.domain_keys.clear();
+        self.synced_gen = None;
+        self.denied_total_seen = 0;
         self.epoch = 0;
-        self.release_pending.clear();
         self.stats = PlaneStats::default();
         Self::each_rule(&mut self.set, |r| r.on_crash());
     }
@@ -1012,11 +1199,8 @@ impl ControlPlane for PolicyEngine {
         {
             let PolicyEngine {
                 set,
-                quarantined,
-                flush_in_progress,
-                flush_backoff_until,
+                slab,
                 congested_fifo,
-                domain_keys,
                 stats,
                 ..
             } = self;
@@ -1026,10 +1210,7 @@ impl ControlPlane for PolicyEngine {
                 report: None,
                 machine: &*m,
                 cfg: &*cfg,
-                quarantined: &*quarantined,
-                flush_in_progress: &*flush_in_progress,
-                flush_backoff_until: &*flush_backoff_until,
-                domain_keys: &*domain_keys,
+                slab: &*slab,
                 congested_fifo: &congested_fifo[..],
                 stats: &*stats,
             };
@@ -1039,19 +1220,33 @@ impl ControlPlane for PolicyEngine {
                 }
             }
         }
-        let domains = m.domain_ids();
-        for &dom in &domains {
-            let k = Self::keys_for(&mut self.domain_keys, dom).clone();
+        // Recovery is one of the two explicit full scans the dirty-set
+        // contract allows (DESIGN.md §13): the dead incarnation's marks
+        // died with it, so every live domain is re-examined. Fresh slots
+        // come out health-dirty, and the mirrors (kernel/store dirty
+        // pages) are re-read from ground truth by `ensure`.
+        let mut scratch = self.slab.take_scratch();
+        scratch.extend(m.domains());
+        for &dom in &scratch {
+            self.slab.ensure(m, dom);
+            let Some(k) = self
+                .slab
+                .slot(m, dom)
+                .and_then(|sl| sl.keys.as_ref())
+                .cloned()
+            else {
+                continue;
+            };
             if Self::read_state_u64(m, &k.state_quarantined) == 1 {
-                self.quarantined.insert(dom);
+                if let Some(slot) = self.slab.slot_mut(m, dom) {
+                    slot.quarantined = true;
+                }
             }
             let streak = Self::read_state_u64(m, &k.state_fail_streak) as u32;
-            if streak > 0 {
-                self.flush_fail_streak.insert(dom, streak);
-            }
             let timeouts = Self::read_state_u64(m, &k.state_timeouts);
-            if timeouts > 0 {
-                self.flush_timeouts_by_dom.insert(dom, timeouts);
+            if let Some(slot) = self.slab.slot_mut(m, dom) {
+                slot.flush_fail_streak = streak;
+                slot.flush_timeouts = timeouts;
             }
             if Self::read_state_u64(m, &k.state_flush_epoch) > 0 {
                 // A flush was in flight at the crash. If the guest already
@@ -1065,7 +1260,9 @@ impl ControlPlane for PolicyEngine {
                     .map(|v| v == "0")
                     .unwrap_or(true);
                 if acked {
-                    self.flush_fail_streak.remove(&dom);
+                    if let Some(slot) = self.slab.slot_mut(m, dom) {
+                        slot.flush_fail_streak = 0;
+                    }
                     let _ = m.store.write(DOM0, &k.state_flush_epoch, val::zero());
                     let _ = m
                         .store
@@ -1073,7 +1270,10 @@ impl ControlPlane for PolicyEngine {
                 } else {
                     let deadline =
                         SimTime::from_nanos(Self::read_state_u64(m, &k.state_flush_deadline));
-                    self.flush_in_progress.insert(dom, deadline);
+                    if let Some(slot) = self.slab.slot_mut(m, dom) {
+                        slot.flush_in_progress = Some(deadline);
+                        self.slab.mark_flush_active(dom);
+                    }
                 }
             }
             // Operator clears written while dom0 was down.
@@ -1092,17 +1292,22 @@ impl ControlPlane for PolicyEngine {
             // sleeping guest cannot re-ask. Re-adjudicate from the store —
             // even if the dead incarnation had granted a release (its epoch
             // is outranked, and the delivery may have died with it).
-            if self.adjudicates && !self.quarantined.contains(&dom) {
+            if self.adjudicates && !self.is_quarantined(m, dom) {
                 let asking = m
                     .store
                     .read_ref(DOM0, &k.congested)
                     .map(|v| v == "1")
                     .unwrap_or(false);
                 if asking {
+                    self.slab.mark_attention(m, dom);
                     self.adjudicate_congestion(m, now, dom);
                 }
             }
         }
+        let domain_count = scratch.len();
+        self.slab.restore_scratch(scratch);
+        self.synced_gen = Some(m.domain_generation());
+        self.denied_total_seen = m.store.denied_total();
         // Retries and protocol turnarounds the guests burned against the
         // dead incarnation must not carry over as empty token buckets — a
         // denial storm the moment service resumes would quarantine the
@@ -1113,8 +1318,8 @@ impl ControlPlane for PolicyEngine {
             now,
             TraceEventKind::Decision(Decision::PlaneRecover {
                 epoch: self.epoch,
-                domains: domains.len() as u32,
-                quarantined: self.quarantined.len() as u32,
+                domains: domain_count as u32,
+                quarantined: self.slab.quarantined_count() as u32,
             })
         );
     }
@@ -1173,10 +1378,20 @@ mod tests {
         let dom = cl.create_domain(s, idx, VmSpec::new(1, 1).with_disk_gb(4), |_| {});
         let now = SimTime::from_secs(100);
         for &streak in &[6u32, 31, 63, 64, 200, u32::MAX - 2] {
-            plane.flush_fail_streak.insert(dom, streak);
-            plane.flush_in_progress.insert(dom, now);
-            plane.expire_flush_deadlines(cl.machine_mut(idx), now);
-            let until = plane.flush_backoff_until[&dom];
+            let m = cl.machine_mut(idx);
+            {
+                let slot = plane.slab.slot_mut(&*m, dom).unwrap();
+                slot.flush_fail_streak = streak;
+                slot.flush_in_progress = Some(now);
+            }
+            plane.slab.mark_flush_active(dom);
+            plane.expire_flush_deadlines(m, now);
+            let until = plane
+                .slab
+                .slot(&*m, dom)
+                .unwrap()
+                .flush_backoff_until
+                .expect("timeout sets a backoff");
             // Every streak past the cap backs off by exactly base * 2^6.
             assert_eq!(
                 until,
@@ -1236,5 +1451,79 @@ mod tests {
                 assert_eq!(offsets, vec![0; doms as usize], "seed {seed}");
             }
         });
+    }
+
+    /// Tenant churn (the ROADMAP's millions-of-users scenario seed): slab
+    /// slots are recycled, the per-domain state stays bounded by the peak
+    /// concurrent domain count, and a domain occupying a recycled slot
+    /// never inherits its predecessor's quarantine/backoff/health state —
+    /// even when the plane was detached for the predecessor's destruction
+    /// and no `on_domain_destroyed` ever fired.
+    #[test]
+    fn churned_slab_slots_are_recycled_and_start_clean() {
+        use iorch_hypervisor::{IoPathMode, MachineConfig, VmSpec};
+        use iorch_simcore::Simulation;
+
+        let mut sim = Simulation::new(Cluster::new());
+        let (cl, s) = sim.parts_mut();
+        let idx = cl.add_machine(MachineConfig::paper_testbed(7, IoPathMode::Paravirt));
+        let mut plane = PolicyEngine::new(IOrchestraConfig::new(7));
+        let spec = || VmSpec::new(1, 1).with_disk_gb(4);
+
+        // A long-lived neighbour pins slot 0.
+        let anchor = cl.create_domain(s, idx, spec(), |_| {});
+        plane.on_domain_created(cl.machine_mut(idx), s, anchor);
+
+        let mut last = None;
+        for round in 0..64 {
+            let dom = cl.create_domain(s, idx, spec(), |_| {});
+            plane.on_domain_created(cl.machine_mut(idx), s, dom);
+            let m = cl.machine_mut(idx);
+            assert_eq!(m.slot_of(dom), Some(1), "round {round}: slot recycled");
+            if let Some(prev) = last {
+                assert!(dom.0 > prev, "round {round}: DomainIds are monotonic");
+            }
+            last = Some(dom.0);
+            // Fresh occupant starts clean, whatever its predecessor did.
+            {
+                let slot = plane.slab.slot(&*m, dom).expect("live slot");
+                assert!(!slot.quarantined, "round {round}: inherited quarantine");
+                assert_eq!(slot.flush_fail_streak, 0, "round {round}: inherited streak");
+                assert!(
+                    slot.flush_backoff_until.is_none(),
+                    "round {round}: inherited backoff"
+                );
+                assert!(
+                    slot.health_published.is_none(),
+                    "round {round}: inherited health"
+                );
+            }
+            assert!(
+                plane.quarantined_domains().is_empty(),
+                "round {round}: stale quarantine survived churn"
+            );
+            // Dirty up the slot: quarantine + backoff + published health.
+            let now = s.now();
+            plane.quarantine(m, dom, now, "churn-test");
+            if let Some(slot) = plane.slab.slot_mut(&*m, dom) {
+                slot.flush_fail_streak = 3;
+                slot.flush_backoff_until = Some(now + SimDuration::from_secs(60));
+                slot.health_published = Some((9, true, 9));
+            }
+            // Odd rounds detach the plane for the destruction: the slab
+            // only learns through slot revalidation at the next occupancy.
+            if round % 2 == 0 {
+                plane.on_domain_destroyed(cl.machine_mut(idx), s, dom);
+            }
+            cl.destroy_domain(s, idx, dom);
+        }
+        // Bounded: two concurrent domains peak → two slots, no map growth.
+        assert_eq!(plane.slab.len(), 2);
+        // One more occupancy revalidates the last (detached-destroy) slot;
+        // the stale quarantine bit from round 63 must not survive it.
+        let probe = cl.create_domain(s, idx, spec(), |_| {});
+        plane.on_domain_created(cl.machine_mut(idx), s, probe);
+        assert_eq!(plane.slab.len(), 2);
+        assert!(plane.quarantined_domains().is_empty());
     }
 }

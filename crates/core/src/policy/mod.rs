@@ -61,13 +61,12 @@
 
 mod builtin;
 mod engine;
+mod slab;
 
 pub use builtin::{
     AnomalyRule, CongestionAdjudicationRule, CoschedRule, DifBroadcastRule, FlushArgmaxRule,
 };
 pub use engine::PolicyEngine;
-
-use std::collections::{BTreeMap, BTreeSet};
 
 use iorch_hypervisor::{DomainId, Machine, StoreQuota};
 use iorch_simcore::{SimDuration, SimTime};
@@ -252,10 +251,7 @@ pub struct PolicyCtx<'a> {
     pub(crate) report: Option<&'a MonitorReport>,
     pub(crate) machine: &'a Machine,
     pub(crate) cfg: &'a IOrchestraConfig,
-    pub(crate) quarantined: &'a BTreeSet<DomainId>,
-    pub(crate) flush_in_progress: &'a BTreeMap<DomainId, SimTime>,
-    pub(crate) flush_backoff_until: &'a BTreeMap<DomainId, SimTime>,
-    pub(crate) domain_keys: &'a BTreeMap<DomainId, DomainKeys>,
+    pub(crate) slab: &'a slab::PlaneSlab,
     pub(crate) congested_fifo: &'a [DomainId],
     pub(crate) stats: &'a PlaneStats,
 }
@@ -285,25 +281,38 @@ impl<'a> PolicyCtx<'a> {
 
     /// Whether a domain is quarantined (rules should skip it).
     pub fn is_quarantined(&self, dom: DomainId) -> bool {
-        self.quarantined.contains(&dom)
+        self.slab
+            .slot(self.machine, dom)
+            .is_some_and(|s| s.quarantined)
     }
 
     /// Whether a `flush_now` command is in flight for this domain.
     pub fn flush_in_flight(&self, dom: DomainId) -> bool {
-        self.flush_in_progress.contains_key(&dom)
+        self.slab
+            .slot(self.machine, dom)
+            .is_some_and(|s| s.flush_in_progress.is_some())
     }
 
     /// Whether the domain is in post-timeout flush retry backoff.
     pub fn in_flush_backoff(&self, dom: DomainId) -> bool {
-        self.flush_backoff_until
-            .get(&dom)
-            .is_some_and(|&t| self.now < t)
+        self.slab
+            .slot(self.machine, dom)
+            .and_then(|s| s.flush_backoff_until)
+            .is_some_and(|t| self.now < t)
     }
 
     /// Interned store paths for a domain (present for every live domain
     /// on a collaborative set).
     pub fn keys(&self, dom: DomainId) -> Option<&'a DomainKeys> {
-        self.domain_keys.get(&dom)
+        self.slab.slot(self.machine, dom)?.keys.as_ref()
+    }
+
+    /// Domains whose store-published `has_dirty_pages` flag is raised,
+    /// ascending by id — the differential signal feeding Algorithm 1's
+    /// argmax, maintained by the engine at its own `has_dirty_pages`
+    /// publish site. Empty on non-collaborative sets.
+    pub fn dirty_domains(&self) -> &'a [DomainId] {
+        self.slab.dirty_domains()
     }
 
     /// Domains whose congestion was confirmed, in FIFO wake order.

@@ -196,6 +196,10 @@ pub struct Domain {
     vdisk_base: u64,
     timer_at: SimTime,
     created_at: SimTime,
+    /// Dense machine-assigned slot index (recycled LIFO on destroy).
+    /// Control planes key per-domain SoA state on it; [`DomainId`]s are
+    /// never reused, slots are.
+    slot: usize,
     /// Per-socket I/O routing weights (co-scheduler output). Empty means
     /// "route to the issuing VCPU's socket".
     route_weights: Vec<f64>,
@@ -213,6 +217,11 @@ impl Domain {
     /// When this domain was created.
     pub fn created_at(&self) -> SimTime {
         self.created_at
+    }
+
+    /// The domain's dense slot index (see [`Machine::slot_of`]).
+    pub fn slot(&self) -> usize {
+        self.slot
     }
 }
 
@@ -238,6 +247,14 @@ pub struct Machine {
     /// FIFO availability time of each physical core for VCPU work.
     core_busy: Vec<SimTime>,
     next_domid: u32,
+    /// Free dense slots from destroyed domains, reused LIFO so the slot
+    /// space stays as compact as the peak concurrent domain count.
+    slot_free: Vec<usize>,
+    /// High-water slot count: every live domain's slot is `< slot_high`.
+    slot_high: usize,
+    /// Bumped on every domain create/destroy — an O(1) staleness check
+    /// for control planes mirroring the domain set in slot-indexed state.
+    domain_gen: u64,
     vdisk_cursor: u64,
     stream_to_dom: HashMap<StreamId, DomainId>,
     control: Option<Box<dyn ControlPlane>>,
@@ -672,6 +689,9 @@ impl Machine {
             domains: BTreeMap::new(),
             core_busy: vec![SimTime::ZERO; cfg.sockets * cfg.cores_per_socket],
             next_domid: 1,
+            slot_free: Vec::new(),
+            slot_high: 0,
+            domain_gen: 0,
             vdisk_cursor: 0,
             stream_to_dom: HashMap::new(),
             control: None,
@@ -708,9 +728,45 @@ impl Machine {
         self.faults = plan;
     }
 
-    /// Iterate live domain ids.
+    /// Iterate live domain ids in ascending order, without allocating.
+    /// Prefer this over [`Machine::domain_ids`] everywhere a borrow of
+    /// the machine can be held across the loop.
+    pub fn domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.domains.keys().copied()
+    }
+
+    /// Number of live domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Collect live domain ids into a fresh `Vec` (ascending). Kept for
+    /// call sites that must release the machine borrow (e.g. the frozen
+    /// legacy planes); new code should use [`Machine::domains`].
     pub fn domain_ids(&self) -> Vec<DomainId> {
         self.domains.keys().copied().collect()
+    }
+
+    /// Dense slot index of a live domain. Slots are assigned at creation
+    /// and recycled LIFO at destruction, so they stay `< slot_count()`;
+    /// unlike [`DomainId`]s they ARE reused, and slot-keyed state must be
+    /// reset when the occupying domain changes.
+    pub fn slot_of(&self, dom: DomainId) -> Option<usize> {
+        self.domains.get(&dom).map(|d| d.slot)
+    }
+
+    /// High-water slot count: an exclusive upper bound on every live
+    /// domain's slot, bounded by the peak concurrent domain count (not by
+    /// the total ever created).
+    pub fn slot_count(&self) -> usize {
+        self.slot_high
+    }
+
+    /// Monotonic generation bumped on every domain create/destroy. Equal
+    /// generations mean an identical live-domain set, so a control plane
+    /// can skip per-domain resync in O(1).
+    pub fn domain_generation(&self) -> u64 {
+        self.domain_gen
     }
 
     /// Access a domain.
@@ -751,6 +807,12 @@ impl Machine {
     ) -> DomainId {
         let id = DomainId(self.next_domid);
         self.next_domid += 1;
+        let slot = self.slot_free.pop().unwrap_or_else(|| {
+            let s = self.slot_high;
+            self.slot_high += 1;
+            s
+        });
+        self.domain_gen += 1;
         let cores = self
             .topology
             .place(id, spec.vcpus, PlacementPolicy::PreferSameSocket);
@@ -794,6 +856,7 @@ impl Machine {
                 vdisk_base,
                 timer_at: SimTime::MAX,
                 created_at: s.now(),
+                slot,
                 route_weights: Vec::new(),
                 op_vcpu: HashMap::new(),
                 op_waiters: HashMap::new(),
@@ -805,6 +868,8 @@ impl Machine {
 
     fn destroy_domain_inner(&mut self, dom: DomainId) {
         if let Some(d) = self.domains.remove(&dom) {
+            self.slot_free.push(d.slot);
+            self.domain_gen += 1;
             self.topology.unplace(&d.cores);
             self.stream_to_dom.remove(&d.kernel.stream());
             self.storage.drain_stream(d.kernel.stream());
@@ -1406,13 +1471,41 @@ mod tests {
         let (mut sim, idx) = sim_with(IoPathMode::DedicatedCores { per_socket: true });
         let (cl, s) = sim.parts_mut();
         let dom = cl.create_domain(s, idx, VmSpec::new(2, 4), |_| {});
-        assert_eq!(cl.machine(idx).domain_ids(), vec![dom]);
+        assert!(cl.machine(idx).domains().eq([dom]));
         cl.destroy_domain(s, idx, dom);
-        assert!(cl.machine(idx).domain_ids().is_empty());
+        assert_eq!(cl.machine(idx).domain_count(), 0);
         // Destroying again is a no-op.
         let (cl, s) = sim.parts_mut();
         cl.destroy_domain(s, idx, dom);
         sim.run_until(SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn domain_slots_recycle_lifo_and_stay_bounded() {
+        let (mut sim, idx) = sim_with(IoPathMode::Paravirt);
+        let (cl, s) = sim.parts_mut();
+        let a = cl.create_domain(s, idx, VmSpec::new(1, 1), |_| {});
+        let b = cl.create_domain(s, idx, VmSpec::new(1, 1), |_| {});
+        let m = cl.machine(idx);
+        assert_eq!(m.slot_of(a), Some(0));
+        assert_eq!(m.slot_of(b), Some(1));
+        assert_eq!(m.slot_count(), 2);
+        let gen0 = m.domain_generation();
+        // Churn: each destroy frees the slot, each create reuses it, the
+        // DomainId keeps advancing and the slot high-water never grows.
+        let mut last = b;
+        for _ in 0..32 {
+            cl.destroy_domain(s, idx, last);
+            let next = cl.create_domain(s, idx, VmSpec::new(1, 1), |_| {});
+            assert!(next.0 > last.0, "domain ids are never reused");
+            assert_eq!(cl.machine(idx).slot_of(next), Some(1), "slot recycled");
+            last = next;
+        }
+        let m = cl.machine(idx);
+        assert_eq!(m.slot_count(), 2, "slot space bounded by peak domains");
+        assert_eq!(m.slot_of(last), Some(1));
+        assert_eq!(m.domain_generation(), gen0 + 64, "one bump per lifecycle");
+        assert!(m.slot_of(b).is_none(), "dead domains have no slot");
     }
 
     #[test]

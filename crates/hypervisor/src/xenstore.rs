@@ -444,6 +444,12 @@ pub struct XenStore {
     txns: BTreeMap<u64, Vec<(DomainId, StorePath, Rc<str>)>>,
     next_txn: u64,
     write_counts: BTreeMap<DomainId, u64>,
+    /// Sum of all `write_counts` values. Monotonic: an unchanged total
+    /// proves every per-domain count is unchanged, so per-tick anomaly
+    /// scans can skip the domain loop in O(1).
+    write_total: u64,
+    /// Sum of all `denied_counts` values (same O(1) change check).
+    denied_total: u64,
     /// Per-domain count of denied write-type operations (write /
     /// write_if_changed / remove / mkdir returning `PermissionDenied`) —
     /// the anomaly detector's "permission violation" signal. Bumped only
@@ -495,7 +501,9 @@ impl XenStore {
             txns: BTreeMap::new(),
             next_txn: 0,
             write_counts: BTreeMap::new(),
+            write_total: 0,
             denied_counts: BTreeMap::new(),
+            denied_total: 0,
             trace_now: SimTime::ZERO,
             quota: None,
             quota_overrides: BTreeMap::new(),
@@ -679,6 +687,7 @@ impl XenStore {
     #[cold]
     fn note_denied(&mut self, caller: DomainId, path: &str) {
         *self.denied_counts.entry(caller).or_insert(0) += 1;
+        self.denied_total += 1;
         trace_event!(
             self.trace_now,
             TraceEventKind::StoreDenied {
@@ -807,6 +816,7 @@ impl XenStore {
         };
         self.account_owned(created_owner, created as i64);
         *self.write_counts.entry(caller).or_insert(0) += 1;
+        self.write_total += 1;
         trace_event!(
             self.trace_now,
             TraceEventKind::StoreWrite {
@@ -1220,6 +1230,21 @@ impl XenStore {
     /// the anomaly detector's misbehaving-writer signal.
     pub fn denied_count(&self, dom: DomainId) -> u64 {
         self.denied_counts.get(&dom).copied().unwrap_or(0)
+    }
+
+    /// Writes performed by all domains together. Monotonic; equal totals
+    /// across two observations prove no per-domain [`write_count`] moved,
+    /// letting per-tick scans short-circuit without touching the map.
+    ///
+    /// [`write_count`]: XenStore::write_count
+    pub fn write_total(&self) -> u64 {
+        self.write_total
+    }
+
+    /// Denied write-type operations across all domains (monotonic; see
+    /// [`XenStore::write_total`] for the change-detection contract).
+    pub fn denied_total(&self) -> u64 {
+        self.denied_total
     }
 
     /// Conventional per-domain subtree root, as in Xen.

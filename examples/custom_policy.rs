@@ -39,7 +39,7 @@ impl Rule for BurstTamer {
 
     fn on_tick(&mut self, ctx: &PolicyCtx<'_>, out: &mut Vec<Action>) {
         let ticks_per_sec = 1000 / ctx.cfg().tick.as_millis().max(1);
-        for dom in ctx.machine().domain_ids() {
+        for dom in ctx.machine().domains() {
             let total = ctx.machine().io_bytes(dom);
             let last = self.last_bytes.insert(dom, total).unwrap_or(total);
             let rate = (total - last) * ticks_per_sec;

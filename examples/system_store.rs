@@ -82,7 +82,7 @@ fn main() {
     detector.on_write(vm1, t);
     println!(
         "\nafter a 500-write burst: flagged domains = {:?} (vm1 flagged: {})",
-        detector.flagged().iter().map(|d| d.0).collect::<Vec<_>>(),
+        detector.flagged().map(|d| d.0).collect::<Vec<_>>(),
         detector.is_flagged(vm1)
     );
     assert!(detector.is_flagged(vm2));

@@ -36,6 +36,16 @@ rm -rf target/exp-smoke
 target/release/experiments run all --profile smoke --seed 42 --out target/exp-smoke --quiet
 target/release/experiments validate target/exp-smoke
 
+# Control-plane scaling gate: `run all` skips wall-clock (timing) specs,
+# so the scale experiment runs by name here. It regenerates
+# BENCH_scale.json (schema-validated below, like every other artifact)
+# and fails unless the 1024-domain steady-state control tick stays
+# within 4x of the 16-domain tick.
+rm -rf target/exp-scale
+target/release/experiments run scale --profile smoke --seed 42 --out target/exp-scale
+target/release/experiments validate target/exp-scale
+target/release/experiments validate BENCH_scale.json
+
 # Golden-summary regression suite: byte-identical smoke artifacts across
 # repeated runs and seeds {7, 42, 1337}, plus the live-telemetry
 # non-interference contract (the exhaustive sweep is #[ignore]d in debug).
