@@ -1167,4 +1167,32 @@ pub static REGISTRY: &[Spec] = &[
                 Wall-clock: excluded from `run all` and the golden sweeps.",
         run: crate::exp::scale::run_scale,
     },
+    Spec {
+        name: "cluster",
+        title: "Cluster tier — fault convergence vs node count",
+        systems: &["IOrchestra"],
+        figures: &["cluster"],
+        smoke: RunProfile {
+            warmup_ms: 0,
+            measure_ms: 0,
+            repeats: 1,
+            axis: &[3.0, 4.0],
+            axis2: &[6.0],
+        },
+        full: RunProfile {
+            warmup_ms: 0,
+            measure_ms: 0,
+            repeats: 1,
+            axis: &[3.0, 4.0, 6.0, 8.0],
+            axis2: &[8.0],
+        },
+        slo: None,
+        timing: false,
+        notes: "axis = node counts, axis2 = [domains per node]; each cell injects a \
+                node crash, a lossy partition and a controller crash, measures the \
+                time until the steady-state digest is byte-identical to the no-fault \
+                run's, and gates on convergence with zero duplicated ownership. \
+                Emits BENCH_cluster.json.",
+        run: crate::exp::cluster::run_cluster,
+    },
 ];

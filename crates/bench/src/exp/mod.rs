@@ -16,6 +16,7 @@
 //! `IORCH_EXP_PROFILE` (`smoke`|`full`, default `full`), `IORCH_EXP_SEED`
 //! (default 42), `IORCH_EXP_OUT` (default `target/experiments`).
 
+mod cluster;
 mod families;
 mod figure;
 pub mod gate;

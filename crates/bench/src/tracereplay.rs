@@ -9,6 +9,7 @@
 //! mirror the fault-injection suite (`tests/faults.rs`) so a failing
 //! scenario there can be replayed here with full event visibility.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use iorch_guestos::{FileOp, GuestConfig};
@@ -16,7 +17,8 @@ use iorch_hypervisor::{Cluster, DomainId, Sched, VmSpec};
 use iorch_simcore::trace::{TraceEvent, TraceSession};
 use iorch_simcore::{FaultKind, FaultPlan, FaultWindow, SimDuration, SimTime, Simulation};
 use iorch_workloads::{recorder, spawn_multistream, MultiStreamParams, Rec, VmRef};
-use iorchestra::SystemKind;
+use iorchestra::cluster::ClusterTier;
+use iorchestra::{ClusterConfig, SystemKind};
 
 /// Named scenarios: `(name, one-line description)`.
 pub const SCENARIOS: &[(&str, &str)] = &[
@@ -43,6 +45,14 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     (
         "lossy_bus",
         "XenBus drops, duplicates and reorders events; epoch-stamped commands keep the protocol safe",
+    ),
+    (
+        "node_crash",
+        "a cluster node dies mid-run: lease expiry, failover to survivors, reconcile on rejoin",
+    ),
+    (
+        "net_partition",
+        "a node is cut off on a lossy network: the cluster serves degraded and heals to steady state",
     ),
 ];
 
@@ -117,8 +127,84 @@ pub fn run_scenario_sim_with(
         "device_stall" => device_stall(prov, seed, extra),
         "plane_crash" => plane_crash(prov, seed, extra),
         "lossy_bus" => lossy_bus(prov, seed, extra),
+        "node_crash" | "net_partition" => {
+            let (sim, _tier, idx) = run_cluster_scenario(prov, seed, scenario, extra)?;
+            (sim, idx)
+        }
         _ => return None,
     })
+}
+
+/// Run a cluster-tier scenario and return the tier alongside the finished
+/// simulation, for post-run inspection (steady-state digests, ownership
+/// checks). `extra` is installed on the tier, so the cluster convergence
+/// oracle can layer [`FaultKind::NodeCrash`] / [`FaultKind::ControllerCrash`]
+/// events on top of the scenario's own plan. Returns `None` for scenarios
+/// that are not cluster-tier ones.
+#[allow(clippy::type_complexity)]
+pub fn run_cluster_scenario(
+    prov: Provision,
+    seed: u64,
+    scenario: &str,
+    extra: FaultPlan,
+) -> Option<(Simulation<Cluster>, Rc<RefCell<ClusterTier>>, usize)> {
+    let plan = match scenario {
+        // Node 1 dies at 1 s (well past one lease TTL) and reboots 800 ms
+        // later; a transient network-delay window stresses the retry path
+        // while the rejoined node is being reconciled.
+        "node_crash" => FaultPlan::new()
+            .with(
+                FaultWindow::always(),
+                FaultKind::NodeCrash {
+                    node: 1,
+                    at: SimTime::from_millis(1000),
+                    recover_after: SimDuration::from_millis(800),
+                },
+            )
+            .with(
+                FaultWindow::new(SimTime::from_millis(3000), SimTime::from_millis(4000)),
+                FaultKind::NetDelay {
+                    extra: SimDuration::from_millis(2),
+                },
+            ),
+        // Node 2 is cut off from everyone for 1.5 s while the rest of the
+        // network drops every 9th, duplicates every 7th and reorders
+        // delivery batches: the controller declares it dead and fails its
+        // domains over; the partitioned node keeps serving; after heal the
+        // duplicate copies are reconciled away make-before-break.
+        "net_partition" => FaultPlan::new()
+            .with(
+                FaultWindow::new(SimTime::from_millis(1000), SimTime::from_millis(2500)),
+                FaultKind::NetPartition { group: 1 << 2 },
+            )
+            .with(
+                FaultWindow::new(SimTime::from_millis(1000), SimTime::from_millis(3500)),
+                FaultKind::NetUnreliable {
+                    drop_1_in: 9,
+                    dup_1_in: 7,
+                    reorder: true,
+                },
+            ),
+        _ => return None,
+    };
+    let (mut sim, idx) = sim_with(prov);
+    let (cl, s) = sim.parts_mut();
+    // Two more IOrchestra nodes alongside the provisioned machine: the
+    // provisioner seam stays single-shot so the policy-equivalence oracle
+    // can still swap machine 0's plane.
+    let m1 = SystemKind::IOrchestra.provision(cl, s, seed ^ 1);
+    let m2 = SystemKind::IOrchestra.provision(cl, s, seed ^ 2);
+    let tier = ClusterTier::install(cl, s, &[idx, m1, m2], ClusterConfig::default());
+    {
+        let mut t = tier.borrow_mut();
+        for i in 0..8u32 {
+            t.submit_domain(VmSpec::new(1 + i % 2, 1).with_disk_gb(8));
+        }
+        t.install_faults(s, &plan);
+        t.install_faults(s, &extra);
+    }
+    sim.run_until(SimTime::from_secs(10));
+    Some((sim, tier, idx))
 }
 
 fn sim_with(prov: Provision) -> (Simulation<Cluster>, usize) {

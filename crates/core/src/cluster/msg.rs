@@ -1,0 +1,162 @@
+//! Wire messages of the cluster control protocol.
+//!
+//! Everything the controller and the node agents exchange travels as one
+//! [`Msg`] over the deterministic [`MsgBus`](iorch_netsim::MsgBus); the
+//! [`Msg::wire_len`] estimate is what the bus charges to the NIC model,
+//! so control traffic contends with (and is delayed by) everything else
+//! on the simulated network.
+//!
+//! Reliability is end-to-end, not in the bus: commands carry an
+//! `(epoch, seq)` stamp and the target's boot `incarnation`, agents keep
+//! a per-channel cursor and discard stale or duplicate deliveries, and
+//! the controller re-issues timed-out commands under fresh sequence
+//! numbers — the same idempotent-command scheme the per-machine policy
+//! engine uses for guest commands, lifted to cluster scope.
+
+use iorch_hypervisor::VmSpec;
+use iorch_simcore::SimDuration;
+
+/// Static capacity a node advertises at registration (and re-asserts in
+/// every heartbeat, so a freshly restarted controller can rebuild its
+/// membership without waiting for re-registrations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCaps {
+    /// VCPU capacity (unreserved cores × overcommit factor).
+    pub total_vcpus: u32,
+    /// Largest VCPU count that stays NUMA-local.
+    pub numa_max_vcpus: u32,
+    /// Guest-memory quota in bytes.
+    pub mem_quota: u64,
+}
+
+/// One cluster control message.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Node → controller: join (or re-join after a reboot) under a fresh
+    /// boot incarnation.
+    Register {
+        /// Sender's cluster node index.
+        node: u32,
+        /// Sender's boot incarnation.
+        incarnation: u64,
+        /// Sender's capacity.
+        caps: NodeCaps,
+    },
+    /// Node → controller: lease renewal plus ground-truth owned set.
+    Heartbeat {
+        /// Sender's cluster node index.
+        node: u32,
+        /// Sender's boot incarnation.
+        incarnation: u64,
+        /// Sender's capacity (repeated so a recovered controller can
+        /// rebuild membership from heartbeats alone).
+        caps: NodeCaps,
+        /// Logical domains the node is actually running, ascending.
+        owned: Vec<u32>,
+    },
+    /// Node → controller: a command was applied.
+    CmdAck {
+        /// Acking node.
+        node: u32,
+        /// Epoch of the acked command.
+        epoch: u64,
+        /// Sequence number of the acked command.
+        seq: u64,
+    },
+    /// Controller → node: membership granted/renewed for `ttl`.
+    Lease {
+        /// Target node.
+        node: u32,
+        /// Controller's current command epoch.
+        epoch: u64,
+        /// Lease duration from delivery.
+        ttl: SimDuration,
+    },
+    /// Controller → node: run logical domain `ldom`.
+    Start {
+        /// Target node.
+        node: u32,
+        /// Target's boot incarnation when the command was issued; a
+        /// rebooted agent discards commands aimed at its previous life.
+        inc: u64,
+        /// Command epoch.
+        epoch: u64,
+        /// Command sequence number.
+        seq: u64,
+        /// Logical domain to start.
+        ldom: u32,
+        /// Domain sizing.
+        spec: VmSpec,
+    },
+    /// Controller → node: stop logical domain `ldom`.
+    Stop {
+        /// Target node.
+        node: u32,
+        /// Target's boot incarnation when the command was issued.
+        inc: u64,
+        /// Command epoch.
+        epoch: u64,
+        /// Command sequence number.
+        seq: u64,
+        /// Logical domain to stop.
+        ldom: u32,
+    },
+}
+
+impl Msg {
+    /// Approximate wire size in bytes, charged to the NIC model.
+    pub fn wire_len(&self) -> u64 {
+        match self {
+            Msg::Register { .. } => 64,
+            Msg::Heartbeat { owned, .. } => 48 + 4 * owned.len() as u64,
+            Msg::CmdAck { .. } => 32,
+            Msg::Lease { .. } => 32,
+            Msg::Start { .. } => 96,
+            Msg::Stop { .. } => 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_grows_with_owned_set() {
+        let caps = NodeCaps {
+            total_vcpus: 40,
+            numa_max_vcpus: 20,
+            mem_quota: 64 << 30,
+        };
+        let empty = Msg::Heartbeat {
+            node: 0,
+            incarnation: 1,
+            caps,
+            owned: vec![],
+        };
+        let eight = Msg::Heartbeat {
+            node: 0,
+            incarnation: 1,
+            caps,
+            owned: (0..8).collect(),
+        };
+        assert_eq!(eight.wire_len() - empty.wire_len(), 32);
+        assert!(
+            Msg::Start {
+                node: 0,
+                inc: 1,
+                epoch: 1,
+                seq: 1,
+                ldom: 1,
+                spec: VmSpec::new(2, 4),
+            }
+            .wire_len()
+                > Msg::CmdAck {
+                    node: 0,
+                    epoch: 1,
+                    seq: 1
+                }
+                .wire_len()
+        );
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod cluster;
 pub mod formulas;
 pub mod keys;
 pub mod legacy;
@@ -42,9 +43,8 @@ pub mod policy;
 mod system;
 
 pub use anomaly::{AnomalyDetector, AnomalyParams};
+pub use cluster::{ClusterConfig, ClusterTier, NodeAgent, NodeCaps};
 pub use monitor::{MonitorReport, MonitoringModule};
-#[allow(deprecated)]
-pub use planes::{BaselinePlane, DifPlane};
 pub use planes::{FunctionSet, IOrchestraConfig, IOrchestraPlane, PlaneStats};
 pub use policy::{Action, PolicyCtx, PolicyEngine, PolicySet, Rule, Stage};
 pub use system::SystemKind;

@@ -1,26 +1,22 @@
 //! Control-plane configuration and compatibility surface.
 //!
 //! The control planes the paper compares are expressed as
-//! [`PolicySet`]s executed by one
+//! [`PolicySet`](crate::policy::PolicySet)s executed by one
 //! [`PolicyEngine`] (see the
 //! [`policy`](crate::policy) module). This module keeps what is shared by
 //! every plane — [`FunctionSet`], [`IOrchestraConfig`], [`PlaneStats`] —
-//! plus the historic names:
-//!
-//! * [`IOrchestraPlane`] is now an alias for the engine;
-//!   `IOrchestraPlane::new(cfg)` still builds the paper's full system.
-//! * [`BaselinePlane`] and [`DifPlane`] are deprecated shims over
-//!   [`PolicySet::baseline`](crate::policy::PolicySet::baseline) /
-//!   [`PolicySet::sdc`](crate::policy::PolicySet::sdc) /
-//!   [`PolicySet::dif`](crate::policy::PolicySet::dif), kept for one
-//!   release.
+//! plus the historic [`IOrchestraPlane`] name, now an alias for the
+//! engine; `IOrchestraPlane::new(cfg)` still builds the paper's full
+//! system. (The `BaselinePlane`/`DifPlane` shims that bridged the policy
+//! redesign have been removed — build those planes with
+//! [`PolicySet::baseline`](crate::policy::PolicySet::baseline) /
+//! [`PolicySet::sdc`](crate::policy::PolicySet::sdc) /
+//! [`PolicySet::dif`](crate::policy::PolicySet::dif).)
 
-use iorch_guestos::KernelSignal;
-use iorch_hypervisor::{ControlPlane, DomainId, Machine, Sched, WatchEvent};
 use iorch_simcore::SimDuration;
 
 use crate::anomaly::AnomalyParams;
-use crate::policy::{PolicyEngine, PolicySet};
+use crate::policy::PolicyEngine;
 
 /// Which of IOrchestra's three functions are enabled — §5 evaluates them
 /// individually (Figs. 8–11) and together (Figs. 4–7, 12).
@@ -160,153 +156,11 @@ pub struct PlaneStats {
 /// `From<IOrchestraConfig> for PolicySet`.
 pub type IOrchestraPlane = PolicyEngine;
 
-// --------------------------------------------------------------------
-// Deprecated shims (one release)
-// --------------------------------------------------------------------
-
-/// Stock behaviour: the guest's congestion avoidance runs blind.
-#[deprecated(
-    note = "use PolicyEngine::new(PolicySet::baseline()) or PolicySet::sdc() instead; \
-            this shim will be removed next release"
-)]
-pub struct BaselinePlane {
-    inner: PolicyEngine,
-}
-
-#[allow(deprecated)]
-impl BaselinePlane {
-    /// The paper's Baseline (pair with paravirt I/O).
-    pub fn baseline() -> Self {
-        BaselinePlane {
-            inner: PolicyEngine::new(PolicySet::baseline()),
-        }
-    }
-
-    /// SDC label (pair with a single dedicated core).
-    pub fn sdc() -> Self {
-        BaselinePlane {
-            inner: PolicyEngine::new(PolicySet::sdc()),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl ControlPlane for BaselinePlane {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn tick_period(&self) -> Option<SimDuration> {
-        self.inner.tick_period()
-    }
-
-    fn on_domain_created(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId) {
-        self.inner.on_domain_created(m, s, dom);
-    }
-
-    fn on_domain_destroyed(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId) {
-        self.inner.on_domain_destroyed(m, s, dom);
-    }
-
-    fn on_kernel_signal(
-        &mut self,
-        m: &mut Machine,
-        s: &mut Sched,
-        dom: DomainId,
-        sig: KernelSignal,
-    ) {
-        self.inner.on_kernel_signal(m, s, dom, sig);
-    }
-
-    fn on_store_event(&mut self, m: &mut Machine, s: &mut Sched, ev: WatchEvent) {
-        self.inner.on_store_event(m, s, ev);
-    }
-
-    fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
-        self.inner.on_tick(m, s);
-    }
-
-    fn on_crash(&mut self, m: &mut Machine, s: &mut Sched) {
-        self.inner.on_crash(m, s);
-    }
-
-    fn on_recover(&mut self, m: &mut Machine, s: &mut Sched) {
-        self.inner.on_recover(m, s);
-    }
-}
-
-/// Disk-idleness-based flushing (Elango et al. \[17\]).
-#[deprecated(note = "use PolicyEngine::new(PolicySet::dif()) instead; \
-            this shim will be removed next release")]
-pub struct DifPlane {
-    inner: PolicyEngine,
-}
-
-#[allow(deprecated)]
-impl DifPlane {
-    /// New DIF plane.
-    pub fn new() -> Self {
-        DifPlane {
-            inner: PolicyEngine::new(PolicySet::dif()),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl Default for DifPlane {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[allow(deprecated)]
-impl ControlPlane for DifPlane {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn tick_period(&self) -> Option<SimDuration> {
-        self.inner.tick_period()
-    }
-
-    fn on_domain_created(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId) {
-        self.inner.on_domain_created(m, s, dom);
-    }
-
-    fn on_domain_destroyed(&mut self, m: &mut Machine, s: &mut Sched, dom: DomainId) {
-        self.inner.on_domain_destroyed(m, s, dom);
-    }
-
-    fn on_kernel_signal(
-        &mut self,
-        m: &mut Machine,
-        s: &mut Sched,
-        dom: DomainId,
-        sig: KernelSignal,
-    ) {
-        self.inner.on_kernel_signal(m, s, dom, sig);
-    }
-
-    fn on_store_event(&mut self, m: &mut Machine, s: &mut Sched, ev: WatchEvent) {
-        self.inner.on_store_event(m, s, ev);
-    }
-
-    fn on_tick(&mut self, m: &mut Machine, s: &mut Sched) {
-        self.inner.on_tick(m, s);
-    }
-
-    fn on_crash(&mut self, m: &mut Machine, s: &mut Sched) {
-        self.inner.on_crash(m, s);
-    }
-
-    fn on_recover(&mut self, m: &mut Machine, s: &mut Sched) {
-        self.inner.on_recover(m, s);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicySet;
+    use iorch_hypervisor::ControlPlane;
 
     #[test]
     fn function_set_presets() {
@@ -319,13 +173,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_keep_their_names() {
-        assert_eq!(BaselinePlane::baseline().name(), "baseline");
-        assert_eq!(BaselinePlane::sdc().name(), "sdc");
-        assert_eq!(DifPlane::new().name(), "dif");
-        assert!(BaselinePlane::baseline().tick_period().is_none());
-        assert!(DifPlane::new().tick_period().is_some());
+    fn plane_names_survive_the_shim_removal() {
+        assert_eq!(PolicyEngine::new(PolicySet::baseline()).name(), "baseline");
+        assert_eq!(PolicyEngine::new(PolicySet::sdc()).name(), "sdc");
+        assert_eq!(PolicyEngine::new(PolicySet::dif()).name(), "dif");
         assert_eq!(
             IOrchestraPlane::new(IOrchestraConfig::new(1)).name(),
             "iorchestra"

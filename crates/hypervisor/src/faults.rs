@@ -63,6 +63,14 @@ impl Cluster {
                 // Consulted by the machine at delivery time via the
                 // installed plan; nothing to schedule.
                 | FaultKind::BusUnreliable { .. } => {}
+                // Cluster-scope faults: armed by the cluster control tier
+                // (`iorchestra::cluster`) on its message bus and node
+                // lifecycle, not by a single machine.
+                FaultKind::NetPartition { .. }
+                | FaultKind::NetUnreliable { .. }
+                | FaultKind::NetDelay { .. }
+                | FaultKind::NodeCrash { .. }
+                | FaultKind::ControllerCrash { .. } => {}
                 FaultKind::PlaneCrash { at, recover_after } => {
                     s.schedule_at(at, move |cl: &mut Cluster, s| {
                         Cluster::crash_control(cl, s, idx);

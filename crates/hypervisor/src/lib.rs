@@ -32,7 +32,7 @@ pub use domain::{DomainId, VmSpec};
 pub use iocore::{IoCore, IoCoreParams};
 pub use machine::{
     Cluster, ControlPlane, CpuWaiter, Domain, IoPathMode, Machine, MachineConfig, OpResult,
-    OpWaiter, Sched, VirtTiming,
+    OpWaiter, PlacementCaps, Sched, VirtTiming,
 };
 pub use numa::{CoreId, NumaTopology, PlacementPolicy};
 pub use ring::{Ring, RingPush};

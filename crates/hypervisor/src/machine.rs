@@ -652,6 +652,21 @@ impl Cluster {
     }
 }
 
+/// What a machine can still host — the capacity facts a cluster placement
+/// layer needs, decoupled from the machine internals that produce them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlacementCaps {
+    /// Cores available to VCPUs (total minus dedicated I/O cores).
+    pub total_cores: u32,
+    /// Largest unreserved core count on any one socket — the biggest VM
+    /// that can stay NUMA-local here.
+    pub numa_max_cores: u32,
+    /// VCPUs currently placed on the topology.
+    pub placed_vcpus: u32,
+    /// Guest memory committed to live domains, bytes.
+    pub committed_mem: u64,
+}
+
 impl Machine {
     fn new(idx: usize, cfg: MachineConfig) -> Self {
         let mut topology = NumaTopology::new(cfg.sockets, cfg.cores_per_socket);
@@ -767,6 +782,17 @@ impl Machine {
     /// can skip per-domain resync in O(1).
     pub fn domain_generation(&self) -> u64 {
         self.domain_gen
+    }
+
+    /// Capacity snapshot a cluster placement layer scores against: static
+    /// topology bounds plus current VCPU/memory commitments.
+    pub fn placement_caps(&self) -> PlacementCaps {
+        PlacementCaps {
+            total_cores: self.topology.unreserved_cores() as u32,
+            numa_max_cores: self.topology.max_unreserved_in_socket() as u32,
+            placed_vcpus: self.topology.placed_vcpus(),
+            committed_mem: self.domains.values().map(|d| d.spec.mem_bytes).sum(),
+        }
     }
 
     /// Access a domain.

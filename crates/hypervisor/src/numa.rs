@@ -168,6 +168,25 @@ impl NumaTopology {
             .expect("at least one unreserved core")
     }
 
+    /// Cores available to VCPUs (total minus dedicated I/O cores).
+    pub fn unreserved_cores(&self) -> usize {
+        self.reserved.iter().filter(|&&r| !r).count()
+    }
+
+    /// Largest number of unreserved cores on any single socket — the
+    /// biggest VM that can stay NUMA-local on this machine.
+    pub fn max_unreserved_in_socket(&self) -> usize {
+        (0..self.sockets)
+            .map(|s| self.cores_of(s).filter(|&c| !self.reserved[c.0]).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// VCPUs currently placed across all cores.
+    pub fn placed_vcpus(&self) -> u32 {
+        self.load.iter().sum()
+    }
+
     /// Distinct sockets a set of cores spans.
     pub fn sockets_spanned(&self, cores: &[CoreId]) -> Vec<usize> {
         let mut s: Vec<usize> = cores.iter().map(|&c| self.socket_of(c)).collect();
@@ -237,6 +256,23 @@ mod tests {
         for c in 0..4 {
             assert_eq!(t.core_load(CoreId(c)), 1);
         }
+    }
+
+    #[test]
+    fn capacity_accessors_track_reservation_and_load() {
+        let mut t = NumaTopology::paper_testbed();
+        assert_eq!(t.unreserved_cores(), 12);
+        assert_eq!(t.max_unreserved_in_socket(), 6);
+        assert_eq!(t.placed_vcpus(), 0);
+        t.reserve_io_core(CoreId(0));
+        t.reserve_io_core(CoreId(6));
+        t.reserve_io_core(CoreId(7));
+        assert_eq!(t.unreserved_cores(), 9);
+        assert_eq!(t.max_unreserved_in_socket(), 5);
+        let cores = t.place(DomainId(1), 4, PlacementPolicy::PreferSameSocket);
+        assert_eq!(t.placed_vcpus(), 4);
+        t.unplace(&cores);
+        assert_eq!(t.placed_vcpus(), 0);
     }
 
     #[test]

@@ -14,8 +14,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bus;
 mod txbuf;
 
+pub use bus::{BusStats, MsgBus, SendOutcome};
 pub use txbuf::{TxPush, TxQueue};
 
 use iorch_simcore::{SimDuration, SimTime};

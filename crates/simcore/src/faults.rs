@@ -131,6 +131,54 @@ pub enum FaultKind {
         /// Reverse the order of each same-instant delivery batch.
         reorder: bool,
     },
+    /// The inter-node network partitions while the window is active: the
+    /// nodes whose bits are set in `group` cannot exchange messages with
+    /// the nodes whose bits are clear (traffic *within* either side still
+    /// flows). Node `i` is in the group when bit `i` of the mask is set.
+    NetPartition {
+        /// Bitmask of isolated node indices.
+        group: u64,
+    },
+    /// The inter-node message bus misdelivers while the window is active —
+    /// the network-level twin of [`FaultKind::BusUnreliable`], with the
+    /// same deterministic counter semantics (every n-th message, no RNG).
+    NetUnreliable {
+        /// Drop every n-th message (0 = drop nothing).
+        drop_1_in: u64,
+        /// Duplicate every n-th message (0 = duplicate nothing).
+        dup_1_in: u64,
+        /// Reverse the order of each same-instant delivery batch.
+        reorder: bool,
+    },
+    /// Inter-node message delivery is delayed by `extra` on top of the
+    /// modelled transfer time (congested uplink, slow switch fabric).
+    NetDelay {
+        /// Additional delivery latency.
+        extra: SimDuration,
+    },
+    /// Whole node `node` crashes at `at` — its agent stops, its domains
+    /// die with the host — and reboots `recover_after` later with a fresh
+    /// incarnation and no state. A point event like
+    /// [`FaultKind::PlaneCrash`]; installers pair it with
+    /// [`FaultWindow::always`].
+    NodeCrash {
+        /// Raw cluster node index.
+        node: u32,
+        /// Instant the node dies.
+        at: SimTime,
+        /// Outage length; the node reboots at `at + recover_after`.
+        recover_after: SimDuration,
+    },
+    /// The cluster controller crashes at `at`, losing all volatile
+    /// membership/placement state, and restarts `recover_after` later
+    /// under a fresh (durable, monotonic) command epoch. A point event
+    /// like [`FaultKind::PlaneCrash`].
+    ControllerCrash {
+        /// Instant the controller dies.
+        at: SimTime,
+        /// Outage length; the controller restarts at `at + recover_after`.
+        recover_after: SimDuration,
+    },
 }
 
 /// One scheduled fault: a kind plus its active window.
@@ -233,6 +281,84 @@ impl FaultPlan {
         self.events
             .iter()
             .any(|ev| matches!(ev.kind, FaultKind::BusUnreliable { .. }))
+    }
+
+    /// Absorb every event of `other` into this plan (layering an extra
+    /// oracle plan on top of a scenario's own). Overlapping windows
+    /// compose exactly as if both plans had been built as one.
+    pub fn merge(&mut self, other: &FaultPlan) {
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// Are nodes `a` and `b` unable to exchange messages at `now`? True
+    /// when any active [`FaultKind::NetPartition`] window puts them on
+    /// opposite sides of its `group` mask.
+    pub fn net_partitioned(&self, a: usize, b: usize, now: SimTime) -> bool {
+        self.events.iter().any(|ev| {
+            if let FaultKind::NetPartition { group } = ev.kind {
+                let in_a = a < 64 && group & (1 << a) != 0;
+                let in_b = b < 64 && group & (1 << b) != 0;
+                ev.window.contains(now) && in_a != in_b
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Combined network misdelivery active at `now`: overlapping
+    /// [`FaultKind::NetUnreliable`] windows compose like
+    /// [`FaultPlan::bus_unreliable`] (smallest non-zero stride, OR-ed
+    /// `reorder`). `None` when no window is active.
+    pub fn net_unreliable(&self, now: SimTime) -> Option<BusFault> {
+        let mut combined: Option<BusFault> = None;
+        for ev in &self.events {
+            if let FaultKind::NetUnreliable {
+                drop_1_in,
+                dup_1_in,
+                reorder,
+            } = ev.kind
+            {
+                if !ev.window.contains(now) {
+                    continue;
+                }
+                let b = combined.get_or_insert(BusFault {
+                    drop_1_in: 0,
+                    dup_1_in: 0,
+                    reorder: false,
+                });
+                b.drop_1_in = merge_stride(b.drop_1_in, drop_1_in);
+                b.dup_1_in = merge_stride(b.dup_1_in, dup_1_in);
+                b.reorder |= reorder;
+            }
+        }
+        combined
+    }
+
+    /// Extra inter-node delivery latency active at `now` (sum of active
+    /// [`FaultKind::NetDelay`] windows).
+    pub fn net_delay(&self, now: SimTime) -> SimDuration {
+        let mut d = SimDuration::ZERO;
+        for ev in &self.events {
+            if let FaultKind::NetDelay { extra } = ev.kind {
+                if ev.window.contains(now) {
+                    d += extra;
+                }
+            }
+        }
+        d
+    }
+
+    /// Does the plan touch the inter-node network at any point
+    /// (partition, misdelivery or delay)?
+    pub fn has_net_faults(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev.kind,
+                FaultKind::NetPartition { .. }
+                    | FaultKind::NetUnreliable { .. }
+                    | FaultKind::NetDelay { .. }
+            )
+        })
     }
 
     /// Combined bus misbehaviour active at `now`: overlapping
@@ -405,6 +531,81 @@ mod tests {
                 },
             )
             .has_bus_faults());
+    }
+
+    #[test]
+    fn net_partition_splits_by_group_mask() {
+        let plan = FaultPlan::new().with(
+            FaultWindow::new(t(10), t(20)),
+            FaultKind::NetPartition { group: 0b100 },
+        );
+        assert!(plan.has_net_faults());
+        // Across the cut, inside the window only.
+        assert!(plan.net_partitioned(2, 0, t(15)));
+        assert!(plan.net_partitioned(0, 2, t(15)));
+        assert!(!plan.net_partitioned(2, 0, t(25)));
+        // Same side: reachable.
+        assert!(!plan.net_partitioned(0, 1, t(15)));
+        assert!(!plan.net_partitioned(2, 2, t(15)));
+        // Node indices past the mask width sit outside every group.
+        assert!(!plan.net_partitioned(64, 65, t(15)));
+        assert!(plan.net_partitioned(2, 64, t(15)));
+    }
+
+    #[test]
+    fn net_unreliable_and_delay_compose() {
+        let plan = FaultPlan::new()
+            .with(
+                FaultWindow::new(t(0), t(100)),
+                FaultKind::NetUnreliable {
+                    drop_1_in: 9,
+                    dup_1_in: 0,
+                    reorder: false,
+                },
+            )
+            .with(
+                FaultWindow::new(t(50), t(100)),
+                FaultKind::NetUnreliable {
+                    drop_1_in: 4,
+                    dup_1_in: 6,
+                    reorder: true,
+                },
+            )
+            .with(
+                FaultWindow::new(t(0), t(50)),
+                FaultKind::NetDelay {
+                    extra: SimDuration::from_millis(3),
+                },
+            );
+        assert_eq!(
+            plan.net_unreliable(t(60)),
+            Some(BusFault {
+                drop_1_in: 4,
+                dup_1_in: 6,
+                reorder: true
+            })
+        );
+        assert_eq!(plan.net_unreliable(t(10)).unwrap().drop_1_in, 9);
+        assert_eq!(plan.net_unreliable(t(200)), None);
+        assert_eq!(plan.net_delay(t(10)), SimDuration::from_millis(3));
+        assert_eq!(plan.net_delay(t(60)), SimDuration::ZERO);
+        // Net faults never leak into the XenBus accessor and vice versa.
+        assert_eq!(plan.bus_unreliable(t(60)), None);
+        assert!(!plan.has_bus_faults());
+    }
+
+    #[test]
+    fn merge_layers_plans() {
+        let mut plan = FaultPlan::new().with(FaultWindow::new(t(0), t(10)), FaultKind::DeviceStall);
+        plan.merge(&FaultPlan::new().with(
+            FaultWindow::new(t(5), t(20)),
+            FaultKind::NetDelay {
+                extra: SimDuration::from_millis(1),
+            },
+        ));
+        assert_eq!(plan.events().len(), 2);
+        assert!(plan.device_stall_until(t(5)).is_some());
+        assert_eq!(plan.net_delay(t(15)), SimDuration::from_millis(1));
     }
 
     #[test]

@@ -367,6 +367,86 @@ pub enum Decision {
         /// Target domain.
         dom: u32,
     },
+    // ---- cluster control tier ----------------------------------------
+    /// The cluster controller admitted a node into the membership (first
+    /// registration of this incarnation).
+    NodeRegistered {
+        /// Cluster node index.
+        node: u32,
+        /// Boot incarnation the node registered under.
+        incarnation: u64,
+    },
+    /// A member's lease expired without a heartbeat: the controller marks
+    /// it dead and its domains orphaned.
+    LeaseExpired {
+        /// Cluster node index.
+        node: u32,
+        /// Logical domains orphaned by the expiry.
+        orphaned: u32,
+    },
+    /// A node the controller had marked dead is heartbeating again (a
+    /// healed partition, not a reboot — its incarnation is unchanged).
+    NodeRejoined {
+        /// Cluster node index.
+        node: u32,
+        /// Incarnation the node rejoined under.
+        incarnation: u64,
+    },
+    /// The controller assigned a logical domain to a node (a `start`
+    /// command was issued).
+    DomainPlaced {
+        /// Logical domain id.
+        dom: u32,
+        /// Target cluster node index.
+        node: u32,
+    },
+    /// The controller evicted a logical domain from a node that should no
+    /// longer run it (a `stop` command was issued).
+    DomainEvicted {
+        /// Logical domain id.
+        dom: u32,
+        /// Cluster node index being told to stop it.
+        node: u32,
+    },
+    /// A logical domain orphaned by a dead node was re-placed on a
+    /// survivor.
+    Failover {
+        /// Logical domain id.
+        dom: u32,
+        /// Node it was running on (now dead).
+        from: u32,
+        /// Surviving node it moves to.
+        to: u32,
+    },
+    /// The cluster controller crashed: volatile membership and placement
+    /// state is lost until restart.
+    ControllerCrash,
+    /// The cluster controller restarted under a fresh durable epoch and is
+    /// rebuilding membership from incoming heartbeats.
+    ControllerRecover {
+        /// Command epoch adopted by the new incarnation (persisted + 1).
+        epoch: u64,
+    },
+    /// A node agent discarded a stale or duplicate cluster command
+    /// (epoch/sequence cursor or incarnation mismatch).
+    ClusterCmdStale {
+        /// Cluster node index that rejected the command.
+        node: u32,
+        /// Epoch carried by the rejected command.
+        epoch: u64,
+        /// Sequence number carried by the rejected command.
+        seq: u64,
+    },
+    /// A cluster RPC timed out unacked and was re-issued with exponential
+    /// backoff under a fresh sequence number.
+    ClusterRetry {
+        /// Target cluster node index.
+        node: u32,
+        /// Logical domain the command concerns.
+        dom: u32,
+        /// Retry attempt number (1 = first re-issue).
+        attempt: u32,
+    },
 }
 
 /// Bounded event ring plus drop accounting.
@@ -661,6 +741,51 @@ fn render_decision(out: &mut String, d: &Decision) {
             let _ = write!(
                 out,
                 "decision rule_fired dom {dom}: stage={stage} rule={rule} action={action}"
+            );
+        }
+        Decision::NodeRegistered { node, incarnation } => {
+            let _ = write!(
+                out,
+                "decision node_registered node {node}: incarnation={incarnation}"
+            );
+        }
+        Decision::LeaseExpired { node, orphaned } => {
+            let _ = write!(
+                out,
+                "decision lease_expired node {node}: orphaned={orphaned}"
+            );
+        }
+        Decision::NodeRejoined { node, incarnation } => {
+            let _ = write!(
+                out,
+                "decision node_rejoined node {node}: incarnation={incarnation}"
+            );
+        }
+        Decision::DomainPlaced { dom, node } => {
+            let _ = write!(out, "decision domain_placed dom {dom} -> node {node}");
+        }
+        Decision::DomainEvicted { dom, node } => {
+            let _ = write!(out, "decision domain_evicted dom {dom} <- node {node}");
+        }
+        Decision::Failover { dom, from, to } => {
+            let _ = write!(out, "decision failover dom {dom}: node {from} -> node {to}");
+        }
+        Decision::ControllerCrash => {
+            out.push_str("decision controller_crash: cluster controller state lost");
+        }
+        Decision::ControllerRecover { epoch } => {
+            let _ = write!(out, "decision controller_recover: epoch={epoch}");
+        }
+        Decision::ClusterCmdStale { node, epoch, seq } => {
+            let _ = write!(
+                out,
+                "decision cluster_cmd_stale node {node}: epoch={epoch} seq={seq}"
+            );
+        }
+        Decision::ClusterRetry { node, dom, attempt } => {
+            let _ = write!(
+                out,
+                "decision cluster_retry node {node}: dom {dom} attempt={attempt}"
             );
         }
     }
@@ -1009,6 +1134,16 @@ fn chrome_fields(kind: &TraceEventKind) -> ChromeEvent<'_> {
                 Decision::PlaneRecover { .. } => ("decision_plane_recover", 0),
                 Decision::StaleCommand { dom, .. } => ("decision_stale_command", *dom),
                 Decision::RuleFired { dom, .. } => ("decision_rule_fired", *dom),
+                Decision::NodeRegistered { node, .. } => ("decision_node_registered", *node),
+                Decision::LeaseExpired { node, .. } => ("decision_lease_expired", *node),
+                Decision::NodeRejoined { node, .. } => ("decision_node_rejoined", *node),
+                Decision::DomainPlaced { dom, .. } => ("decision_domain_placed", *dom),
+                Decision::DomainEvicted { dom, .. } => ("decision_domain_evicted", *dom),
+                Decision::Failover { dom, .. } => ("decision_failover", *dom),
+                Decision::ControllerCrash => ("decision_controller_crash", 0),
+                Decision::ControllerRecover { .. } => ("decision_controller_recover", 0),
+                Decision::ClusterCmdStale { node, .. } => ("decision_cluster_cmd_stale", *node),
+                Decision::ClusterRetry { node, .. } => ("decision_cluster_retry", *node),
             };
             ChromeEvent {
                 name,

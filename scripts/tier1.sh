@@ -17,6 +17,12 @@ cargo test -q --offline --workspace
 # are #[ignore]d there and run here in release.
 cargo test -q --offline -p iorch-bench --release --test convergence -- --include-ignored
 
+# Cluster-wide convergence oracle: crash the controller and each node at
+# every tick of the cluster fault scenarios (node_crash, net_partition),
+# seeds {7, 42, 1337}; the recovered steady-state digest must be
+# byte-identical to the no-extra-fault run's.
+cargo test -q --offline -p iorch-bench --release --test cluster_convergence -- --include-ignored
+
 # Policy-redesign byte-identity oracle: every plane expressed as a policy
 # set must replay every tracedump scenario byte-identically to the frozen
 # legacy plane, seed-swept (the exhaustive sweep is #[ignore]d in debug).
@@ -35,6 +41,12 @@ cargo build --release --offline -p iorch-bench --bin experiments
 rm -rf target/exp-smoke
 target/release/experiments run all --profile smoke --seed 42 --out target/exp-smoke --quiet
 target/release/experiments validate target/exp-smoke
+
+# The cluster family (part of `run all` above) doubles as a gate: it
+# fails unless every (nodes, fault) cell converges to the no-fault
+# steady state with zero duplicated ownership, and it regenerates
+# BENCH_cluster.json at the repo root.
+target/release/experiments validate BENCH_cluster.json
 
 # Control-plane scaling gate: `run all` skips wall-clock (timing) specs,
 # so the scale experiment runs by name here. It regenerates
